@@ -1,0 +1,34 @@
+"""EXT-SKEW — the clock-synchronization error bound ``E``.
+
+Extension beyond the paper's evaluation (its demonstrator had all
+processing SWCs on one platform, so ``E = 0``): a two-ECU event chain
+whose subscriber clock is skewed relative to the publisher.
+
+Expected shape (asserted): whenever the assumed ``E`` covers the actual
+skew (plus the already-covered latency), safe-to-process analysis holds
+and no violations occur; whenever the actual skew exceeds the assumed
+``E``, every event arrives in the subscriber's logical past and is
+counted as a violation — observable, never silent.
+"""
+
+from repro.harness.extensions import clock_skew_sweep
+
+
+def test_clock_skew_sweep(benchmark, show):
+    result = benchmark.pedantic(clock_skew_sweep, rounds=1, iterations=1)
+    show(result.render())
+
+    for point in result.points:
+        covered = point.assumed_error_ns >= point.actual_skew_ns
+        if covered:
+            assert point.stp_violations == 0, (
+                f"skew {point.actual_skew_ns} covered by E="
+                f"{point.assumed_error_ns} must not violate"
+            )
+        else:
+            assert point.stp_violations > 0, (
+                f"skew {point.actual_skew_ns} above E="
+                f"{point.assumed_error_ns} must be observable"
+            )
+        # Violations are *observable errors*, not silent losses.
+        assert point.delivered == result.count

@@ -1,0 +1,74 @@
+"""EXT-DIST — the brake assistant distributed across processing ECUs.
+
+Extension of Section IV.B: the paper notes "Since all SWCs of this
+application are deployed to the same platform, there is no clock
+synchronization error to account for."  This bench deploys Computer
+Vision and EBA on a second processing ECU with a skewed clock and
+sweeps (skew, assumed E).
+
+Expected shape (asserted): perfect execution whenever E covers the skew
+(and even for small skews with E = 0, absorbed by the pipeline's
+safe-to-process slack); for large uncovered skews, counted STP
+violations, mismatches and lost frames — degradation is observable,
+never silent.
+"""
+
+from repro.apps.brake import BrakeScenario, run_det_brake_assistant
+from repro.analysis.report import render_table
+from repro.harness import env_int
+from repro.time import MS
+
+
+def sweep(n_frames):
+    configurations = [
+        (0, 0),
+        (5 * MS, 0),
+        (15 * MS, 0),
+        (20 * MS, 0),
+        (20 * MS, 25 * MS),
+    ]
+    rows = []
+    for skew, error in configurations:
+        scenario = BrakeScenario(
+            n_frames=n_frames,
+            distributed=True,
+            processing_clock_skew_ns=skew,
+            clock_error_ns=error,
+        )
+        run = run_det_brake_assistant(0, scenario)
+        rows.append((skew, error, run))
+    return rows
+
+
+def test_distributed_brake_assistant(benchmark, show):
+    n_frames = env_int("REPRO_DIST_FRAMES", 200)
+    rows = benchmark.pedantic(sweep, args=(n_frames,), rounds=1, iterations=1)
+    table = render_table(
+        ["clock skew", "assumed E", "STP violations", "CV mismatches",
+         "frames answered"],
+        [
+            [
+                f"{skew / 1e6:.0f} ms",
+                f"{error / 1e6:.0f} ms",
+                str(run.stp_violations),
+                str(run.errors.mismatch_computer_vision),
+                f"{len(run.commands)}/{n_frames}",
+            ]
+            for skew, error, run in rows
+        ],
+        title="EXT-DIST - distributed brake assistant vs. clock skew:",
+    )
+    show(table)
+
+    by_config = {(skew, error): run for skew, error, run in rows}
+    # Covered (or slack-absorbed) configurations: perfect.
+    for key in ((0, 0), (5 * MS, 0), (20 * MS, 25 * MS)):
+        run = by_config[key]
+        assert run.stp_violations == 0
+        assert run.errors.total() == 0
+        assert len(run.commands) == n_frames
+    # Large uncovered skews: observable degradation, worse with skew.
+    mid, big = by_config[(15 * MS, 0)], by_config[(20 * MS, 0)]
+    assert mid.stp_violations > 0
+    assert big.stp_violations >= mid.stp_violations
+    assert len(big.commands) < len(mid.commands) < n_frames

@@ -1,0 +1,37 @@
+"""EXT-SCALE — DEAR latency composition over pipeline depth.
+
+Extension beyond the paper's evaluation: the paper derives the brake
+assistant's latency from its four-stage deadline chain; this bench
+verifies the general composition rule on synthetic chains of SWCs —
+every hop (one SWC boundary with deadline D, latency bound L, clock
+error E) adds exactly ``D + L + E`` of logical latency.
+
+Expected shape (asserted): measured logical latency equals
+``depth x (D + L + E)`` for every depth.
+"""
+
+from repro.harness.extensions import native_transport_comparison, pipeline_scaling
+
+
+def test_pipeline_scaling(benchmark, show):
+    result = benchmark.pedantic(pipeline_scaling, rounds=1, iterations=1)
+    show(result.render())
+
+    for point in result.points:
+        assert point.logical_latency_ns == point.expected_ns
+    depths = [point.depth for point in result.points]
+    latencies = [point.logical_latency_ns for point in result.points]
+    # Strictly linear scaling.
+    assert latencies == [depth * result.hop_cost_ns for depth in depths]
+
+
+def test_native_transport(benchmark, show):
+    """EXT-NATIVE — the standard extension the paper advocates.
+
+    The native protocol-v2 tag field must behave identically to the
+    trailer workaround while costing fewer bytes per message.
+    """
+    result = benchmark.pedantic(native_transport_comparison, rounds=1, iterations=1)
+    show(result.render())
+    assert result.behaviour_identical
+    assert result.native_bytes < result.trailer_bytes

@@ -1,0 +1,37 @@
+"""FIG1 — reproduce Figure 1: the nondeterministic client/server app.
+
+Paper artifact: a histogram of the value printed by the client of the
+naive counter application; each of 0, 1, 2, 3 occurs with sizeable
+probability on the stock platform, while the intended result is 3.
+
+Expected shape (asserted): multiple distinct outcomes on stock AP, no
+outcome with probability 1, wrong results present; the DEAR variant
+prints 3 every time.
+
+Scale knobs: ``REPRO_FIG1_SEEDS`` (default 200).
+"""
+
+from repro.harness import env_int
+from repro.harness.figures import figure1
+
+
+def test_figure1(benchmark, show):
+    n_seeds = env_int("REPRO_FIG1_SEEDS", 200)
+    result = benchmark.pedantic(
+        figure1, args=(n_seeds,), kwargs={"det_seeds": 8},
+        rounds=1, iterations=1,
+    )
+    show(result.render())
+
+    probabilities = result.probabilities()
+    # All observed outcomes are legal interleavings of {set, add, get}.
+    assert set(probabilities) <= {0, 1, 2, 3}
+    # The program has several behaviours...
+    assert len(probabilities) >= 2
+    # ...none of which is certain,
+    assert max(probabilities.values()) < 1.0
+    # and the intended result is among them but not guaranteed.
+    assert 3 in probabilities
+    assert sum(v for k, v in probabilities.items() if k != 3) > 0
+    # DEAR: exactly one behaviour, the intended one.
+    assert set(result.det_counts) == {3}

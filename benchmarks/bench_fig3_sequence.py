@@ -1,0 +1,29 @@
+"""FIG3 — reproduce Figure 3: the tagged message sequence.
+
+Paper artifact: the 22-step walk of a method call through client/server
+transactors, service proxy/skeleton, timestamp bypass and the modified
+SOME/IP binding, with tags ``tc -> tc+Dc -> tc+Dc+L+E`` on the request
+and ``ts -> ts+Ds -> ts+Ds+L+E`` on the response.
+
+Expected shape (asserted): the observed tags match those formulas
+exactly.
+"""
+
+from repro.harness.figures import figure3_sequence
+
+
+def test_figure3_sequence(benchmark, show):
+    result = benchmark.pedantic(figure3_sequence, rounds=1, iterations=1)
+    show(result.render())
+
+    assert result.server_tag_ns == result.expected_server_tag_ns()
+    assert result.reply_tag_ns == result.expected_reply_tag_ns()
+    assert result.matches_paper_chain()
+    # The response can never be logically earlier than the full chain.
+    minimum = (
+        result.tc_ns
+        + result.deadline_c_ns
+        + result.deadline_s_ns
+        + 2 * result.release_ns
+    )
+    assert result.reply_tag_ns >= minimum

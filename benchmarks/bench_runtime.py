@@ -1,0 +1,104 @@
+"""Runtime microbenchmarks (proper repeated-measurement benchmarks).
+
+Not a paper artifact; characterizes the reproduction's substrate so
+regressions in the simulator, the reactor scheduler and the SOME/IP
+stack are visible.  These use pytest-benchmark's normal repetition.
+"""
+
+from repro.reactors import Environment, Reactor
+from repro.sim import Compute, Simulator, World
+from repro.sim.platform import CALM
+from repro.someip import MessageType, SomeIpHeader, SomeIpMessage
+from repro.someip.serialization import Array, INT32, Struct, UINT32
+from repro.time import MS, US
+
+
+def test_sim_kernel_event_throughput(benchmark):
+    """Schedule-and-run cost of bare kernel events."""
+
+    def run():
+        sim = Simulator()
+        for index in range(5_000):
+            sim.at(index, lambda: None)
+        sim.run()
+        return sim.events_processed
+
+    assert benchmark(run) == 5_000
+
+
+def test_thread_context_switching(benchmark):
+    """Cost of compute-yield cycles through the CPU scheduler."""
+
+    def run():
+        world = World(0)
+        platform = world.add_platform("p", CALM)
+        done = []
+
+        def body():
+            for _ in range(200):
+                yield Compute(1 * US)
+            done.append(1)
+
+        for index in range(5):
+            platform.spawn(f"t{index}", body())
+        world.run_to_completion()
+        return len(done)
+
+    assert benchmark(run) == 5
+
+
+def test_reactor_fast_mode_throughput(benchmark):
+    """Events-per-second of the reactor scheduler in fast mode."""
+
+    def run():
+        env = Environment(timeout=1_000 * MS, trace_enabled=False)
+
+        class Chain(Reactor):
+            def __init__(self, name, owner):
+                super().__init__(name, owner)
+                self.inp = self.input("inp")
+                self.out = self.output("out")
+                self.reaction(
+                    "fwd",
+                    triggers=[self.inp],
+                    effects=[self.out],
+                    body=lambda ctx: ctx.set(self.out, ctx.get(self.inp)),
+                )
+
+        class Source(Reactor):
+            def __init__(self, name, owner):
+                super().__init__(name, owner)
+                self.out = self.output("out")
+                tick = self.timer("tick", offset=0, period=1 * MS)
+                self.reaction(
+                    "emit", triggers=[tick], effects=[self.out],
+                    body=lambda ctx: ctx.set(self.out, 1),
+                )
+
+        source = Source("source", env)
+        stages = [Chain(f"stage{i}", env) for i in range(10)]
+        env.connect(source.out, stages[0].inp)
+        for left, right in zip(stages, stages[1:]):
+            env.connect(left.out, right.inp)
+        env.execute()
+        return env.scheduler.reactions_executed
+
+    reactions = benchmark(run)
+    assert reactions > 10_000
+
+
+def test_someip_message_roundtrip(benchmark):
+    """Pack + unpack of a realistic SOME/IP message."""
+    spec = Struct([("seq", UINT32), ("values", Array(INT32))])
+    payload = spec.to_bytes({"seq": 7, "values": list(range(64))})
+    header = SomeIpHeader(
+        service_id=0x1234, method_id=0x8001, client_id=0, session_id=9,
+        message_type=MessageType.NOTIFICATION,
+    )
+
+    def run():
+        packed = SomeIpMessage(header, payload).pack()
+        message = SomeIpMessage.unpack(packed)
+        return spec.from_bytes(message.payload)["seq"]
+
+    assert benchmark(run) == 7

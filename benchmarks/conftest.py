@@ -1,0 +1,14 @@
+"""Shared fixtures for the benchmark suite."""
+
+import pytest
+
+
+@pytest.fixture
+def show(capsys):
+    """Print a rendered figure straight to the terminal (uncaptured)."""
+
+    def _show(text: str) -> None:
+        with capsys.disabled():
+            print("\n" + text + "\n")
+
+    return _show

@@ -1,0 +1,84 @@
+"""Quickstart: a minimal deterministic reactor program.
+
+Builds a two-reactor pipeline (a periodic sensor and a filter), runs it
+in *fast mode* (pure logical time), and shows that the execution trace
+is identical no matter how often you run it.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.reactors import Environment, Reactor
+from repro.time import MS, format_duration
+
+
+class Sensor(Reactor):
+    """Emits a reading every 10 ms."""
+
+    def __init__(self, name, owner):
+        super().__init__(name, owner)
+        self.out = self.output("out")
+        tick = self.timer("tick", offset=0, period=10 * MS)
+        self.count = 0
+
+        def emit(ctx):
+            self.count += 1
+            ctx.set(self.out, self.count * 100)
+
+        self.reaction("emit", triggers=[tick], effects=[self.out], body=emit)
+
+
+class Filter(Reactor):
+    """Exponential smoothing over the sensor stream."""
+
+    def __init__(self, name, owner):
+        super().__init__(name, owner)
+        self.inp = self.input("inp")
+        self.out = self.output("out")
+        self.state = 0.0
+
+        def smooth(ctx):
+            self.state = 0.8 * self.state + 0.2 * ctx.get(self.inp)
+            ctx.set(self.out, round(self.state, 3))
+
+        self.reaction("smooth", triggers=[self.inp], effects=[self.out],
+                      body=smooth)
+
+
+class Printer(Reactor):
+    """Prints every value with its logical timestamp."""
+
+    def __init__(self, name, owner):
+        super().__init__(name, owner)
+        self.inp = self.input("inp")
+        self.reaction(
+            "show",
+            triggers=[self.inp],
+            body=lambda ctx: print(
+                f"  t={format_duration(ctx.logical_time):>6}  "
+                f"value={ctx.get(self.inp)}"
+            ),
+        )
+
+
+def build_and_run() -> str:
+    env = Environment(name="quickstart", timeout=50 * MS)
+    sensor = Sensor("sensor", env)
+    smoother = Filter("filter", env)
+    printer = Printer("printer", env)
+    env.connect(sensor.out, smoother.inp)
+    env.connect(smoother.out, printer.inp)
+    env.execute()
+    return env.trace.fingerprint()
+
+
+def main():
+    print("First run:")
+    first = build_and_run()
+    print("\nSecond run:")
+    second = build_and_run()
+    print(f"\nTrace fingerprints equal: {first == second}")
+    print(f"  {first}")
+
+
+if __name__ == "__main__":
+    main()

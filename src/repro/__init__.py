@@ -1,0 +1,26 @@
+"""Reproduction of *Achieving Determinism in Adaptive AUTOSAR* (DATE 2020).
+
+The package provides, bottom-up:
+
+* :mod:`repro.time` — integer-nanosecond time, superdense tags, clocks;
+* :mod:`repro.sim` — a deterministic discrete-event simulator with
+  seeded-random thread scheduling (the "hardware/OS" substrate);
+* :mod:`repro.network` — links, switch and latency models;
+* :mod:`repro.someip` — a SOME/IP middleware with service discovery and
+  the paper's tagged-message extension;
+* :mod:`repro.ara` — the AUTOSAR Adaptive runtime API: service
+  interfaces, futures, generated proxies and skeletons;
+* :mod:`repro.reactors` — a full reactor-model runtime (the programming
+  model the paper proposes);
+* :mod:`repro.dear` — the DEAR framework: transactors, timestamp bypass
+  and PTIDES-style safe-to-process coordination;
+* :mod:`repro.let` — a logical-execution-time baseline;
+* :mod:`repro.apps` — the paper's applications (Figure 1 client/server,
+  brake assistant in stock-AP and DEAR variants);
+* :mod:`repro.analysis`, :mod:`repro.harness` — statistics, determinism
+  checking and the experiment driver regenerating the paper's figures.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

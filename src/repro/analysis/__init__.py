@@ -1,0 +1,19 @@
+"""Analysis utilities: statistics, trace comparison, text reports."""
+
+from repro.analysis.stats import Summary, summarize
+from repro.analysis.traces import compare_traces, first_divergence
+from repro.analysis.report import ascii_bar_chart, histogram_table, render_table
+from repro.analysis.persistence import diff_trace_files, load_trace, save_trace
+
+__all__ = [
+    "Summary",
+    "summarize",
+    "compare_traces",
+    "first_divergence",
+    "render_table",
+    "ascii_bar_chart",
+    "histogram_table",
+    "save_trace",
+    "load_trace",
+    "diff_trace_files",
+]

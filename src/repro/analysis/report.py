@@ -1,0 +1,79 @@
+"""Plain-text rendering of experiment outputs.
+
+The benchmark harness prints the paper's figures as text: Figure 1
+becomes a probability histogram, Figure 5 a sorted stacked bar chart.
+Everything renders with plain ASCII so it reads the same in any log.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+
+def render_table(
+    headers: Sequence[str], rows: Sequence[Sequence[str]], title: str | None = None
+) -> str:
+    """Fixed-width table with a header rule."""
+    columns = len(headers)
+    widths = [len(str(header)) for header in headers]
+    for row in rows:
+        if len(row) != columns:
+            raise ValueError("row width does not match headers")
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(str(cell)))
+
+    def render_row(cells: Sequence[str]) -> str:
+        return "  ".join(str(cell).rjust(widths[i]) for i, cell in enumerate(cells))
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(render_row(headers))
+    lines.append("  ".join("-" * width for width in widths))
+    lines.extend(render_row(row) for row in rows)
+    return "\n".join(lines)
+
+
+def histogram_table(
+    counts: Mapping[int, int], title: str, width: int = 40
+) -> str:
+    """Probability histogram like the paper's Figure 1 (right side)."""
+    total = sum(counts.values())
+    if total == 0:
+        raise ValueError("empty histogram")
+    lines = [title]
+    for value in sorted(counts):
+        probability = counts[value] / total
+        bar = "#" * max(1 if counts[value] else 0, round(probability * width))
+        lines.append(f"  {value}: {probability:6.3f} |{bar}")
+    return "\n".join(lines)
+
+
+def ascii_bar_chart(
+    rows: Sequence[tuple[str, Mapping[str, float]]],
+    categories: Sequence[str],
+    title: str,
+    width: int = 50,
+    unit: str = "%",
+) -> str:
+    """Stacked horizontal bars like the paper's Figure 5.
+
+    *rows* is ``[(label, {category: value})]``; each bar is scaled to the
+    global maximum total and drawn with one letter per category.
+    """
+    letters = {}
+    for index, category in enumerate(categories):
+        letters[category] = chr(ord("A") + index)
+    totals = [sum(values.values()) for _label, values in rows]
+    maximum = max(totals) if totals else 0.0
+    lines = [title]
+    for category in categories:
+        lines.append(f"  {letters[category]} = {category}")
+    for (label, values), total in zip(rows, totals):
+        bar = ""
+        if maximum > 0:
+            for category in categories:
+                segment = round(values.get(category, 0.0) / maximum * width)
+                bar += letters[category] * segment
+        lines.append(f"  {label:>12} {total:8.3f}{unit} |{bar}")
+    return "\n".join(lines)

@@ -1,0 +1,54 @@
+"""Comparing logical traces.
+
+Fingerprints (:meth:`repro.reactors.telemetry.Trace.fingerprint`) answer
+"are these runs identical?"; these helpers answer "where do they differ?"
+which is what you want when a determinism check fails.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.reactors.telemetry import Trace
+
+
+@dataclass(frozen=True)
+class TraceDivergence:
+    """The first point at which two traces disagree."""
+
+    index: int
+    left_line: str | None
+    right_line: str | None
+
+    def __str__(self) -> str:
+        return (
+            f"traces diverge at record {self.index}:\n"
+            f"  left:  {self.left_line}\n"
+            f"  right: {self.right_line}"
+        )
+
+
+def first_divergence(left: Trace, right: Trace) -> TraceDivergence | None:
+    """The first differing record, or ``None`` when traces are equal."""
+    left_lines = left.lines()
+    right_lines = right.lines()
+    for index, (a, b) in enumerate(zip(left_lines, right_lines)):
+        if a != b:
+            return TraceDivergence(index, a, b)
+    if len(left_lines) != len(right_lines):
+        index = min(len(left_lines), len(right_lines))
+        longer_left = len(left_lines) > len(right_lines)
+        return TraceDivergence(
+            index,
+            left_lines[index] if longer_left else None,
+            None if longer_left else right_lines[index],
+        )
+    return None
+
+
+def compare_traces(traces: list[Trace]) -> bool:
+    """Whether all *traces* are identical (at least one required)."""
+    if not traces:
+        raise ValueError("need at least one trace")
+    reference = traces[0].fingerprint()
+    return all(trace.fingerprint() == reference for trace in traces[1:])

@@ -1,0 +1,11 @@
+"""The paper's applications.
+
+* :mod:`repro.apps.counter` — the Figure 1 client/server example: a
+  naive client issues ``set_value(1); add(2); get_value()`` without
+  awaiting the futures; the stock AP runtime prints 0, 1, 2 or 3
+  depending on thread scheduling, while the DEAR variant always
+  prints 3.
+* :mod:`repro.apps.brake` — the brake assistant case study of
+  Section IV, in the stock (nondeterministic) and DEAR (deterministic)
+  variants.
+"""

@@ -1,0 +1,241 @@
+"""Data types of the brake-assistant pipeline and their wire formats.
+
+Every type crossing a service interface has a SOME/IP payload spec, so
+the pipeline's events are genuinely serialized and deserialized —
+including in the DEAR variant, where the tag trailer rides behind these
+payloads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.someip.serialization import (
+    Array,
+    BOOL,
+    FLOAT64,
+    INT64,
+    Struct,
+    UINT32,
+)
+
+
+@dataclass(frozen=True)
+class GroundTruthVehicle:
+    """A vehicle in the synthetic scene (camera-side ground truth)."""
+
+    vehicle_id: int
+    distance_m: float
+    lateral_m: float
+    speed_mps: float
+
+
+@dataclass(frozen=True)
+class Frame:
+    """One camera frame.
+
+    The synthetic scene state takes the place of pixel data; the optional
+    raster renderer (:mod:`repro.apps.brake.vision`) derives an image
+    from it, and the closed-form detection path reads it directly.
+    """
+
+    seq: int
+    capture_time_ns: int
+    ego_speed_mps: float
+    lane_center_m: float
+    lane_width_m: float
+    vehicles: tuple[GroundTruthVehicle, ...]
+
+
+@dataclass(frozen=True)
+class LaneBox:
+    """Lane boundaries computed by Preprocessing for one frame."""
+
+    frame_seq: int
+    left_m: float
+    right_m: float
+
+    @property
+    def center_m(self) -> float:
+        """Lane center."""
+        return (self.left_m + self.right_m) / 2.0
+
+    @property
+    def width_m(self) -> float:
+        """Lane width."""
+        return self.right_m - self.left_m
+
+
+@dataclass(frozen=True)
+class DetectedVehicle:
+    """A vehicle detected in the ego lane by Computer Vision."""
+
+    vehicle_id: int
+    distance_m: float
+    closing_speed_mps: float
+
+
+@dataclass(frozen=True)
+class VehicleList:
+    """Computer Vision output for one frame."""
+
+    frame_seq: int
+    vehicles: tuple[DetectedVehicle, ...]
+
+
+@dataclass(frozen=True)
+class BrakeCommand:
+    """EBA output for one frame."""
+
+    frame_seq: int
+    brake: bool
+    intensity: float
+
+
+# --------------------------------------------------------------------------
+# Wire formats.
+# --------------------------------------------------------------------------
+
+_GT_VEHICLE_SPEC = Struct(
+    [
+        ("vehicle_id", UINT32),
+        ("distance_m", FLOAT64),
+        ("lateral_m", FLOAT64),
+        ("speed_mps", FLOAT64),
+    ],
+    name="gt_vehicle",
+)
+
+FRAME_SPEC = Struct(
+    [
+        ("seq", UINT32),
+        ("capture_time_ns", INT64),
+        ("ego_speed_mps", FLOAT64),
+        ("lane_center_m", FLOAT64),
+        ("lane_width_m", FLOAT64),
+        ("vehicles", Array(_GT_VEHICLE_SPEC)),
+    ],
+    name="frame",
+)
+
+LANE_SPEC = Struct(
+    [("frame_seq", UINT32), ("left_m", FLOAT64), ("right_m", FLOAT64)],
+    name="lane",
+)
+
+_DETECTED_SPEC = Struct(
+    [
+        ("vehicle_id", UINT32),
+        ("distance_m", FLOAT64),
+        ("closing_speed_mps", FLOAT64),
+    ],
+    name="detected_vehicle",
+)
+
+VEHICLES_SPEC = Struct(
+    [("frame_seq", UINT32), ("vehicles", Array(_DETECTED_SPEC))],
+    name="vehicles",
+)
+
+BRAKE_SPEC = Struct(
+    [("frame_seq", UINT32), ("brake", BOOL), ("intensity", FLOAT64)],
+    name="brake",
+)
+
+
+def frame_to_wire(frame: Frame) -> dict:
+    """Frame -> wire dict."""
+    return {
+        "seq": frame.seq,
+        "capture_time_ns": frame.capture_time_ns,
+        "ego_speed_mps": frame.ego_speed_mps,
+        "lane_center_m": frame.lane_center_m,
+        "lane_width_m": frame.lane_width_m,
+        "vehicles": [
+            {
+                "vehicle_id": vehicle.vehicle_id,
+                "distance_m": vehicle.distance_m,
+                "lateral_m": vehicle.lateral_m,
+                "speed_mps": vehicle.speed_mps,
+            }
+            for vehicle in frame.vehicles
+        ],
+    }
+
+
+def frame_from_wire(data: dict) -> Frame:
+    """Wire dict -> Frame."""
+    return Frame(
+        seq=data["seq"],
+        capture_time_ns=data["capture_time_ns"],
+        ego_speed_mps=data["ego_speed_mps"],
+        lane_center_m=data["lane_center_m"],
+        lane_width_m=data["lane_width_m"],
+        vehicles=tuple(
+            GroundTruthVehicle(
+                vehicle_id=vehicle["vehicle_id"],
+                distance_m=vehicle["distance_m"],
+                lateral_m=vehicle["lateral_m"],
+                speed_mps=vehicle["speed_mps"],
+            )
+            for vehicle in data["vehicles"]
+        ),
+    )
+
+
+def lane_to_wire(lane: LaneBox) -> dict:
+    """LaneBox -> wire dict."""
+    return {
+        "frame_seq": lane.frame_seq,
+        "left_m": lane.left_m,
+        "right_m": lane.right_m,
+    }
+
+
+def lane_from_wire(data: dict) -> LaneBox:
+    """Wire dict -> LaneBox."""
+    return LaneBox(data["frame_seq"], data["left_m"], data["right_m"])
+
+
+def vehicles_to_wire(vehicles: VehicleList) -> dict:
+    """VehicleList -> wire dict."""
+    return {
+        "frame_seq": vehicles.frame_seq,
+        "vehicles": [
+            {
+                "vehicle_id": vehicle.vehicle_id,
+                "distance_m": vehicle.distance_m,
+                "closing_speed_mps": vehicle.closing_speed_mps,
+            }
+            for vehicle in vehicles.vehicles
+        ],
+    }
+
+
+def vehicles_from_wire(data: dict) -> VehicleList:
+    """Wire dict -> VehicleList."""
+    return VehicleList(
+        frame_seq=data["frame_seq"],
+        vehicles=tuple(
+            DetectedVehicle(
+                vehicle_id=vehicle["vehicle_id"],
+                distance_m=vehicle["distance_m"],
+                closing_speed_mps=vehicle["closing_speed_mps"],
+            )
+            for vehicle in data["vehicles"]
+        ),
+    )
+
+
+def brake_to_wire(command: BrakeCommand) -> dict:
+    """BrakeCommand -> wire dict."""
+    return {
+        "frame_seq": command.frame_seq,
+        "brake": command.brake,
+        "intensity": command.intensity,
+    }
+
+
+def brake_from_wire(data: dict) -> BrakeCommand:
+    """Wire dict -> BrakeCommand."""
+    return BrakeCommand(data["frame_seq"], data["brake"], data["intensity"])

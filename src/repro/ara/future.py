@@ -1,0 +1,139 @@
+"""``ara::core::Future`` / ``Promise`` for simulated threads.
+
+Service method calls in AP are non-blocking and return a future; the
+server fulfils the corresponding promise when its (possibly
+asynchronous) implementation completes.  The Figure 1 bug depends on
+exactly this: the client may *choose* not to wait on the future, leaving
+call ordering to the middleware.
+
+Futures here can be fulfilled from kernel context (the SOME/IP response
+path) or thread context, and waited on from simulated threads via
+``yield from future.get()``.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Any, Callable, Generator
+
+from repro.errors import FutureError
+from repro.sim.platform import Platform
+from repro.sim.process import Acquire, Release, Wait, WaitResult, WaitUntil
+
+
+class FutureState(enum.Enum):
+    """Lifecycle of a future."""
+
+    PENDING = "pending"
+    RESOLVED = "resolved"
+    REJECTED = "rejected"
+
+
+class Future:
+    """A single-assignment result container."""
+
+    def __init__(self, platform: Platform, name: str = "future") -> None:
+        self._platform = platform
+        self._state = FutureState.PENDING
+        self._value: Any = None
+        self._error: BaseException | None = None
+        self._mutex = platform.mutex(f"{name}.mutex")
+        self._cv = platform.condvar(f"{name}.cv")
+        self._callbacks: list[Callable[["Future"], None]] = []
+
+    # -- inspection ---------------------------------------------------------
+
+    @property
+    def state(self) -> FutureState:
+        """Current state."""
+        return self._state
+
+    def is_ready(self) -> bool:
+        """Whether a value or error is available."""
+        return self._state is not FutureState.PENDING
+
+    # -- completion (producer side) -------------------------------------------
+
+    def _complete(self, state: FutureState, value: Any, error) -> None:
+        if self._state is not FutureState.PENDING:
+            raise FutureError("future already completed")
+        self._state = state
+        self._value = value
+        self._error = error
+        scheduler = self._platform.scheduler
+        scheduler.external_notify_all(self._cv)
+        callbacks, self._callbacks = self._callbacks, []
+        for callback in callbacks:
+            callback(self)
+
+    # -- consumption -----------------------------------------------------------
+
+    def then(self, callback: Callable[["Future"], None]) -> None:
+        """Invoke *callback(self)* once completed (immediately if ready).
+
+        Callbacks run in whatever context completes the future — usually
+        the middleware receive path — so they must not block.
+        """
+        if self.is_ready():
+            callback(self)
+        else:
+            self._callbacks.append(callback)
+
+    def result(self) -> Any:
+        """Return the value (or raise the error) without blocking.
+
+        Raises :class:`FutureError` if the future is still pending.
+        """
+        if self._state is FutureState.PENDING:
+            raise FutureError("future is not ready")
+        if self._state is FutureState.REJECTED:
+            raise self._error
+        return self._value
+
+    def get(self) -> Generator[Any, Any, Any]:
+        """Thread context: block until completed, then return/raise."""
+        yield Acquire(self._mutex)
+        while not self.is_ready():
+            yield Wait(self._cv, self._mutex)
+        yield Release(self._mutex)
+        return self.result()
+
+    def wait_until(self, local_deadline: int) -> Generator[Any, Any, bool]:
+        """Thread context: block until ready or *local_deadline*.
+
+        Returns ``True`` when the future completed in time.
+        """
+        yield Acquire(self._mutex)
+        while not self.is_ready():
+            outcome = yield WaitUntil(self._cv, self._mutex, local_deadline)
+            if outcome is WaitResult.TIMEOUT and not self.is_ready():
+                yield Release(self._mutex)
+                return False
+        yield Release(self._mutex)
+        return True
+
+    def __repr__(self) -> str:
+        return f"Future({self._state.value})"
+
+
+class Promise:
+    """The producer side of a :class:`Future`."""
+
+    def __init__(self, platform: Platform, name: str = "promise") -> None:
+        self._future = Future(platform, name)
+
+    @property
+    def future(self) -> Future:
+        """The associated future."""
+        return self._future
+
+    def set_value(self, value: Any = None) -> None:
+        """Resolve the future with *value*."""
+        self._future._complete(FutureState.RESOLVED, value, None)
+
+    def set_error(self, error: BaseException) -> None:
+        """Reject the future with *error*."""
+        self._future._complete(FutureState.REJECTED, None, error)
+
+    def __repr__(self) -> str:
+        return f"Promise({self._future._state.value})"

@@ -1,0 +1,103 @@
+"""Adaptive applications: one SWC = one process.
+
+An :class:`AraProcess` bundles what every AP application process owns:
+a SOME/IP endpoint (with optional DEAR tag awareness), access to the
+platform's SD daemon, and the middleware worker pool.  It is the factory
+for proxies and skeletons.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+from repro.errors import AraError, ServiceNotAvailableError
+from repro.ara.interface import ServiceInterface
+from repro.ara.pool import DispatchPool
+from repro.ara.proxy import ServiceProxy
+from repro.ara.skeleton import MethodCallProcessingMode, ServiceSkeleton
+from repro.sim.platform import Platform
+from repro.sim.process import SimThread
+from repro.someip.runtime import SomeIpEndpoint
+from repro.someip.sd import SdDaemon
+from repro.time.duration import SEC
+
+
+class AraProcess:
+    """One adaptive application process on a platform."""
+
+    def __init__(
+        self,
+        platform: Platform,
+        name: str,
+        workers: int = 4,
+        tag_aware: bool = False,
+        tag_transport: str = "trailer",
+    ) -> None:
+        sd = platform.attachments.get("sd")
+        if not isinstance(sd, SdDaemon):
+            raise AraError(
+                f"platform {platform.name!r} has no SD daemon; create an "
+                f"SdDaemon (and NetworkInterface) before AraProcess"
+            )
+        self.platform = platform
+        self.name = name
+        self.sd = sd
+        self.endpoint = SomeIpEndpoint(
+            platform, sd, name, tag_aware=tag_aware, tag_transport=tag_transport
+        )
+        self.pool = DispatchPool(platform, f"{name}.pool", workers)
+
+    # -- client side -----------------------------------------------------------
+
+    def find_service(
+        self,
+        interface: ServiceInterface,
+        instance_id: int,
+        timeout_ns: int = 2 * SEC,
+    ) -> Generator[Any, Any, ServiceProxy]:
+        """Thread context: resolve a service and build its proxy.
+
+        Raises :class:`ServiceNotAvailableError` when discovery times
+        out — the AP behaviour of a failed ``FindService``.
+        """
+        entry = yield from self.sd.find_blocking(
+            interface.service_id, instance_id, timeout_ns
+        )
+        if entry is None:
+            raise ServiceNotAvailableError(
+                f"{interface.name!r} instance {instance_id} not found "
+                f"within {timeout_ns} ns"
+            )
+        return ServiceProxy(self, interface, entry)
+
+    def try_find_service(
+        self, interface: ServiceInterface, instance_id: int
+    ) -> ServiceProxy | None:
+        """Non-blocking variant: proxy if already discovered, else ``None``."""
+        entry = self.sd.find(interface.service_id, instance_id)
+        if entry is None:
+            return None
+        return ServiceProxy(self, interface, entry)
+
+    # -- server side -------------------------------------------------------------
+
+    def create_skeleton(
+        self,
+        interface: ServiceInterface,
+        instance_id: int,
+        processing_mode: MethodCallProcessingMode = MethodCallProcessingMode.EVENT,
+        field_defaults: dict[str, Any] | None = None,
+    ) -> ServiceSkeleton:
+        """Create (but do not yet offer) a skeleton for *interface*."""
+        return ServiceSkeleton(
+            self, interface, instance_id, processing_mode, field_defaults
+        )
+
+    # -- threads ------------------------------------------------------------------
+
+    def spawn(self, name: str, generator: Generator, start_delay_ns: int = 0) -> SimThread:
+        """Start an application thread belonging to this process."""
+        return self.platform.spawn(f"{self.name}.{name}", generator, start_delay_ns)
+
+    def __repr__(self) -> str:
+        return f"AraProcess({self.name!r} on {self.platform.name!r})"

@@ -1,0 +1,164 @@
+"""Command-line interface: regenerate any paper artifact from a shell.
+
+Usage::
+
+    python -m repro fig5 --runs 20 --frames 2000
+    python -m repro det --seeds 5 --frames 500
+    python -m repro all
+
+Every subcommand runs the corresponding experiment driver and prints
+the text rendering of the paper figure/table it reproduces.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+
+def _add_int(parser: argparse.ArgumentParser, name: str, default: int, help_text: str):
+    parser.add_argument(name, type=int, default=default, help=help_text)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'Achieving Determinism in Adaptive AUTOSAR' "
+            "(DATE 2020): run any experiment and print its figure."
+        ),
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    fig1 = commands.add_parser("fig1", help="Figure 1: client/server histogram")
+    _add_int(fig1, "--seeds", 200, "number of stock-AP runs")
+
+    commands.add_parser("fig3", help="Figure 3: tagged message sequence")
+
+    fig5 = commands.add_parser("fig5", help="Figure 5: error prevalence")
+    _add_int(fig5, "--runs", 20, "number of experiment instances")
+    _add_int(fig5, "--frames", 2_000, "frames per run (paper: 100000)")
+
+    det = commands.add_parser("det", help="Section IV.B: deterministic variant")
+    _add_int(det, "--seeds", 5, "number of seeds")
+    _add_int(det, "--frames", 500, "frames per run")
+
+    tradeoff = commands.add_parser("tradeoff", help="deadline vs. error/latency")
+    _add_int(tradeoff, "--frames", 300, "frames per point")
+
+    ablation = commands.add_parser("ablation", help="the three sources (II.B)")
+    _add_int(ablation, "--seeds", 25, "seeds per configuration")
+
+    overhead = commands.add_parser("overhead", help="cost of determinism")
+    _add_int(overhead, "--frames", 400, "frames per variant")
+
+    let = commands.add_parser("let", help="LET baseline comparison")
+    _add_int(let, "--frames", 300, "frames")
+
+    commands.add_parser("skew", help="EXT: clock-sync error sweep")
+    commands.add_parser("scaling", help="EXT: pipeline-depth latency")
+    commands.add_parser("native", help="EXT: native tag transport")
+
+    distributed = commands.add_parser(
+        "distributed", help="EXT: brake assistant across two processing ECUs"
+    )
+    _add_int(distributed, "--frames", 200, "frames per configuration")
+
+    run_all = commands.add_parser("all", help="run every experiment (default scale)")
+    run_all.add_argument(
+        "--quick", action="store_true", help="reduced sizes for a fast pass"
+    )
+    return parser
+
+
+def _run_one(name: str, args: argparse.Namespace) -> str:
+    from repro.harness import extensions, figures
+
+    if name == "fig1":
+        return figures.figure1(nondet_seeds=args.seeds).render()
+    if name == "fig3":
+        return figures.figure3_sequence().render()
+    if name == "fig5":
+        return figures.figure5(n_runs=args.runs, n_frames=args.frames).render()
+    if name == "det":
+        return figures.det_case_study(n_seeds=args.seeds, n_frames=args.frames).render()
+    if name == "tradeoff":
+        return figures.tradeoff(n_frames=args.frames).render()
+    if name == "ablation":
+        return figures.ablation_sources(n_seeds=args.seeds).render()
+    if name == "overhead":
+        return figures.overhead(n_frames=args.frames).render()
+    if name == "let":
+        return figures.let_baseline(n_frames=args.frames).render()
+    if name == "skew":
+        return extensions.clock_skew_sweep().render()
+    if name == "scaling":
+        return extensions.pipeline_scaling().render()
+    if name == "native":
+        return extensions.native_transport_comparison().render()
+    if name == "distributed":
+        return _render_distributed(args.frames)
+    raise ValueError(f"unknown command {name!r}")
+
+
+def _render_distributed(frames: int) -> str:
+    from repro.analysis.report import render_table
+    from repro.apps.brake import BrakeScenario, run_det_brake_assistant
+    from repro.time import MS
+
+    rows = []
+    for skew, error in ((0, 0), (15 * MS, 0), (20 * MS, 25 * MS)):
+        scenario = BrakeScenario(
+            n_frames=frames, distributed=True,
+            processing_clock_skew_ns=skew, clock_error_ns=error,
+        )
+        run = run_det_brake_assistant(0, scenario)
+        rows.append([
+            f"{skew / 1e6:.0f} ms", f"{error / 1e6:.0f} ms",
+            str(run.stp_violations), f"{len(run.commands)}/{frames}",
+        ])
+    return render_table(
+        ["clock skew", "assumed E", "STP violations", "frames answered"],
+        rows,
+        title="EXT-DIST - distributed brake assistant:",
+    )
+
+
+_ALL = (
+    "fig1", "fig3", "fig5", "det", "tradeoff", "ablation",
+    "overhead", "let", "skew", "scaling", "native", "distributed",
+)
+
+_QUICK_SIZES = {
+    "fig1": {"seeds": 40},
+    "fig5": {"runs": 6, "frames": 400},
+    "det": {"seeds": 2, "frames": 150},
+    "tradeoff": {"frames": 100},
+    "ablation": {"seeds": 8},
+    "overhead": {"frames": 150},
+    "let": {"frames": 100},
+    "distributed": {"frames": 100},
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command != "all":
+        print(_run_one(args.command, args))
+        return 0
+    for name in _ALL:
+        sub_args = build_parser().parse_args([name])
+        if args.quick:
+            for key, value in _QUICK_SIZES.get(name, {}).items():
+                setattr(sub_args, key, value)
+        started = time.time()
+        print(f"==== {name} " + "=" * (60 - len(name)))
+        print(_run_one(name, sub_args))
+        print(f"---- {name} done in {time.time() - started:.1f}s\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,49 @@
+"""DEAR — Discrete Events for AUTOSAR (the paper's contribution).
+
+DEAR composes deterministic SWCs out of reactors while keeping the
+standard AP service interfaces: special reactors called **transactors**
+translate between reactor ports and proxies/skeletons, a **timestamp
+bypass** smuggles tags past the standard API into the (modified)
+SOME/IP binding, and PTIDES-style **safe-to-process** delays
+(``t + D + L + E``) preserve tag-order processing across the network
+(Section III of the paper).
+
+The four transactors of Figure 3:
+
+* :class:`~repro.dear.method_client.ClientMethodTransactor`
+* :class:`~repro.dear.method_server.ServerMethodTransactor`
+* :class:`~repro.dear.event_client.ClientEventTransactor`  (subscriber)
+* :class:`~repro.dear.event_server.ServerEventTransactor`  (publisher)
+
+Fields combine one event transactor and two method transactors
+(:mod:`repro.dear.fields`), and :mod:`repro.dear.codegen` generates the
+full transactor set for a service interface — the paper's "can be
+automatically generated" claim.
+"""
+
+from repro.dear.stp import StpConfig, TransactorConfig, UntaggedPolicy
+from repro.dear.transactor import Transactor
+from repro.dear.method_client import ClientMethodTransactor, MethodReply
+from repro.dear.method_server import MethodCall, MethodReturn, ServerMethodTransactor
+from repro.dear.event_client import ClientEventTransactor
+from repro.dear.event_server import ServerEventTransactor
+from repro.dear.fields import ClientFieldTransactors, ServerFieldTransactors
+from repro.dear.codegen import generate_client_transactors, generate_server_transactors
+
+__all__ = [
+    "StpConfig",
+    "TransactorConfig",
+    "UntaggedPolicy",
+    "Transactor",
+    "ClientMethodTransactor",
+    "ServerMethodTransactor",
+    "MethodCall",
+    "MethodReturn",
+    "MethodReply",
+    "ClientEventTransactor",
+    "ServerEventTransactor",
+    "ClientFieldTransactors",
+    "ServerFieldTransactors",
+    "generate_client_transactors",
+    "generate_server_transactors",
+]

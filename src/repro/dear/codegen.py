@@ -1,0 +1,117 @@
+"""Transactor generation from service interfaces.
+
+"Given a service interface, the transactors required for interacting
+via this particular interface can be automatically generated"
+(Section III.B).  These helpers are that generator: they walk a
+:class:`~repro.ara.interface.ServiceInterface` and instantiate the
+complete transactor set for the client or the server role, grouping the
+expanded field elements back into field bundles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.ara.proxy import ServiceProxy
+from repro.ara.skeleton import ServiceSkeleton
+from repro.dear.event_client import ClientEventTransactor
+from repro.dear.event_server import ServerEventTransactor
+from repro.dear.fields import ClientFieldTransactors, ServerFieldTransactors
+from repro.dear.method_client import ClientMethodTransactor
+from repro.dear.method_server import ServerMethodTransactor
+from repro.dear.stp import TransactorConfig
+from repro.reactors.base import Reactor
+from repro.reactors.environment import Environment
+
+
+def _field_element_names(interface) -> set[str]:
+    names: set[str] = set()
+    for field_def in interface.fields:
+        for element in interface.field_elements(field_def.name).values():
+            if element is not None:
+                names.add(element.name)
+    return names
+
+
+@dataclass
+class ClientBinding:
+    """All client-side transactors for one service interface."""
+
+    methods: dict[str, ClientMethodTransactor] = field(default_factory=dict)
+    events: dict[str, ClientEventTransactor] = field(default_factory=dict)
+    fields: dict[str, ClientFieldTransactors] = field(default_factory=dict)
+
+
+@dataclass
+class ServerBinding:
+    """All server-side transactors for one service interface."""
+
+    methods: dict[str, ServerMethodTransactor] = field(default_factory=dict)
+    events: dict[str, ServerEventTransactor] = field(default_factory=dict)
+    fields: dict[str, ServerFieldTransactors] = field(default_factory=dict)
+
+
+def generate_client_transactors(
+    owner: Environment | Reactor,
+    process,
+    proxy: ServiceProxy,
+    config: TransactorConfig,
+    prefix: str = "",
+) -> ClientBinding:
+    """Instantiate client transactors for every interface element."""
+    interface = proxy.interface
+    binding = ClientBinding()
+    skip = _field_element_names(interface)
+    for method in interface.methods:
+        if method.name in skip:
+            continue
+        binding.methods[method.name] = ClientMethodTransactor(
+            f"{prefix}{method.name}_cmt", owner, process, proxy, method.name, config
+        )
+    for event in interface.events:
+        if event.name in skip:
+            continue
+        binding.events[event.name] = ClientEventTransactor(
+            f"{prefix}{event.name}_cet", owner, process, proxy, event.name, config
+        )
+    for field_def in interface.fields:
+        binding.fields[field_def.name] = ClientFieldTransactors(
+            f"{prefix}{field_def.name}_cft", owner, process, proxy,
+            field_def.name, config,
+        )
+    return binding
+
+
+def generate_server_transactors(
+    owner: Environment | Reactor,
+    process,
+    skeleton: ServiceSkeleton,
+    config: TransactorConfig,
+    prefix: str = "",
+    field_initials: dict[str, object] | None = None,
+) -> ServerBinding:
+    """Instantiate server transactors for every interface element."""
+    interface = skeleton.interface
+    binding = ServerBinding()
+    skip = _field_element_names(interface)
+    initials = field_initials or {}
+    for method in interface.methods:
+        if method.name in skip:
+            continue
+        binding.methods[method.name] = ServerMethodTransactor(
+            f"{prefix}{method.name}_smt", owner, process, skeleton,
+            method.name, config,
+        )
+    for event in interface.events:
+        if event.name in skip:
+            continue
+        binding.events[event.name] = ServerEventTransactor(
+            f"{prefix}{event.name}_set", owner, process, skeleton,
+            event.name, config,
+        )
+    for field_def in interface.fields:
+        binding.fields[field_def.name] = ServerFieldTransactors(
+            f"{prefix}{field_def.name}_sft", owner, process, skeleton,
+            field_def.name, config, initial=initials.get(field_def.name),
+        )
+    return binding

@@ -1,0 +1,45 @@
+"""The server event transactor (publisher side).
+
+Takes values from the reactor network on its ``inp`` port and publishes
+them as AP event notifications, tagged ``t + D`` (via the timestamp
+bypass and the modified binding).
+"""
+
+from __future__ import annotations
+
+from repro.ara.skeleton import ServiceSkeleton
+from repro.dear.stp import TransactorConfig
+from repro.dear.transactor import Transactor
+from repro.reactors.base import Reactor
+from repro.reactors.environment import Environment
+
+
+class ServerEventTransactor(Transactor):
+    """Publishes one AP event from the reactor network."""
+
+    def __init__(
+        self,
+        name: str,
+        owner: Environment | Reactor,
+        process,
+        skeleton: ServiceSkeleton,
+        event_name: str,
+        config: TransactorConfig,
+    ) -> None:
+        super().__init__(name, owner, process, config)
+        self.skeleton = skeleton
+        self.event = skeleton.interface.event(event_name)
+        #: Values set here are published to all subscribers.
+        self.inp = self.input("inp")
+        self.published = 0
+        self.reaction(
+            "send",
+            triggers=[self.inp],
+            body=self._send_body,
+            deadline=self._sending_deadline(),
+        )
+
+    def _send_body(self, ctx, late: bool = False) -> None:
+        tag_out = self._outgoing_tag(ctx, late)
+        self.published += 1
+        self.skeleton.send_event(self.event.name, self.inp.get(), tag=tag_out)

@@ -1,0 +1,148 @@
+"""Field transactors.
+
+"Since fields are composed of a get method, a set method and an event,
+interaction with fields requires the use of one event and two method
+transactors" (Section III.B).  These classes do that composition.
+
+On the server side a small deterministic holder reactor implements the
+field semantics (current value, get/set, change notification) inside
+the reactor network, so field state participates in the deterministic
+world instead of living in racy skeleton state.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.ara.proxy import ServiceProxy
+from repro.ara.skeleton import ServiceSkeleton
+from repro.dear.event_client import ClientEventTransactor
+from repro.dear.event_server import ServerEventTransactor
+from repro.dear.method_client import ClientMethodTransactor
+from repro.dear.method_server import MethodCall, MethodReturn, ServerMethodTransactor
+from repro.dear.stp import TransactorConfig
+from repro.errors import DearError
+from repro.reactors.base import Reactor
+from repro.reactors.environment import Environment
+
+
+class ClientFieldTransactors:
+    """Client-side bundle: get/set method transactors + notifier event."""
+
+    def __init__(
+        self,
+        name: str,
+        owner: Environment | Reactor,
+        process,
+        proxy: ServiceProxy,
+        field_name: str,
+        config: TransactorConfig,
+    ) -> None:
+        elements = proxy.interface.field_elements(field_name)
+        self.field_name = field_name
+        self.get: ClientMethodTransactor | None = None
+        self.set: ClientMethodTransactor | None = None
+        self.changed: ClientEventTransactor | None = None
+        if elements["get"] is not None:
+            self.get = ClientMethodTransactor(
+                f"{name}_get", owner, process, proxy, elements["get"].name, config
+            )
+        if elements["set"] is not None:
+            self.set = ClientMethodTransactor(
+                f"{name}_set", owner, process, proxy, elements["set"].name, config
+            )
+        if elements["notify"] is not None:
+            self.changed = ClientEventTransactor(
+                f"{name}_changed", owner, process, proxy,
+                elements["notify"].name, config,
+            )
+
+
+class _FieldHolder(Reactor):
+    """Deterministic server-side field state."""
+
+    def __init__(self, name: str, owner, initial: Any) -> None:
+        super().__init__(name, owner)
+        self.value = initial
+        self.get_in = self.input("get_in")
+        self.get_out = self.output("get_out")
+        self.set_in = self.input("set_in")
+        self.set_out = self.output("set_out")
+        self.notify_out = self.output("notify_out")
+        self.reaction(
+            "on_get",
+            triggers=[self.get_in],
+            effects=[self.get_out],
+            body=self._on_get,
+        )
+        self.reaction(
+            "on_set",
+            triggers=[self.set_in],
+            effects=[self.set_out, self.notify_out],
+            body=self._on_set,
+        )
+
+    def _on_get(self, ctx) -> None:
+        call: MethodCall = ctx.get(self.get_in)
+        ctx.set(self.get_out, MethodReturn(call.call_id, self.value))
+
+    def _on_set(self, ctx) -> None:
+        call: MethodCall = ctx.get(self.set_in)
+        self.value = call.arguments
+        ctx.set(self.set_out, MethodReturn(call.call_id, self.value))
+        ctx.set(self.notify_out, self.value)
+
+
+class ServerFieldTransactors:
+    """Server-side bundle: transactors + a deterministic field holder."""
+
+    def __init__(
+        self,
+        name: str,
+        owner: Environment | Reactor,
+        process,
+        skeleton: ServiceSkeleton,
+        field_name: str,
+        config: TransactorConfig,
+        initial: Any = None,
+    ) -> None:
+        interface = skeleton.interface
+        elements = interface.field_elements(field_name)
+        self.field_name = field_name
+        environment = (
+            owner if isinstance(owner, Environment) else owner.environment
+        )
+        self.holder = _FieldHolder(f"{name}_holder", owner, initial)
+        self.get: ServerMethodTransactor | None = None
+        self.set: ServerMethodTransactor | None = None
+        self.changed: ServerEventTransactor | None = None
+        if elements["get"] is not None:
+            self.get = ServerMethodTransactor(
+                f"{name}_get", owner, process, skeleton,
+                elements["get"].name, config,
+            )
+            environment.connect(self.get.request_out, self.holder.get_in)
+            environment.connect(self.holder.get_out, self.get.response_in)
+        if elements["set"] is not None:
+            if elements["get"] is None:
+                raise DearError(
+                    f"field {field_name!r}: a setter without a getter is "
+                    f"not supported by the server field transactor"
+                )
+            self.set = ServerMethodTransactor(
+                f"{name}_set", owner, process, skeleton,
+                elements["set"].name, config,
+            )
+            environment.connect(self.set.request_out, self.holder.set_in)
+            environment.connect(self.holder.set_out, self.set.response_in)
+        if elements["notify"] is not None:
+            self.changed = ServerEventTransactor(
+                f"{name}_changed", owner, process, skeleton,
+                elements["notify"].name, config,
+            )
+            environment.connect(self.holder.notify_out, self.changed.inp)
+
+    @property
+    def value(self) -> Any:
+        """Current field value held by the deterministic holder."""
+        return self.holder.value

@@ -1,0 +1,78 @@
+"""Safe-to-process configuration.
+
+The PTIDES-style analysis the paper leverages (Section III.A) needs
+three bounds:
+
+* ``D`` — the deadline of the sending transactor's reaction: an upper
+  bound on how far physical time may lag the tag when the message is
+  handed to the middleware;
+* ``L`` — the worst-case network latency;
+* ``E`` — the bound on the clock synchronization error between the
+  platforms involved.
+
+A message carrying tag ``t`` (already including the sender's ``D``) is
+then safe to process once the receiver schedules it at ``t + L + E`` —
+by that local time, no message with a smaller tag can still arrive.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.time.duration import MS
+
+
+class UntaggedPolicy(enum.Enum):
+    """What a transactor does with a message that carries no tag.
+
+    ``FAIL`` is the paper's default: receiving an untagged message from a
+    non-DEAR peer is an error.  ``PHYSICAL_TIME`` enables the backward-
+    compatibility mode: the message is treated like a sporadic sensor
+    input and tagged with its physical arrival time.
+    """
+
+    FAIL = "fail"
+    PHYSICAL_TIME = "physical-time"
+
+
+@dataclass(frozen=True, slots=True)
+class StpConfig:
+    """Network-level bounds shared by all transactors of a deployment."""
+
+    latency_bound_ns: int = 5 * MS
+    clock_error_ns: int = 0
+
+    def __post_init__(self) -> None:
+        if self.latency_bound_ns < 0 or self.clock_error_ns < 0:
+            raise ValueError("bounds must be non-negative")
+
+    @property
+    def release_delay_ns(self) -> int:
+        """``L + E``: added to a received tag before processing."""
+        return self.latency_bound_ns + self.clock_error_ns
+
+
+@dataclass(frozen=True, slots=True)
+class TransactorConfig:
+    """Per-transactor parameters.
+
+    Attributes:
+        deadline_ns: the transactor's sending deadline ``D``.
+        stp: the deployment's network bounds.
+        untagged: policy for untagged incoming messages.
+        drop_on_deadline_miss: when the sending deadline is violated, drop
+            the message (the violation stays an observable, counted
+            error).  With ``False`` the message is still sent, tagged
+            from physical time — deliberately trading determinism for
+            liveness, as Section IV.B discusses.
+    """
+
+    deadline_ns: int = 5 * MS
+    stp: StpConfig = StpConfig()
+    untagged: UntaggedPolicy = UntaggedPolicy.FAIL
+    drop_on_deadline_miss: bool = True
+
+    def __post_init__(self) -> None:
+        if self.deadline_ns < 0:
+            raise ValueError("deadline must be non-negative")

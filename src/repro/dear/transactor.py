@@ -1,0 +1,130 @@
+"""Base class shared by the four DEAR transactors.
+
+A transactor is an ordinary reactor (Section III.B) that bridges one
+element of a service interface.  The base class centralizes the pieces
+they all need:
+
+* access to the owning :class:`~repro.ara.process.AraProcess`, whose
+  endpoint must be *tag-aware* (the modified SOME/IP binding);
+* the arrival path: turning a received ``(payload, tag)`` into a
+  reactor event at ``tag + L + E`` (or applying the untagged policy);
+* the departure path: computing the outgoing tag ``t + D`` and running
+  the sending reaction under its deadline;
+* error accounting — every violated assumption is an *observable*,
+  counted error, never silent misbehaviour.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.errors import DearError, UntaggedMessageError
+from repro.ara.process import AraProcess
+from repro.reactors.action import PhysicalAction
+from repro.reactors.base import Reactor
+from repro.reactors.environment import Environment
+from repro.reactors.reaction import Deadline
+from repro.dear.stp import TransactorConfig, UntaggedPolicy
+from repro.time.tag import Tag
+
+
+class Transactor(Reactor):
+    """Common machinery for DEAR transactors."""
+
+    def __init__(
+        self,
+        name: str,
+        owner: Environment | Reactor,
+        process: AraProcess,
+        config: TransactorConfig,
+    ) -> None:
+        super().__init__(name, owner)
+        if not process.endpoint.tag_aware:
+            raise DearError(
+                f"transactor {name!r} needs a tag-aware endpoint; create "
+                f"the AraProcess with tag_aware=True"
+            )
+        self.process = process
+        self.config = config
+        #: Messages received with a tag that was no longer safe to process
+        #: (latency/clock assumptions violated).
+        self.stp_violations = 0
+        #: Messages dropped (or force-tagged) due to a sending deadline miss.
+        self.deadline_misses = 0
+        #: Untagged messages rejected under the FAIL policy.
+        self.untagged_rejected = 0
+
+    # -- arrival path -----------------------------------------------------------
+
+    def _arrival_tag(self, tag: Tag | None) -> Tag | None:
+        """Compute the safe-to-process tag for a received message.
+
+        Returns ``None`` when the message must be handled by the
+        untagged policy instead (caller dispatches accordingly).
+        """
+        if tag is None:
+            return None
+        return Tag(tag.time + self.config.stp.release_delay_ns, tag.microstep)
+
+    def _deliver(self, action: PhysicalAction, value: Any, tag: Tag | None) -> None:
+        """Kernel context: inject a received message into the program.
+
+        Tagged messages are inserted at ``tag + L + E``; the scheduler's
+        wait-until-physical-time rule supplies the safe-to-process delay.
+        Untagged messages either fail (default) or fall back to
+        physical-time tagging, which treats them like sporadic sensor
+        input (the paper's backward-compatibility mode).
+        """
+        arrival = self._arrival_tag(tag)
+        if arrival is None:
+            if self.config.untagged is UntaggedPolicy.FAIL:
+                self.untagged_rejected += 1
+                raise UntaggedMessageError(
+                    f"transactor {self.fqn} received an untagged message"
+                )
+            action.schedule(value)
+            return
+        _tag, late = self.environment.scheduler.schedule_at_tag(action, value, arrival)
+        if late:
+            self.stp_violations += 1
+            self.environment.trace.record(
+                self.environment.scheduler.current_tag, "stp-violation", self.fqn
+            )
+
+    # -- departure path ------------------------------------------------------------
+
+    def _departure_tag(self, tag: Tag) -> Tag:
+        """The tag attached to an outgoing message: ``t + D``."""
+        return Tag(tag.time + self.config.deadline_ns, tag.microstep)
+
+    def _sending_deadline(self) -> Deadline:
+        """The deadline guarding a sending reaction.
+
+        On violation the handler counts the miss; the message is dropped
+        (default) or the subclass's ``_send_late`` fallback runs.
+        """
+        return Deadline(self.config.deadline_ns, handler=self._on_deadline_miss)
+
+    def _on_deadline_miss(self, ctx) -> None:
+        self.deadline_misses += 1
+        self.environment.trace.record(ctx.tag, "send-deadline-miss", self.fqn)
+        if not self.config.drop_on_deadline_miss:
+            self._send_body(ctx, late=True)
+
+    def _outgoing_tag(self, ctx, late: bool) -> Tag:
+        """Tag for an outgoing message.
+
+        Normally ``t + D``.  After a deadline miss (``late=True``, only
+        reachable with ``drop_on_deadline_miss=False``) the message is
+        tagged from current physical time instead, which keeps the
+        receiver's safe-to-process reasoning sound at the price of a
+        physically-determined (hence nondeterministic) tag — the
+        deliberate trade-off of Section IV.B.
+        """
+        if late:
+            return Tag(ctx.physical_time(), 0)
+        return self._departure_tag(ctx.tag)
+
+    def _send_body(self, ctx, late: bool = False) -> None:
+        """Subclass hook: the actual sending logic."""
+        raise NotImplementedError

@@ -1,0 +1,13 @@
+"""Experiment harness regenerating the paper's figures.
+
+:mod:`repro.harness.figures` contains one driver per experiment of the
+index in ``DESIGN.md`` (FIG1, FIG5, DET, TRADEOFF, ABLATE-SRC, OVERHEAD,
+LET); each returns a result object with a ``render()`` method producing
+the text form of the corresponding figure.  The benchmark suite under
+``benchmarks/`` is a thin wrapper around these drivers.
+"""
+
+from repro.harness.runner import env_int, run_seeds
+from repro.harness import figures
+
+__all__ = ["run_seeds", "env_int", "figures"]

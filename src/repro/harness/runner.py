@@ -1,0 +1,27 @@
+"""Small helpers for running seeded experiment sweeps."""
+
+from __future__ import annotations
+
+import os
+from typing import Callable, Sequence, TypeVar
+
+ResultT = TypeVar("ResultT")
+
+
+def run_seeds(
+    experiment: Callable[[int], ResultT], seeds: Sequence[int]
+) -> list[ResultT]:
+    """Run *experiment* for every seed, in order (deterministic sweep)."""
+    return [experiment(seed) for seed in seeds]
+
+
+def env_int(name: str, default: int) -> int:
+    """An integer experiment parameter overridable via the environment.
+
+    Lets the benchmarks default to interactive sizes while supporting
+    paper-scale runs, e.g. ``REPRO_BRAKE_FRAMES=100000 pytest benchmarks``.
+    """
+    value = os.environ.get(name)
+    if value is None:
+        return default
+    return int(value)

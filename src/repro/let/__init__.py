@@ -1,0 +1,20 @@
+"""A logical-execution-time (LET) baseline.
+
+The paper's related work (Section V) contrasts reactors with the LET
+paradigm used for deterministic execution in AUTOSAR CP: LET tasks read
+their inputs exactly at release and publish their outputs exactly at
+the end of their period, regardless of when the computation actually
+ran in between.  That makes dataflow deterministic, but logical time is
+rigidly quantized to task periods — every pipeline hop costs a full
+period of end-to-end latency, whereas reactions are logically
+instantaneous and deadlines bound latency much more tightly.
+
+This package implements LET tasks over the simulated platform so the
+benchmark suite can measure that latency difference on the paper's
+brake-assistant pipeline.
+"""
+
+from repro.let.task import LetChannel, LetTask
+from repro.let.schedule import LetExecutor
+
+__all__ = ["LetChannel", "LetTask", "LetExecutor"]

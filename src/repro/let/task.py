@@ -1,0 +1,81 @@
+"""LET tasks and channels."""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+
+class LetChannel:
+    """A single-value register connecting LET tasks.
+
+    Values become visible exactly at publish instants (period
+    boundaries); readers sample whatever was last published.  Carries an
+    optional history of ``(publish_time, value)`` for analysis.
+    """
+
+    def __init__(self, name: str, initial: Any = None, keep_history: bool = False):
+        self.name = name
+        self.value = initial
+        self.keep_history = keep_history
+        self.history: list[tuple[int, Any]] = []
+        self.publish_count = 0
+
+    def publish(self, time_ns: int, value: Any) -> None:
+        """Install *value* at *time_ns* (called by the executor)."""
+        self.value = value
+        self.publish_count += 1
+        if self.keep_history:
+            self.history.append((time_ns, value))
+
+    def read(self) -> Any:
+        """Sample the current value (called at task release)."""
+        return self.value
+
+    def __repr__(self) -> str:
+        return f"LetChannel({self.name!r}, publishes={self.publish_count})"
+
+
+class LetTask:
+    """One periodic LET task.
+
+    The *body* receives a dict of sampled input values (one entry per
+    name in *reads*) and returns a dict of outputs (one entry per name
+    in *writes*); missing outputs leave the channel unchanged.  Inputs
+    are sampled exactly at release, outputs published exactly one period
+    later — the logical execution time.
+
+    ``wcet_ns`` models the physical compute cost on the platform; if the
+    computation has not finished by the end of the window the publish is
+    skipped and counted in :attr:`overruns` (a LET fault).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        period_ns: int,
+        body: Callable[[dict[str, Any]], dict[str, Any] | None],
+        reads: dict[str, LetChannel] | None = None,
+        writes: dict[str, LetChannel] | None = None,
+        offset_ns: int = 0,
+        wcet_ns: int = 0,
+    ) -> None:
+        if period_ns <= 0:
+            raise ValueError("period must be positive")
+        if offset_ns < 0 or wcet_ns < 0:
+            raise ValueError("offset and wcet must be non-negative")
+        self.name = name
+        self.period_ns = period_ns
+        self.offset_ns = offset_ns
+        self.wcet_ns = wcet_ns
+        self.body = body
+        self.reads = dict(reads or {})
+        self.writes = dict(writes or {})
+        self.releases = 0
+        self.completions = 0
+        self.overruns = 0
+
+    def __repr__(self) -> str:
+        return (
+            f"LetTask({self.name!r}, period={self.period_ns}, "
+            f"releases={self.releases})"
+        )

@@ -1,0 +1,37 @@
+"""Simulated network substrate.
+
+Models the paper's evaluation network (two boards on an Ethernet switch)
+and, more importantly, the **third source of nondeterminism**: message
+transport with unpredictable delay and — unless a flow is configured
+in-order — possible reordering.
+
+Layers:
+
+* :mod:`repro.network.latency` — pluggable delay distributions;
+* :mod:`repro.network.switch` — a store-and-forward switch routing frames
+  between hosts (plus a loopback path for same-host traffic);
+* :mod:`repro.network.stack` — per-platform network interfaces and
+  datagram sockets that deliver into simulated-thread message queues.
+"""
+
+from repro.network.latency import (
+    ConstantLatency,
+    GammaLatency,
+    LatencyModel,
+    SpikyLatency,
+    UniformLatency,
+)
+from repro.network.switch import Switch, SwitchConfig
+from repro.network.stack import NetworkInterface, Socket
+
+__all__ = [
+    "LatencyModel",
+    "ConstantLatency",
+    "UniformLatency",
+    "GammaLatency",
+    "SpikyLatency",
+    "Switch",
+    "SwitchConfig",
+    "NetworkInterface",
+    "Socket",
+]

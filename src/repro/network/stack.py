@@ -1,0 +1,128 @@
+"""Per-platform network interfaces and sockets.
+
+A :class:`NetworkInterface` is a platform's NIC: it owns the port
+namespace and hands received frames to bound :class:`Socket` objects.
+Delivery happens in kernel-event context (a "NIC interrupt"); the socket
+posts the payload into a simulated-thread message queue, from which
+middleware threads read — the same structure as a real UDP stack under a
+SOME/IP daemon.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.errors import NetworkError
+from repro.network.switch import Frame, Switch
+from repro.sim.platform import Platform
+from repro.sim.sync import MessageQueue
+
+
+class Socket:
+    """A datagram socket bound to ``(host, port)``.
+
+    Received payloads land in :attr:`rx`, a message queue readable from
+    simulated threads with ``yield from socket.rx.get()``.  Alternatively
+    an ``on_receive`` callback (kernel context — must not block) can be
+    installed; it is invoked *instead of* queueing.
+    """
+
+    def __init__(
+        self,
+        interface: "NetworkInterface",
+        port: int,
+        rx_capacity: int | None = None,
+    ) -> None:
+        self._interface = interface
+        self.port = port
+        self.rx: MessageQueue = interface.platform.queue(
+            name=f"sock{port}.rx", capacity=rx_capacity, overflow="drop-new"
+        )
+        self.on_receive: Callable[[Frame], None] | None = None
+        self.received = 0
+        self.sent = 0
+
+    @property
+    def host(self) -> str:
+        """The host this socket lives on."""
+        return self._interface.host
+
+    def send(
+        self, dst_host: str, dst_port: int, payload: Any, size_bytes: int
+    ) -> None:
+        """Send *payload* to ``(dst_host, dst_port)``.
+
+        Callable from both thread context and kernel context; transmission
+        is asynchronous (fire-and-forget), like ``sendto`` on a datagram
+        socket that never blocks.
+        """
+        self.sent += 1
+        self._interface.transmit(
+            Frame(
+                src_host=self.host,
+                src_port=self.port,
+                dst_host=dst_host,
+                dst_port=dst_port,
+                payload=payload,
+                size_bytes=size_bytes,
+            )
+        )
+
+    def _deliver(self, frame: Frame) -> None:
+        self.received += 1
+        if self.on_receive is not None:
+            self.on_receive(frame)
+        else:
+            self.rx.post(frame)
+
+    def close(self) -> None:
+        """Unbind the socket from its interface."""
+        self._interface._unbind(self.port)
+
+
+class NetworkInterface:
+    """A platform's NIC, registered with the switch."""
+
+    def __init__(self, platform: Platform, switch: Switch) -> None:
+        self.platform = platform
+        self._switch = switch
+        self._sockets: dict[int, Socket] = {}
+        self._next_ephemeral = 49152
+        switch.register(self)
+        platform.attachments["nic"] = self
+
+    @property
+    def host(self) -> str:
+        """The host name (the platform name)."""
+        return self.platform.name
+
+    def bind(self, port: int | None = None, rx_capacity: int | None = None) -> Socket:
+        """Create a socket on *port* (or an ephemeral port if ``None``)."""
+        if port is None:
+            port = self._next_ephemeral
+            while port in self._sockets:
+                port += 1
+            self._next_ephemeral = port + 1
+        if port in self._sockets:
+            raise NetworkError(f"port {port} already bound on {self.host!r}")
+        socket = Socket(self, port, rx_capacity)
+        self._sockets[port] = socket
+        return socket
+
+    def transmit(self, frame: Frame) -> None:
+        """Hand a frame to the switch."""
+        self._switch.send(frame)
+
+    def deliver(self, frame: Frame) -> None:
+        """Called by the switch when a frame arrives for this host."""
+        socket = self._sockets.get(frame.dst_port)
+        if socket is None:
+            # Real stacks drop datagrams for unbound ports.
+            return
+        socket._deliver(frame)
+
+    def _unbind(self, port: int) -> None:
+        self._sockets.pop(port, None)
+
+    def __repr__(self) -> str:
+        return f"NetworkInterface({self.host!r}, ports={sorted(self._sockets)})"

@@ -1,0 +1,61 @@
+"""A reactor-model runtime (the paper's proposed programming model).
+
+Reactors [Lohstroh et al., DAC'19 / CyPhy'19] are deterministic-by-
+default actors: stateful components whose **reactions** are triggered by
+tagged events and executed in tag order, with logically-instantaneous
+semantics and an acyclic precedence graph (APG) resolving simultaneity.
+Explicit nondeterminism enters only through **physical actions**, which
+are tagged with physical time on arrival.
+
+This package implements:
+
+* :mod:`repro.reactors.base` — reactors and their containment hierarchy;
+* :mod:`repro.reactors.ports` — input/output ports and connections
+  (including delayed connections);
+* :mod:`repro.reactors.action` — timers, logical and physical actions,
+  startup/shutdown triggers;
+* :mod:`repro.reactors.reaction` — reactions with declared triggers,
+  sources and effects, deadlines, and execution-time models;
+* :mod:`repro.reactors.graph` — APG construction, causality-cycle
+  detection and level assignment;
+* :mod:`repro.reactors.environment` — assembly and validation;
+* :mod:`repro.reactors.scheduler` — the tag-ordered event scheduler with
+  two drivers: *fast* (logical time only, for pure reactor programs) and
+  *sim-embedded* (runs as a thread on a simulated platform, coupling
+  tags to the platform's physical clock — deadlines and safe-to-process
+  waits become real);
+* :mod:`repro.reactors.telemetry` — the logical trace used to *check*
+  determinism.
+"""
+
+from repro.reactors.base import Reactor
+from repro.reactors.ports import Input, Multiport, Output, Port
+from repro.reactors.action import (
+    LogicalAction,
+    PhysicalAction,
+    Shutdown,
+    Startup,
+    Timer,
+)
+from repro.reactors.reaction import Deadline, Reaction, ReactionContext
+from repro.reactors.environment import Environment
+from repro.reactors.telemetry import Trace, TraceRecord
+
+__all__ = [
+    "Reactor",
+    "Port",
+    "Input",
+    "Output",
+    "Multiport",
+    "Timer",
+    "LogicalAction",
+    "PhysicalAction",
+    "Startup",
+    "Shutdown",
+    "Reaction",
+    "ReactionContext",
+    "Deadline",
+    "Environment",
+    "Trace",
+    "TraceRecord",
+]

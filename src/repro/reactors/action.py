@@ -1,0 +1,117 @@
+"""Schedulable triggers: timers, logical and physical actions.
+
+*Logical actions* are scheduled by reactions and produce events at
+``current tag + max(min_delay + extra_delay, 0)`` (a zero total delay
+advances the microstep).  *Physical actions* are scheduled from outside
+the reactor program — interrupt handlers, middleware receive paths —
+and are tagged with the physical time observed at scheduling, which is
+how sporadic inputs enter the deterministic world (Section III.A).
+
+Timers are syntactic sugar for a self-rescheduling logical action.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:
+    from repro.reactors.base import Reactor
+
+
+class TriggerBase:
+    """Common bookkeeping for anything that can trigger reactions."""
+
+    def __init__(self, name: str, owner: "Reactor") -> None:
+        self.name = name
+        self.owner = owner
+        self.triggered_reactions: list[Any] = []
+        self._value: Any = None
+        self._present: bool = False
+
+    @property
+    def fqn(self) -> str:
+        """Fully qualified name."""
+        return f"{self.owner.fqn}.{self.name}"
+
+    @property
+    def is_present(self) -> bool:
+        """Whether this trigger fired at the current tag."""
+        return self._present
+
+    def get(self) -> Any:
+        """The value carried by the current event (``None`` if absent)."""
+        return self._value
+
+    def _put(self, value: Any) -> None:
+        self._value = value
+        self._present = True
+
+    def _clear(self) -> None:
+        self._value = None
+        self._present = False
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.fqn!r})"
+
+
+class Startup(TriggerBase):
+    """Fires exactly once, at the first tag of the execution."""
+
+    def __init__(self, owner: "Reactor") -> None:
+        super().__init__("startup", owner)
+
+
+class Shutdown(TriggerBase):
+    """Fires exactly once, at the final tag of the execution."""
+
+    def __init__(self, owner: "Reactor") -> None:
+        super().__init__("shutdown", owner)
+
+
+class Timer(TriggerBase):
+    """Fires at ``offset`` and then every ``period`` (if periodic)."""
+
+    def __init__(
+        self, name: str, owner: "Reactor", offset: int, period: int | None
+    ) -> None:
+        super().__init__(name, owner)
+        if offset < 0:
+            raise ValueError("timer offset must be non-negative")
+        if period is not None and period <= 0:
+            raise ValueError("timer period must be positive")
+        self.offset = offset
+        self.period = period
+
+
+class LogicalAction(TriggerBase):
+    """An action scheduled by reactions, in logical time."""
+
+    is_physical = False
+
+    def __init__(self, name: str, owner: "Reactor", min_delay: int = 0) -> None:
+        super().__init__(name, owner)
+        if min_delay < 0:
+            raise ValueError("min_delay must be non-negative")
+        self.min_delay = min_delay
+
+
+class PhysicalAction(TriggerBase):
+    """An action scheduled from outside, tagged with physical time."""
+
+    is_physical = True
+
+    def __init__(self, name: str, owner: "Reactor", min_delay: int = 0) -> None:
+        super().__init__(name, owner)
+        if min_delay < 0:
+            raise ValueError("min_delay must be non-negative")
+        self.min_delay = min_delay
+
+    def schedule(self, value: Any = None, extra_delay: int = 0) -> "Any":
+        """Schedule from outside the reactor program (kernel/thread context).
+
+        The event's tag is ``max(physical_now + min_delay + extra_delay,
+        just after the last processed tag)``.  Returns the tag assigned.
+        """
+        return self.owner.environment.scheduler.schedule_physical(
+            self, value, extra_delay
+        )

@@ -1,0 +1,199 @@
+"""Reactors and their containment hierarchy.
+
+A :class:`Reactor` owns ports, actions, timers, nested reactors and
+reactions.  Subclasses declare their elements in ``__init__`` using the
+factory methods (:meth:`Reactor.input`, :meth:`Reactor.output`,
+:meth:`Reactor.timer`, :meth:`Reactor.logical_action`,
+:meth:`Reactor.physical_action`, :meth:`Reactor.reaction`), then the
+environment validates and assembles the program.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable, Sequence
+
+from repro.errors import AssemblyError
+from repro.reactors.action import (
+    LogicalAction,
+    PhysicalAction,
+    Shutdown,
+    Startup,
+    Timer,
+)
+from repro.reactors.ports import Input, Output
+from repro.reactors.reaction import Deadline, Reaction
+
+if TYPE_CHECKING:
+    from repro.reactors.environment import Environment
+
+
+class Reactor:
+    """One reactor: state + ports + actions + reactions (+ children)."""
+
+    def __init__(
+        self,
+        name: str,
+        owner: "Environment | Reactor",
+    ) -> None:
+        from repro.reactors.environment import Environment
+
+        self.name = name
+        if isinstance(owner, Reactor):
+            self.container: Reactor | None = owner
+            self.environment: "Environment" = owner.environment
+            owner._children.append(self)
+        elif isinstance(owner, Environment):
+            self.container = None
+            self.environment = owner
+            owner._register_top_level(self)
+        else:
+            raise AssemblyError(
+                f"reactor owner must be an Environment or Reactor, "
+                f"got {type(owner).__name__}"
+            )
+        self._children: list[Reactor] = []
+        self._inputs: list[Input] = []
+        self._outputs: list[Output] = []
+        self._actions: list[LogicalAction | PhysicalAction] = []
+        self._timers: list[Timer] = []
+        self._reactions: list[Reaction] = []
+        self.startup = Startup(self)
+        self.shutdown = Shutdown(self)
+        self.environment._check_mutable()
+
+    # -- identity ---------------------------------------------------------
+
+    @property
+    def fqn(self) -> str:
+        """Fully qualified name (dot-separated path from the top level)."""
+        if self.container is None:
+            return self.name
+        return f"{self.container.fqn}.{self.name}"
+
+    @property
+    def children(self) -> list["Reactor"]:
+        """Directly contained reactors."""
+        return list(self._children)
+
+    @property
+    def reactions(self) -> list[Reaction]:
+        """This reactor's reactions in declaration (priority) order."""
+        return list(self._reactions)
+
+    # -- element factories ----------------------------------------------------
+
+    def input(self, name: str) -> Input:
+        """Declare an input port."""
+        port = Input(name, self)
+        self._inputs.append(port)
+        return port
+
+    def output(self, name: str) -> Output:
+        """Declare an output port."""
+        port = Output(name, self)
+        self._outputs.append(port)
+        return port
+
+    def input_multiport(self, name: str, width: int) -> "Multiport":
+        """Declare a bank of *width* input ports named ``name[i]``."""
+        from repro.reactors.ports import Multiport
+
+        bank = Multiport(name, self, width, Input)
+        self._inputs.extend(bank.channels)
+        return bank
+
+    def output_multiport(self, name: str, width: int) -> "Multiport":
+        """Declare a bank of *width* output ports named ``name[i]``."""
+        from repro.reactors.ports import Multiport
+
+        bank = Multiport(name, self, width, Output)
+        self._outputs.extend(bank.channels)
+        return bank
+
+    def timer(self, name: str, offset: int = 0, period: int | None = None) -> Timer:
+        """Declare a timer firing at ``offset`` and then every ``period``.
+
+        ``period=None`` means the timer fires exactly once.
+        """
+        timer = Timer(name, self, offset, period)
+        self._timers.append(timer)
+        return timer
+
+    def logical_action(self, name: str, min_delay: int = 0) -> LogicalAction:
+        """Declare a logical action (scheduled from within reactions)."""
+        action = LogicalAction(name, self, min_delay)
+        self._actions.append(action)
+        return action
+
+    def physical_action(self, name: str, min_delay: int = 0) -> PhysicalAction:
+        """Declare a physical action (scheduled from outside the program).
+
+        Its events are tagged with the *physical* time at which they are
+        scheduled — the reactor model's controlled entry point for
+        environment-driven nondeterminism (sensors, interrupts, untagged
+        network input).
+        """
+        action = PhysicalAction(name, self, min_delay)
+        self._actions.append(action)
+        return action
+
+    def reaction(
+        self,
+        name: str,
+        triggers: Sequence[Any],
+        body: Callable,
+        sources: Sequence[Any] = (),
+        effects: Sequence[Any] = (),
+        deadline: Deadline | None = None,
+        exec_time: int | Callable[[Any], int] = 0,
+    ) -> Reaction:
+        """Declare a reaction.
+
+        Reactions of one reactor are mutually exclusive and — when
+        triggered at the same tag — execute in declaration order, as the
+        reactor model requires.
+
+        Args:
+            name: reaction name (unique within the reactor).
+            triggers: ports/actions/timers/startup/shutdown that invoke it.
+            body: ``body(ctx)`` called with a
+                :class:`~repro.reactors.reaction.ReactionContext`.
+            sources: ports it may read without being triggered by them.
+            effects: ports it may set and actions it may schedule.
+            deadline: optional physical-time deadline with handler.
+            exec_time: modelled execution cost in ns (int, or a callable
+                drawing from an RNG stream) — only meaningful when the
+                environment runs embedded in the platform simulation.
+        """
+        reaction = Reaction(
+            name=name,
+            owner=self,
+            index=len(self._reactions),
+            triggers=list(triggers),
+            sources=list(sources),
+            effects=list(effects),
+            body=body,
+            deadline=deadline,
+            exec_time=exec_time,
+        )
+        self._reactions.append(reaction)
+        return reaction
+
+    # -- traversal ----------------------------------------------------------------
+
+    def all_reactors(self) -> list["Reactor"]:
+        """This reactor and all transitively contained reactors."""
+        result = [self]
+        for child in self._children:
+            result.extend(child.all_reactors())
+        return result
+
+    def all_reactions(self) -> list[Reaction]:
+        """All reactions in this subtree."""
+        result = list(self._reactions)
+        for child in self._children:
+            result.extend(child.all_reactions())
+        return result
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.fqn!r})"

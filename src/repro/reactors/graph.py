@@ -1,0 +1,106 @@
+"""The acyclic precedence graph (APG).
+
+The communication topology of a reactor program translates into a
+precedence graph over reactions that drives execution (Section III.A).
+Edges come from two rules:
+
+* **priority**: reactions of the same reactor are totally ordered by
+  declaration index;
+* **communication**: a reaction that (possibly) writes a port precedes
+  every reaction that is triggered by — or reads — any port reachable
+  from it through *zero-delay* connections.  Delayed connections do not
+  create edges; the delay breaks the causality loop.
+
+Levels are longest-path depths; the scheduler executes reactions of one
+tag in level order.  A cycle means the program has a zero-delay causal
+loop and is rejected with :class:`repro.errors.CausalityError`.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterable
+
+from repro.errors import CausalityError
+from repro.reactors.base import Reactor
+from repro.reactors.ports import Port
+from repro.reactors.reaction import Reaction
+
+
+def zero_delay_closure(port: Port) -> list[Port]:
+    """All ports reachable from *port* via zero-delay connections
+    (including *port* itself)."""
+    seen: list[Port] = []
+    seen_set = {port}
+    queue = deque([port])
+    while queue:
+        current = queue.popleft()
+        seen.append(current)
+        for downstream in current.downstream:
+            if downstream not in seen_set:
+                seen_set.add(downstream)
+                queue.append(downstream)
+    return seen
+
+
+def build_edges(reactors: Iterable[Reactor]) -> dict[Reaction, set[Reaction]]:
+    """Build the precedence edges for all reactions of *reactors*."""
+    edges: dict[Reaction, set[Reaction]] = {}
+    all_reactions: list[Reaction] = []
+    for top in reactors:
+        all_reactions.extend(top.all_reactions())
+    for reaction in all_reactions:
+        edges[reaction] = set()
+    # Priority edges within each reactor.
+    for top in reactors:
+        for reactor in top.all_reactors():
+            ordered = reactor.reactions
+            for earlier, later in zip(ordered, ordered[1:]):
+                edges[earlier].add(later)
+    # Communication edges.
+    for reaction in all_reactions:
+        for effect in reaction.effects:
+            if not isinstance(effect, Port):
+                continue
+            for port in zero_delay_closure(effect):
+                for downstream in port.triggered_reactions:
+                    if downstream is not reaction:
+                        edges[reaction].add(downstream)
+                for reader in port.dependent_reactions:
+                    if reader is not reaction:
+                        edges[reaction].add(reader)
+    return edges
+
+
+def assign_levels(edges: dict[Reaction, set[Reaction]]) -> None:
+    """Topologically sort and assign longest-path levels.
+
+    Raises :class:`CausalityError` when the graph has a cycle, naming
+    the reactions involved.
+    """
+    indegree: dict[Reaction, int] = {reaction: 0 for reaction in edges}
+    for targets in edges.values():
+        for target in targets:
+            indegree[target] += 1
+    queue = deque(
+        reaction for reaction, degree in indegree.items() if degree == 0
+    )
+    for reaction in queue:
+        reaction.level = 0
+    processed = 0
+    while queue:
+        reaction = queue.popleft()
+        processed += 1
+        for target in edges[reaction]:
+            if reaction.level + 1 > target.level:
+                target.level = reaction.level + 1
+            indegree[target] -= 1
+            if indegree[target] == 0:
+                queue.append(target)
+    if processed != len(edges):
+        stuck = sorted(
+            (reaction.fqn for reaction, degree in indegree.items() if degree > 0)
+        )
+        raise CausalityError(
+            "zero-delay causality cycle involving reactions: " + ", ".join(stuck)
+        )

@@ -1,0 +1,187 @@
+"""Reactions: the executable units of a reactor.
+
+A reaction declares its *triggers* (events that invoke it), *sources*
+(ports it may additionally read) and *effects* (ports it may set and
+actions it may schedule).  These declarations are what make the
+dependency graph static and the execution deterministic: the scheduler
+never has to guess what a reaction might touch.
+
+A reaction may carry a :class:`Deadline`: if physical time exceeds
+``tag + deadline`` when the reaction is about to execute, the deadline
+*handler* runs instead of the body — a timing fault becomes an
+observable error rather than silent misbehaviour (Sections III.A, IV.B).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Callable, Sequence
+
+from repro.errors import SchedulingError
+from repro.time.tag import Tag
+
+if TYPE_CHECKING:
+    from repro.reactors.action import LogicalAction, PhysicalAction
+    from repro.reactors.base import Reactor
+    from repro.reactors.ports import Port
+    from repro.reactors.scheduler import ReactorScheduler
+
+
+@dataclass(frozen=True)
+class Deadline:
+    """A physical-time deadline on a reaction.
+
+    *handler(ctx)* is invoked instead of the reaction body when the
+    reaction starts more than *duration_ns* of physical time after its
+    tag.  If *handler* is ``None``, the runtime raises
+    :class:`repro.errors.DeadlineViolation`.
+    """
+
+    duration_ns: int
+    handler: Callable[["ReactionContext"], None] | None = None
+
+    def __post_init__(self) -> None:
+        if self.duration_ns < 0:
+            raise ValueError("deadline must be non-negative")
+
+
+def _flatten_multiports(elements: Sequence[Any]) -> list[Any]:
+    """Expand multiports into their channels (order preserved)."""
+    from repro.reactors.ports import Multiport
+
+    flattened: list[Any] = []
+    for element in elements:
+        if isinstance(element, Multiport):
+            flattened.extend(element.channels)
+        else:
+            flattened.append(element)
+    return flattened
+
+
+class Reaction:
+    """One reaction of a reactor."""
+
+    def __init__(
+        self,
+        name: str,
+        owner: "Reactor",
+        index: int,
+        triggers: Sequence[Any],
+        sources: Sequence[Any],
+        effects: Sequence[Any],
+        body: Callable[["ReactionContext"], None],
+        deadline: Deadline | None,
+        exec_time: int | Callable[[Any], int],
+    ) -> None:
+        if not triggers:
+            raise SchedulingError(f"reaction {name!r} has no triggers")
+        self.name = name
+        self.owner = owner
+        self.index = index
+        self.triggers = _flatten_multiports(triggers)
+        self.sources = _flatten_multiports(sources)
+        self.effects = _flatten_multiports(effects)
+        self.body = body
+        self.deadline = deadline
+        self.exec_time = exec_time
+        #: APG level, assigned at assembly.
+        self.level: int = -1
+        #: Stable tie-break key within a level, assigned at assembly.
+        self.order_key: int = 0
+        #: Statistics.
+        self.invocations = 0
+        self.deadline_violations = 0
+        for trigger in self.triggers:
+            trigger.triggered_reactions.append(self)
+
+    @property
+    def fqn(self) -> str:
+        """Fully qualified name."""
+        return f"{self.owner.fqn}.{self.name}"
+
+    def sample_exec_time(self, rng: Any) -> int:
+        """Modelled execution cost for one invocation."""
+        if callable(self.exec_time):
+            return int(self.exec_time(rng))
+        return int(self.exec_time)
+
+    def __repr__(self) -> str:
+        return f"Reaction({self.fqn!r}, level={self.level})"
+
+
+class ReactionContext:
+    """The API a reaction body uses to interact with the runtime."""
+
+    def __init__(self, scheduler: "ReactorScheduler", reaction: Reaction, tag: Tag):
+        self._scheduler = scheduler
+        self._reaction = reaction
+        self.tag = tag
+
+    # -- time -----------------------------------------------------------------
+
+    @property
+    def logical_time(self) -> int:
+        """The time component of the current tag."""
+        return self.tag.time
+
+    def physical_time(self) -> int:
+        """Current physical time (platform clock, or tag time in fast mode)."""
+        return self._scheduler.physical_time()
+
+    def lag(self) -> int:
+        """How far physical time is ahead of the current tag."""
+        return self.physical_time() - self.tag.time
+
+    # -- ports --------------------------------------------------------------------
+
+    def get(self, port: "Port | Any") -> Any:
+        """Read a trigger/source port or action value at the current tag."""
+        if port not in self._reaction.triggers and port not in self._reaction.sources:
+            raise SchedulingError(
+                f"reaction {self._reaction.fqn} reads {port.fqn} without "
+                f"declaring it as a trigger or source"
+            )
+        return port.get()
+
+    def is_present(self, port: "Port | Any") -> bool:
+        """Whether a declared trigger/source carries a value at this tag."""
+        if port not in self._reaction.triggers and port not in self._reaction.sources:
+            raise SchedulingError(
+                f"reaction {self._reaction.fqn} tests {port.fqn} without "
+                f"declaring it as a trigger or source"
+            )
+        return port.is_present
+
+    def set(self, port: "Port", value: Any = None) -> None:
+        """Set a declared effect port at the current tag."""
+        if port not in self._reaction.effects:
+            raise SchedulingError(
+                f"reaction {self._reaction.fqn} sets {port.fqn} without "
+                f"declaring it as an effect"
+            )
+        self._scheduler.set_port(port, value, self.tag)
+
+    # -- actions --------------------------------------------------------------------
+
+    def schedule(
+        self,
+        action: "LogicalAction | PhysicalAction",
+        value: Any = None,
+        extra_delay: int = 0,
+    ) -> Tag:
+        """Schedule a declared-effect action relative to the current tag."""
+        if action not in self._reaction.effects:
+            raise SchedulingError(
+                f"reaction {self._reaction.fqn} schedules {action.fqn} "
+                f"without declaring it as an effect"
+            )
+        return self._scheduler.schedule_logical(action, value, extra_delay, self.tag)
+
+    # -- control ----------------------------------------------------------------------
+
+    def request_stop(self) -> None:
+        """Ask the runtime to shut down at the next microstep."""
+        self._scheduler.request_stop()
+
+    def __repr__(self) -> str:
+        return f"ReactionContext({self._reaction.fqn!r} @ {self.tag})"

@@ -1,0 +1,87 @@
+"""Logical execution traces.
+
+Determinism is a property we *check*, not just claim: every environment
+records a logical trace — which reactions executed at which tags, what
+values ports carried, which deadlines were violated.  Two runs of a
+deterministic program (whatever the seed driving the platform
+simulation) must produce byte-identical trace fingerprints; the
+deterministic-brake-assistant benchmark asserts exactly that.
+
+Physical quantities (lag, execution times) are deliberately excluded
+from the fingerprint: they legitimately differ between runs.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Any
+
+from repro.time.tag import Tag
+
+
+@dataclass(frozen=True, slots=True)
+class TraceRecord:
+    """One logical event in the trace."""
+
+    tag: Tag
+    kind: str  # "reaction" | "set" | "deadline-miss" | "stop"
+    name: str
+    value: str = ""
+
+    def line(self) -> str:
+        """Canonical one-line rendering (input to the fingerprint)."""
+        return f"{self.tag.time}.{self.tag.microstep} {self.kind} {self.name} {self.value}"
+
+
+class Trace:
+    """An append-only logical trace with a stable fingerprint.
+
+    Tags are stored relative to :attr:`origin` (the environment's logical
+    start time), so traces of the same program are comparable between
+    runs even when OS jitter shifted the moment the runtime started.
+    """
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self.origin = 0
+        self.records: list[TraceRecord] = []
+
+    def record(self, tag: Tag, kind: str, name: str, value: Any = "") -> None:
+        """Append a record (no-op when disabled)."""
+        if not self.enabled:
+            return
+        normalized = Tag(tag.time - self.origin, tag.microstep)
+        self.records.append(
+            TraceRecord(normalized, kind, name, repr(value) if value != "" else "")
+        )
+
+    def reaction(self, tag: Tag, name: str) -> None:
+        """Record a reaction execution."""
+        self.record(tag, "reaction", name)
+
+    def port_set(self, tag: Tag, name: str, value: Any) -> None:
+        """Record a port being set."""
+        self.record(tag, "set", name, value)
+
+    def deadline_miss(self, tag: Tag, name: str, lag_ns: int) -> None:
+        """Record a deadline violation (an observable error)."""
+        self.record(tag, "deadline-miss", name, lag_ns)
+
+    def fingerprint(self) -> str:
+        """SHA-256 over the canonical rendering of all records."""
+        digest = hashlib.sha256()
+        for record in self.records:
+            digest.update(record.line().encode())
+            digest.update(b"\n")
+        return digest.hexdigest()
+
+    def lines(self) -> list[str]:
+        """Human-readable rendering."""
+        return [record.line() for record in self.records]
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __repr__(self) -> str:
+        return f"Trace(records={len(self.records)}, enabled={self.enabled})"

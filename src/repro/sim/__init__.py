@@ -1,0 +1,68 @@
+"""Discrete-event simulation substrate.
+
+This package is the "hardware and operating system" of the reproduction.
+It provides:
+
+* a deterministic event-queue simulator (:mod:`repro.sim.core`);
+* hierarchical seeded randomness (:mod:`repro.sim.rng`) so that every
+  "nondeterministic" outcome in the modelled system is replayable from a
+  single experiment seed;
+* cooperative simulated threads with a randomized multi-core dispatcher
+  (:mod:`repro.sim.process`, :mod:`repro.sim.scheduler`) — this reproduces
+  the paper's first source of nondeterminism (thread scheduling);
+* POSIX-style synchronization primitives (:mod:`repro.sim.sync`);
+* platforms with physical clocks (:mod:`repro.sim.platform`) and a world
+  container tying platforms and the network together
+  (:mod:`repro.sim.world`).
+"""
+
+from repro.sim.core import EventHandle, Simulator
+from repro.sim.rng import RngTree
+from repro.sim.process import (
+    Acquire,
+    Compute,
+    Exit,
+    Join,
+    Notify,
+    NotifyAll,
+    Release,
+    SimThread,
+    Sleep,
+    SleepUntil,
+    ThreadState,
+    Wait,
+    WaitResult,
+    WaitUntil,
+    Yield,
+)
+from repro.sim.sync import CondVar, MessageQueue, Mutex, Semaphore
+from repro.sim.platform import Platform, PlatformConfig
+from repro.sim.world import World
+
+__all__ = [
+    "Simulator",
+    "EventHandle",
+    "RngTree",
+    "SimThread",
+    "ThreadState",
+    "Compute",
+    "Sleep",
+    "SleepUntil",
+    "Yield",
+    "Acquire",
+    "Release",
+    "Wait",
+    "WaitUntil",
+    "WaitResult",
+    "Notify",
+    "NotifyAll",
+    "Join",
+    "Exit",
+    "Mutex",
+    "CondVar",
+    "Semaphore",
+    "MessageQueue",
+    "Platform",
+    "PlatformConfig",
+    "World",
+]

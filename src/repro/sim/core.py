@@ -1,0 +1,154 @@
+"""The discrete-event simulation kernel.
+
+A :class:`Simulator` owns a priority queue of timed callbacks.  Entries
+are ordered by ``(time, priority, sequence)``; the monotonically
+increasing sequence number makes ordering total and deterministic, so the
+kernel itself introduces **no** nondeterminism — all modelled
+nondeterminism comes from explicit RNG draws in higher layers.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable
+
+from repro.errors import SimulationError
+from repro.time.duration import format_duration
+
+#: Default priority for scheduled events; lower runs first at equal times.
+PRIORITY_NORMAL = 100
+#: Priority for housekeeping that should run before normal events.
+PRIORITY_EARLY = 50
+#: Priority for events that must observe everything else at their time.
+PRIORITY_LATE = 200
+
+
+class EventHandle:
+    """Handle to a scheduled event, supporting cancellation."""
+
+    __slots__ = ("time", "_callback", "_cancelled")
+
+    def __init__(self, time: int, callback: Callable[[], None]) -> None:
+        self.time = time
+        self._callback = callback
+        self._cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the event from firing (no-op if already fired)."""
+        self._cancelled = True
+        self._callback = None
+
+    @property
+    def cancelled(self) -> bool:
+        """Whether :meth:`cancel` was called."""
+        return self._cancelled
+
+    def _fire(self) -> None:
+        if self._cancelled:
+            return
+        callback = self._callback
+        self._callback = None
+        if callback is not None:
+            callback()
+
+
+class Simulator:
+    """Deterministic event-queue simulator over integer-nanosecond time."""
+
+    def __init__(self) -> None:
+        self._now = 0
+        self._sequence = 0
+        self._queue: list[tuple[int, int, int, EventHandle]] = []
+        self._running = False
+        self._events_processed = 0
+
+    @property
+    def now(self) -> int:
+        """Current global simulation time in nanoseconds."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        """Number of events executed so far (for diagnostics)."""
+        return self._events_processed
+
+    def at(
+        self,
+        time: int,
+        callback: Callable[[], None],
+        priority: int = PRIORITY_NORMAL,
+    ) -> EventHandle:
+        """Schedule *callback* at absolute global *time*."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at {format_duration(time)}, "
+                f"now is {format_duration(self._now)}"
+            )
+        handle = EventHandle(time, callback)
+        heapq.heappush(self._queue, (time, priority, self._sequence, handle))
+        self._sequence += 1
+        return handle
+
+    def after(
+        self,
+        delay: int,
+        callback: Callable[[], None],
+        priority: int = PRIORITY_NORMAL,
+    ) -> EventHandle:
+        """Schedule *callback* after a relative *delay*."""
+        if delay < 0:
+            raise SimulationError("delay must be non-negative")
+        return self.at(self._now + delay, callback, priority)
+
+    def step(self) -> bool:
+        """Execute the next event.  Returns ``False`` if queue is empty."""
+        while self._queue:
+            time, _priority, _seq, handle = heapq.heappop(self._queue)
+            if handle.cancelled:
+                continue
+            self._now = time
+            self._events_processed += 1
+            handle._fire()
+            return True
+        return False
+
+    def run(self, until: int | None = None) -> None:
+        """Run events until the queue drains or *until* is reached.
+
+        When *until* is given, time is advanced to exactly *until* even if
+        the last event fires earlier, mirroring "run for this long".
+        """
+        if self._running:
+            raise SimulationError("simulator is already running (reentrant run)")
+        self._running = True
+        try:
+            while self._queue:
+                time = self._next_pending_time()
+                if time is None:
+                    break
+                if until is not None and time > until:
+                    break
+                self.step()
+            if until is not None and until > self._now:
+                self._now = until
+        finally:
+            self._running = False
+
+    def _next_pending_time(self) -> int | None:
+        while self._queue:
+            time, _priority, _seq, handle = self._queue[0]
+            if handle.cancelled:
+                heapq.heappop(self._queue)
+                continue
+            return time
+        return None
+
+    def pending_count(self) -> int:
+        """Number of live (non-cancelled) events in the queue."""
+        return sum(1 for *_rest, handle in self._queue if not handle.cancelled)
+
+    def __repr__(self) -> str:
+        return (
+            f"Simulator(now={format_duration(self._now)}, "
+            f"pending={self.pending_count()})"
+        )

@@ -1,0 +1,190 @@
+"""Simulated threads and their system calls.
+
+A simulated thread is a Python generator that *yields* syscall objects to
+the platform's CPU scheduler (:mod:`repro.sim.scheduler`).  Each yield
+point is a place where the OS could reschedule — exactly the granularity
+at which real thread interleaving nondeterminism manifests.  Library code
+(queues, middleware) is written as generators too and embedded with
+``yield from``.
+
+Example thread body::
+
+    def worker(platform, queue):
+        while True:
+            item = yield from queue.get()
+            yield Compute(2 * US)          # simulate processing cost
+            if item is None:
+                return
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Generator
+
+if TYPE_CHECKING:
+    from repro.sim.sync import CondVar, Mutex
+
+
+class ThreadState(enum.Enum):
+    """Lifecycle states of a simulated thread."""
+
+    NEW = "new"
+    READY = "ready"
+    RUNNING = "running"
+    SLEEPING = "sleeping"
+    BLOCKED = "blocked"
+    DONE = "done"
+
+
+class WaitResult(enum.Enum):
+    """Outcome of a :class:`WaitUntil` syscall."""
+
+    NOTIFIED = "notified"
+    TIMEOUT = "timeout"
+
+
+# --------------------------------------------------------------------------
+# Syscall objects.  Threads yield these; the scheduler interprets them.
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class Compute:
+    """Occupy the CPU core for *duration_ns* of simulated time."""
+
+    duration_ns: int
+
+
+@dataclass(frozen=True, slots=True)
+class Sleep:
+    """Release the core and sleep for *duration_ns* of local clock time."""
+
+    duration_ns: int
+
+
+@dataclass(frozen=True, slots=True)
+class SleepUntil:
+    """Release the core and sleep until the local clock reads *local_time*."""
+
+    local_time: int
+
+
+@dataclass(frozen=True, slots=True)
+class Yield:
+    """Release the core but stay runnable (cooperative reschedule point)."""
+
+
+@dataclass(frozen=True, slots=True)
+class Acquire:
+    """Acquire a mutex, blocking if it is held."""
+
+    mutex: "Mutex"
+
+
+@dataclass(frozen=True, slots=True)
+class Release:
+    """Release a held mutex, waking one random waiter if any."""
+
+    mutex: "Mutex"
+
+
+@dataclass(frozen=True, slots=True)
+class Wait:
+    """Atomically release *mutex* and wait on *condvar*.
+
+    Resumes holding *mutex* again; yields :data:`WaitResult.NOTIFIED`.
+    """
+
+    condvar: "CondVar"
+    mutex: "Mutex"
+
+
+@dataclass(frozen=True, slots=True)
+class WaitUntil:
+    """Like :class:`Wait` but with a local-clock deadline.
+
+    Yields a :class:`WaitResult` telling whether the thread was notified
+    or the deadline passed.
+    """
+
+    condvar: "CondVar"
+    mutex: "Mutex"
+    local_deadline: int
+
+
+@dataclass(frozen=True, slots=True)
+class Notify:
+    """Wake one (randomly chosen) waiter of *condvar*."""
+
+    condvar: "CondVar"
+
+
+@dataclass(frozen=True, slots=True)
+class NotifyAll:
+    """Wake every waiter of *condvar*."""
+
+    condvar: "CondVar"
+
+
+@dataclass(frozen=True, slots=True)
+class Join:
+    """Block until *thread* finishes; yields its return value."""
+
+    thread: "SimThread"
+
+
+@dataclass(frozen=True, slots=True)
+class Exit:
+    """Terminate the thread immediately with *value* as its result."""
+
+    value: Any = None
+
+
+Syscall = (
+    Compute
+    | Sleep
+    | SleepUntil
+    | Yield
+    | Acquire
+    | Release
+    | Wait
+    | WaitUntil
+    | Notify
+    | NotifyAll
+    | Join
+    | Exit
+)
+
+
+@dataclass(eq=False)
+class SimThread:
+    """A simulated thread: a generator plus scheduler bookkeeping.
+
+    Application code never constructs these directly; use
+    :meth:`repro.sim.platform.Platform.spawn`.
+    """
+
+    name: str
+    generator: Generator[Any, Any, Any]
+    state: ThreadState = ThreadState.NEW
+    result: Any = None
+    #: Threads blocked in :class:`Join` on this thread.
+    joiners: list["SimThread"] = field(default_factory=list)
+    #: Value to send into the generator on next resume.
+    resume_value: Any = None
+    #: Mutex this thread must reacquire before resuming (condvar wakeup).
+    reacquire: Any = None
+    #: Handle of a pending sleep/timeout event (for cancellation).
+    timeout_handle: Any = None
+    #: Core index while RUNNING, else None.
+    core: int | None = None
+
+    @property
+    def done(self) -> bool:
+        """Whether the thread has terminated."""
+        return self.state is ThreadState.DONE
+
+    def __repr__(self) -> str:
+        return f"SimThread({self.name!r}, {self.state.value})"

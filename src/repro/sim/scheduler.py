@@ -1,0 +1,380 @@
+"""Randomized multi-core CPU scheduler for simulated threads.
+
+This is where the paper's **first source of nondeterminism** lives.  At
+every scheduling decision — which ready thread gets a free core, which
+mutex waiter is granted the lock, which condition-variable waiter a notify
+wakes — the scheduler draws from a seeded RNG stream.  Real operating
+systems make these choices based on load, cache state and interrupt
+timing; drawing them randomly exercises the same set of interleavings
+while remaining replayable from the experiment seed.
+
+Two knobs add timing (rather than ordering) nondeterminism:
+
+* ``dispatch_jitter_ns`` — a random delay between a thread being picked
+  and it actually running (context-switch / run-queue latency);
+* ``timer_jitter_ns`` — how late an OS timer may fire (timers never fire
+  early).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Callable, Generator
+
+from repro.errors import SimulationError
+from repro.sim.core import Simulator
+from repro.sim.process import (
+    Acquire,
+    Compute,
+    Exit,
+    Join,
+    Notify,
+    NotifyAll,
+    Release,
+    SimThread,
+    Sleep,
+    SleepUntil,
+    ThreadState,
+    Wait,
+    WaitResult,
+    WaitUntil,
+    Yield,
+)
+from repro.sim.sync import CondVar, Mutex
+from repro.time.clock import PhysicalClock
+
+
+class CpuScheduler:
+    """Schedules simulated threads onto a platform's cores."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        clock: PhysicalClock,
+        rng: random.Random,
+        num_cores: int = 1,
+        dispatch_jitter_ns: int = 0,
+        timer_jitter_ns: int = 0,
+    ) -> None:
+        if num_cores < 1:
+            raise ValueError("a platform needs at least one core")
+        self._sim = sim
+        self._clock = clock
+        self._rng = rng
+        self._cores: list[SimThread | None] = [None] * num_cores
+        self._dispatch_jitter_ns = dispatch_jitter_ns
+        self._timer_jitter_ns = timer_jitter_ns
+        self._ready: list[SimThread] = []
+        self._threads: list[SimThread] = []
+        self._dispatch_pending = False
+        self.context_switches = 0
+
+    # -- public API --------------------------------------------------------
+
+    @property
+    def threads(self) -> list[SimThread]:
+        """All threads ever spawned on this scheduler."""
+        return list(self._threads)
+
+    @property
+    def num_cores(self) -> int:
+        """Number of cores this scheduler multiplexes."""
+        return len(self._cores)
+
+    def local_now(self) -> int:
+        """Current local (platform clock) time."""
+        return self._clock.local_time(self._sim.now)
+
+    def spawn(
+        self,
+        name: str,
+        generator: Generator[Any, Any, Any],
+        start_delay_ns: int = 0,
+    ) -> SimThread:
+        """Create a thread and make it runnable after *start_delay_ns*."""
+        thread = SimThread(name=name, generator=generator)
+        self._threads.append(thread)
+        if start_delay_ns < 0:
+            raise ValueError("start delay must be non-negative")
+
+        def make_ready() -> None:
+            thread.state = ThreadState.READY
+            self._ready.append(thread)
+            self._request_dispatch()
+
+        self._sim.after(start_delay_ns, make_ready)
+        return thread
+
+    def external_notify(self, condvar: CondVar) -> None:
+        """Wake one waiter of *condvar* from a non-thread context."""
+        self._notify_one(condvar)
+
+    def external_notify_all(self, condvar: CondVar) -> None:
+        """Wake every waiter of *condvar* from a non-thread context."""
+        while condvar.waiters:
+            self._notify_one(condvar)
+
+    def blocked_threads(self) -> list[SimThread]:
+        """Threads currently blocked on a mutex/condvar/join."""
+        return [t for t in self._threads if t.state is ThreadState.BLOCKED]
+
+    def live_threads(self) -> list[SimThread]:
+        """Threads that have not terminated."""
+        return [t for t in self._threads if not t.done]
+
+    # -- dispatching --------------------------------------------------------
+
+    def _request_dispatch(self) -> None:
+        if self._dispatch_pending:
+            return
+        self._dispatch_pending = True
+        self._sim.after(0, self._dispatch)
+
+    def _dispatch(self) -> None:
+        self._dispatch_pending = False
+        while self._ready:
+            core = self._find_free_core()
+            if core is None:
+                return
+            index = self._rng.randrange(len(self._ready))
+            thread = self._ready.pop(index)
+            thread.state = ThreadState.RUNNING
+            thread.core = core
+            self._cores[core] = thread
+            self.context_switches += 1
+            if self._dispatch_jitter_ns > 0:
+                delay = self._rng.randint(0, self._dispatch_jitter_ns)
+                self._sim.after(delay, lambda t=thread: self._step(t))
+            else:
+                self._step(thread)
+
+    def _find_free_core(self) -> int | None:
+        for index, occupant in enumerate(self._cores):
+            if occupant is None:
+                return index
+        return None
+
+    def _release_core(self, thread: SimThread) -> None:
+        if thread.core is not None:
+            self._cores[thread.core] = None
+            thread.core = None
+        self._request_dispatch()
+
+    # -- stepping a thread ---------------------------------------------------
+
+    def _step(self, thread: SimThread) -> None:
+        if thread.done:
+            return
+        value = thread.resume_value
+        thread.resume_value = None
+        while True:
+            try:
+                syscall = thread.generator.send(value)
+            except StopIteration as stop:
+                self._finish(thread, stop.value)
+                return
+            value = None
+            if isinstance(syscall, Compute):
+                if syscall.duration_ns < 0:
+                    raise SimulationError("compute duration must be non-negative")
+                if syscall.duration_ns == 0:
+                    continue
+                self._sim.after(
+                    syscall.duration_ns, lambda t=thread: self._step(t)
+                )
+                return
+            if isinstance(syscall, Yield):
+                self._release_core(thread)
+                thread.state = ThreadState.READY
+                self._ready.append(thread)
+                return
+            if isinstance(syscall, Sleep):
+                local_target = self.local_now() + syscall.duration_ns
+                self._sleep_until_local(thread, local_target)
+                return
+            if isinstance(syscall, SleepUntil):
+                self._sleep_until_local(thread, syscall.local_time)
+                return
+            if isinstance(syscall, Acquire):
+                if self._try_acquire(thread, syscall.mutex):
+                    continue
+                return
+            if isinstance(syscall, Release):
+                self._do_release(thread, syscall.mutex)
+                continue
+            if isinstance(syscall, Wait):
+                self._do_wait(thread, syscall.condvar, syscall.mutex, None)
+                return
+            if isinstance(syscall, WaitUntil):
+                self._do_wait(
+                    thread, syscall.condvar, syscall.mutex, syscall.local_deadline
+                )
+                return
+            if isinstance(syscall, Notify):
+                self._notify_one(syscall.condvar)
+                continue
+            if isinstance(syscall, NotifyAll):
+                while syscall.condvar.waiters:
+                    self._notify_one(syscall.condvar)
+                continue
+            if isinstance(syscall, Join):
+                target = syscall.thread
+                if target.done:
+                    value = target.result
+                    continue
+                target.joiners.append(thread)
+                thread.state = ThreadState.BLOCKED
+                self._release_core(thread)
+                return
+            if isinstance(syscall, Exit):
+                thread.generator.close()
+                self._finish(thread, syscall.value)
+                return
+            raise SimulationError(
+                f"thread {thread.name!r} yielded unknown syscall {syscall!r}"
+            )
+
+    def _finish(self, thread: SimThread, result: Any) -> None:
+        thread.result = result
+        thread.state = ThreadState.DONE
+        self._release_core(thread)
+        for joiner in thread.joiners:
+            joiner.resume_value = result
+            joiner.state = ThreadState.READY
+            self._ready.append(joiner)
+        thread.joiners.clear()
+        self._request_dispatch()
+
+    # -- sleeping -------------------------------------------------------------
+
+    def _sleep_until_local(self, thread: SimThread, local_time: int) -> None:
+        self._release_core(thread)
+        thread.state = ThreadState.SLEEPING
+        global_target = self._clock.global_time_for(local_time)
+        if global_target < self._sim.now:
+            global_target = self._sim.now
+        if self._timer_jitter_ns > 0:
+            global_target += self._rng.randint(0, self._timer_jitter_ns)
+        thread.timeout_handle = self._sim.at(
+            global_target, lambda: self._wake_sleeper(thread)
+        )
+
+    def _wake_sleeper(self, thread: SimThread) -> None:
+        thread.timeout_handle = None
+        thread.state = ThreadState.READY
+        self._ready.append(thread)
+        self._request_dispatch()
+
+    # -- mutexes ----------------------------------------------------------------
+
+    def _try_acquire(self, thread: SimThread, mutex: Mutex) -> bool:
+        if mutex.owner is thread:
+            raise SimulationError(
+                f"thread {thread.name!r} re-acquired non-reentrant {mutex!r}"
+            )
+        if mutex.owner is None:
+            mutex.owner = thread
+            return True
+        mutex.waiters.append(thread)
+        thread.state = ThreadState.BLOCKED
+        thread.resume_value = None
+        self._release_core(thread)
+        return False
+
+    def _do_release(self, thread: SimThread, mutex: Mutex) -> None:
+        if mutex.owner is not thread:
+            raise SimulationError(
+                f"thread {thread.name!r} released {mutex!r} it does not hold"
+            )
+        mutex.owner = None
+        self._grant_mutex(mutex)
+
+    def _grant_mutex(self, mutex: Mutex) -> None:
+        """Hand a free mutex to one randomly chosen waiter, if any."""
+        if mutex.owner is not None or not mutex.waiters:
+            return
+        index = self._rng.randrange(len(mutex.waiters))
+        waiter = mutex.waiters.pop(index)
+        mutex.owner = waiter
+        waiter.reacquire = None
+        waiter.state = ThreadState.READY
+        self._ready.append(waiter)
+        self._request_dispatch()
+
+    # -- condition variables -------------------------------------------------------
+
+    def _do_wait(
+        self,
+        thread: SimThread,
+        condvar: CondVar,
+        mutex: Mutex,
+        local_deadline: int | None,
+    ) -> None:
+        if mutex.owner is not thread:
+            raise SimulationError(
+                f"thread {thread.name!r} waited on {condvar!r} "
+                f"without holding {mutex!r}"
+            )
+        mutex.owner = None
+        thread.state = ThreadState.BLOCKED
+        thread.reacquire = mutex
+        condvar.waiters.append(thread)
+        self._release_core(thread)
+        self._grant_mutex(mutex)
+        if local_deadline is not None:
+            global_deadline = self._clock.global_time_for(local_deadline)
+            if global_deadline < self._sim.now:
+                global_deadline = self._sim.now
+            thread.timeout_handle = self._sim.at(
+                global_deadline,
+                lambda: self._wait_timeout(thread, condvar),
+            )
+
+    def _notify_one(self, condvar: CondVar) -> None:
+        if not condvar.waiters:
+            return
+        index = self._rng.randrange(len(condvar.waiters))
+        waiter = condvar.waiters.pop(index)
+        self._resume_condvar_waiter(waiter, WaitResult.NOTIFIED)
+
+    def _wait_timeout(self, thread: SimThread, condvar: CondVar) -> None:
+        if thread not in condvar.waiters:
+            return
+        condvar.waiters.remove(thread)
+        self._resume_condvar_waiter(thread, WaitResult.TIMEOUT)
+
+    def _resume_condvar_waiter(self, waiter: SimThread, result: WaitResult) -> None:
+        if waiter.timeout_handle is not None:
+            waiter.timeout_handle.cancel()
+            waiter.timeout_handle = None
+        waiter.resume_value = result
+        mutex = waiter.reacquire
+        if mutex is None:
+            raise SimulationError("condvar waiter lost its reacquire mutex")
+        if mutex.owner is None:
+            mutex.owner = waiter
+            waiter.reacquire = None
+            waiter.state = ThreadState.READY
+            self._ready.append(waiter)
+            self._request_dispatch()
+        else:
+            mutex.waiters.append(waiter)
+
+
+def run_generator(generator_or_none: Generator | None) -> Generator:
+    """Normalize callbacks: accept a generator or ``None`` (no-op).
+
+    Helper for APIs that accept "a body to run on a simulated thread";
+    returning an empty generator keeps call sites branch-free.
+    """
+    if generator_or_none is not None:
+        return generator_or_none
+
+    def _empty() -> Generator:
+        return
+        yield  # pragma: no cover - makes this a generator function
+
+    return _empty()
+
+
+Callback = Callable[[], Generator[Any, Any, Any]]

@@ -1,0 +1,215 @@
+"""Typed payload serialization.
+
+SOME/IP payloads are serialized per the interface description; real AP
+toolchains generate serializers from ARXML.  This module provides the
+same capability as composable :class:`TypeSpec` objects: fixed-width
+integers and floats, booleans, length-prefixed strings and byte blobs,
+homogeneous arrays and nested structs.  All multi-byte values are
+big-endian, matching SOME/IP's network byte order default.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Any, Sequence
+
+from repro.errors import SerializationError
+
+
+class TypeSpec:
+    """Base class for payload type descriptions."""
+
+    name = "abstract"
+
+    def serialize(self, value: Any, out: bytearray) -> None:
+        """Append the wire form of *value* to *out*."""
+        raise NotImplementedError
+
+    def deserialize(self, data: memoryview, offset: int) -> tuple[Any, int]:
+        """Parse one value at *offset*; return ``(value, next_offset)``."""
+        raise NotImplementedError
+
+    def to_bytes(self, value: Any) -> bytes:
+        """Convenience: serialize a single value to bytes."""
+        out = bytearray()
+        self.serialize(value, out)
+        return bytes(out)
+
+    def from_bytes(self, data: bytes) -> Any:
+        """Convenience: deserialize a payload that holds exactly one value."""
+        value, offset = self.deserialize(memoryview(data), 0)
+        if offset != len(data):
+            raise SerializationError(
+                f"{len(data) - offset} trailing bytes after {self.name}"
+            )
+        return value
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.name}>"
+
+
+class _Scalar(TypeSpec):
+    """Fixed-width scalar packed with :mod:`struct`."""
+
+    def __init__(
+        self,
+        name: str,
+        fmt: str,
+        lo: int | float | None = None,
+        hi: int | float | None = None,
+    ) -> None:
+        self.name = name
+        self.lo = lo
+        self.hi = hi
+        self._struct = struct.Struct(">" + fmt)
+
+    def serialize(self, value: Any, out: bytearray) -> None:
+        if self.lo is not None and not (self.lo <= value <= self.hi):
+            raise SerializationError(
+                f"{value!r} out of range for {self.name} [{self.lo}, {self.hi}]"
+            )
+        try:
+            out += self._struct.pack(value)
+        except struct.error as exc:
+            raise SerializationError(f"cannot pack {value!r} as {self.name}") from exc
+
+    def deserialize(self, data: memoryview, offset: int) -> tuple[Any, int]:
+        end = offset + self._struct.size
+        if end > len(data):
+            raise SerializationError(f"truncated {self.name} at offset {offset}")
+        (value,) = self._struct.unpack_from(data, offset)
+        return value, end
+
+
+UINT8 = _Scalar("uint8", "B", 0, 2**8 - 1)
+UINT16 = _Scalar("uint16", "H", 0, 2**16 - 1)
+UINT32 = _Scalar("uint32", "I", 0, 2**32 - 1)
+UINT64 = _Scalar("uint64", "Q", 0, 2**64 - 1)
+INT8 = _Scalar("int8", "b", -(2**7), 2**7 - 1)
+INT16 = _Scalar("int16", "h", -(2**15), 2**15 - 1)
+INT32 = _Scalar("int32", "i", -(2**31), 2**31 - 1)
+INT64 = _Scalar("int64", "q", -(2**63), 2**63 - 1)
+FLOAT32 = _Scalar("float32", "f")
+FLOAT64 = _Scalar("float64", "d")
+
+
+class _Bool(TypeSpec):
+    """A boolean as one byte (0 or 1)."""
+
+    name = "bool"
+
+    def serialize(self, value: Any, out: bytearray) -> None:
+        out.append(1 if value else 0)
+
+    def deserialize(self, data: memoryview, offset: int) -> tuple[Any, int]:
+        if offset >= len(data):
+            raise SerializationError("truncated bool")
+        byte = data[offset]
+        if byte not in (0, 1):
+            raise SerializationError(f"invalid bool byte 0x{byte:02x}")
+        return bool(byte), offset + 1
+
+
+BOOL = _Bool()
+
+
+class _Bytes(TypeSpec):
+    """A byte blob with a uint32 length prefix."""
+
+    name = "bytes"
+
+    def serialize(self, value: Any, out: bytearray) -> None:
+        if not isinstance(value, (bytes, bytearray, memoryview)):
+            raise SerializationError(f"expected bytes, got {type(value).__name__}")
+        UINT32.serialize(len(value), out)
+        out += bytes(value)
+
+    def deserialize(self, data: memoryview, offset: int) -> tuple[Any, int]:
+        length, offset = UINT32.deserialize(data, offset)
+        end = offset + length
+        if end > len(data):
+            raise SerializationError("truncated bytes payload")
+        return bytes(data[offset:end]), end
+
+
+BYTES = _Bytes()
+
+
+class _String(TypeSpec):
+    """A UTF-8 string with a uint32 length prefix."""
+
+    name = "string"
+
+    def serialize(self, value: Any, out: bytearray) -> None:
+        if not isinstance(value, str):
+            raise SerializationError(f"expected str, got {type(value).__name__}")
+        BYTES.serialize(value.encode("utf-8"), out)
+
+    def deserialize(self, data: memoryview, offset: int) -> tuple[Any, int]:
+        raw, offset = BYTES.deserialize(data, offset)
+        try:
+            return raw.decode("utf-8"), offset
+        except UnicodeDecodeError as exc:
+            raise SerializationError("invalid UTF-8 in string") from exc
+
+
+STRING = _String()
+
+
+class Array(TypeSpec):
+    """A homogeneous dynamic array with a uint32 element count."""
+
+    def __init__(self, element: TypeSpec) -> None:
+        self.element = element
+        self.name = f"array<{element.name}>"
+
+    def serialize(self, value: Any, out: bytearray) -> None:
+        if not isinstance(value, (list, tuple)):
+            raise SerializationError(f"expected sequence, got {type(value).__name__}")
+        UINT32.serialize(len(value), out)
+        for item in value:
+            self.element.serialize(item, out)
+
+    def deserialize(self, data: memoryview, offset: int) -> tuple[Any, int]:
+        count, offset = UINT32.deserialize(data, offset)
+        items = []
+        for _ in range(count):
+            item, offset = self.element.deserialize(data, offset)
+            items.append(item)
+        return items, offset
+
+
+class Struct(TypeSpec):
+    """An ordered set of named fields, (de)serialized as a dict."""
+
+    def __init__(self, fields: Sequence[tuple[str, TypeSpec]], name: str = "struct"):
+        seen = set()
+        for field_name, _spec in fields:
+            if field_name in seen:
+                raise ValueError(f"duplicate struct field {field_name!r}")
+            seen.add(field_name)
+        self.fields = list(fields)
+        self.name = name
+
+    def serialize(self, value: Any, out: bytearray) -> None:
+        if not isinstance(value, dict):
+            raise SerializationError(f"expected dict for {self.name}")
+        extra = set(value) - {name for name, _ in self.fields}
+        if extra:
+            raise SerializationError(f"unknown fields {sorted(extra)} for {self.name}")
+        for field_name, spec in self.fields:
+            if field_name not in value:
+                raise SerializationError(
+                    f"missing field {field_name!r} for {self.name}"
+                )
+            spec.serialize(value[field_name], out)
+
+    def deserialize(self, data: memoryview, offset: int) -> tuple[Any, int]:
+        result = {}
+        for field_name, spec in self.fields:
+            result[field_name], offset = spec.deserialize(data, offset)
+        return result, offset
+
+
+#: An empty payload (zero-field struct), for methods without arguments.
+VOID = Struct([], name="void")

@@ -1,0 +1,52 @@
+"""Time base for the reproduction.
+
+All time values in this library are **integer nanoseconds**.  Floating
+point time would introduce rounding that is itself a source of
+nondeterminism, which would defeat the purpose of the paper's model.
+
+Three concepts live here:
+
+* :mod:`repro.time.duration` — helpers to construct and format durations;
+* :mod:`repro.time.tag` — the reactor model's superdense time
+  ``Tag = (time, microstep)``;
+* :mod:`repro.time.clock` — physical clocks with offset, drift and
+  read-jitter relative to the simulation's global timeline, as needed to
+  model the bounded clock-synchronization error ``E`` of the paper.
+"""
+
+from repro.time.duration import (
+    NS,
+    US,
+    MS,
+    SEC,
+    MIN,
+    Duration,
+    duration,
+    format_duration,
+    nsec,
+    usec,
+    msec,
+    sec,
+)
+from repro.time.tag import FOREVER, NEVER, Tag
+from repro.time.clock import ClockModel, PhysicalClock
+
+__all__ = [
+    "NS",
+    "US",
+    "MS",
+    "SEC",
+    "MIN",
+    "Duration",
+    "duration",
+    "format_duration",
+    "nsec",
+    "usec",
+    "msec",
+    "sec",
+    "Tag",
+    "FOREVER",
+    "NEVER",
+    "ClockModel",
+    "PhysicalClock",
+]

@@ -1,0 +1,117 @@
+"""Physical clocks with bounded synchronization error.
+
+The paper's distributed coordination (PTIDES safe-to-process analysis)
+assumes platforms have synchronized physical clocks with a bounded error
+``E``.  AUTOSAR AP specifies such synchronization.  We model each
+platform's clock as an affine-plus-noise function of the simulator's
+*global* timeline:
+
+``local(t) = t + offset + drift_ppb * t / 1e9  (+ read jitter)``
+
+with all terms integers so clock reads stay deterministic for a given RNG
+stream.  :meth:`ClockModel.sync_error_bound` computes a bound on
+``|local(t) - t|`` over a mission duration, which feeds the ``E`` term of
+the safe-to-process rule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.time.duration import Duration
+
+
+@dataclass(frozen=True, slots=True)
+class ClockModel:
+    """Parameters of a platform clock relative to global time.
+
+    Attributes:
+        offset_ns: constant offset from global time.
+        drift_ppb: rate deviation in parts per billion (an ideal clock has
+            0; real oscillators are tens of ppm, i.e. tens of thousands of
+            ppb, but a synchronized AP clock is much tighter).
+        read_jitter_ns: maximum magnitude of uniformly distributed noise
+            added to each read (models read granularity / sync wobble).
+    """
+
+    offset_ns: int = 0
+    drift_ppb: int = 0
+    read_jitter_ns: int = 0
+
+    def sync_error_bound(self, mission_ns: Duration) -> int:
+        """Upper bound on ``|local - global|`` over *mission_ns*.
+
+        This is the value to use for the paper's clock-synchronization
+        error ``E`` when platforms use this model.
+        """
+        drift_term = abs(self.drift_ppb) * mission_ns // 1_000_000_000 + 1
+        if self.drift_ppb == 0:
+            drift_term = 0
+        return abs(self.offset_ns) + drift_term + self.read_jitter_ns
+
+    @staticmethod
+    def perfect() -> "ClockModel":
+        """An ideal clock identical to global time."""
+        return ClockModel(0, 0, 0)
+
+
+class PhysicalClock:
+    """A readable physical clock owned by a platform.
+
+    The clock converts the simulator's global time into the platform's
+    local time.  Jitter is drawn from the RNG stream supplied at
+    construction, so reads are reproducible per experiment seed.
+    """
+
+    def __init__(self, model: ClockModel, rng=None) -> None:
+        self._model = model
+        self._rng = rng
+        self._last_read: int | None = None
+
+    @property
+    def model(self) -> ClockModel:
+        """The clock's parameter set."""
+        return self._model
+
+    def local_time(self, global_time: int) -> int:
+        """Convert *global_time* to local time, without jitter.
+
+        This is the deterministic core mapping; :meth:`read` adds jitter.
+        """
+        drift = self._model.drift_ppb * global_time // 1_000_000_000
+        return global_time + self._model.offset_ns + drift
+
+    def read(self, global_time: int) -> int:
+        """Read the clock at *global_time*, monotonically.
+
+        Adds uniform read jitter (if configured) and clamps so that
+        successive reads never go backwards, as a real monotonic clock API
+        guarantees.
+        """
+        value = self.local_time(global_time)
+        jitter_bound = self._model.read_jitter_ns
+        if jitter_bound and self._rng is not None:
+            value += self._rng.randint(-jitter_bound, jitter_bound)
+        if self._last_read is not None and value < self._last_read:
+            value = self._last_read
+        self._last_read = value
+        return value
+
+    def global_time_for(self, local_time: int) -> int:
+        """Invert :meth:`local_time` (ignoring jitter).
+
+        Used by the simulation to convert "wake me at local time T"
+        requests into global event times.  With drift the inversion is
+        exact up to 1 ns due to integer division; we round so the local
+        deadline is never undershot.
+        """
+        base = local_time - self._model.offset_ns
+        if self._model.drift_ppb == 0:
+            return base
+        # local = g + offset + drift*g/1e9  =>  g = (local - offset) / (1 + drift/1e9)
+        denominator = 1_000_000_000 + self._model.drift_ppb
+        numerator = base * 1_000_000_000
+        global_time = numerator // denominator
+        while self.local_time(global_time) < local_time:
+            global_time += 1
+        return global_time

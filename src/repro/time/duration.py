@@ -1,0 +1,105 @@
+"""Durations as integer nanoseconds.
+
+A duration is a plain ``int`` counting nanoseconds.  We deliberately avoid
+a wrapper class on the hot path (the simulator compares and adds times
+millions of times per run); instead this module provides constructors,
+unit constants and parsing/formatting helpers.  The :data:`Duration` alias
+documents intent in signatures.
+"""
+
+from __future__ import annotations
+
+import re
+
+#: Type alias used in signatures: a duration in integer nanoseconds.
+Duration = int
+
+#: One nanosecond.
+NS: Duration = 1
+#: One microsecond in nanoseconds.
+US: Duration = 1_000
+#: One millisecond in nanoseconds.
+MS: Duration = 1_000_000
+#: One second in nanoseconds.
+SEC: Duration = 1_000_000_000
+#: One minute in nanoseconds.
+MIN: Duration = 60 * SEC
+
+_UNIT_FACTORS: dict[str, int] = {
+    "ns": NS,
+    "nsec": NS,
+    "us": US,
+    "usec": US,
+    "ms": MS,
+    "msec": MS,
+    "s": SEC,
+    "sec": SEC,
+    "min": MIN,
+}
+
+_DURATION_RE = re.compile(r"^\s*(\d+(?:\.\d+)?)\s*([a-z]+)\s*$")
+
+
+def nsec(value: int) -> Duration:
+    """Return *value* nanoseconds."""
+    return int(value) * NS
+
+
+def usec(value: int) -> Duration:
+    """Return *value* microseconds as nanoseconds."""
+    return int(value) * US
+
+
+def msec(value: int) -> Duration:
+    """Return *value* milliseconds as nanoseconds."""
+    return int(value) * MS
+
+
+def sec(value: int) -> Duration:
+    """Return *value* seconds as nanoseconds."""
+    return int(value) * SEC
+
+
+def duration(spec: str | int) -> Duration:
+    """Parse a duration.
+
+    Accepts either an ``int`` (taken as nanoseconds) or a string such as
+    ``"50ms"``, ``"5 us"``, ``"1.5s"``.  Fractional values are permitted
+    in strings as long as the result is a whole number of nanoseconds.
+
+    >>> duration("50ms")
+    50000000
+    >>> duration("1.5s")
+    1500000000
+    """
+    if isinstance(spec, int):
+        return spec
+    match = _DURATION_RE.match(spec.lower())
+    if match is None:
+        raise ValueError(f"cannot parse duration {spec!r}")
+    magnitude, unit = match.groups()
+    if unit not in _UNIT_FACTORS:
+        raise ValueError(f"unknown time unit {unit!r} in {spec!r}")
+    scaled = float(magnitude) * _UNIT_FACTORS[unit]
+    rounded = round(scaled)
+    if abs(scaled - rounded) > 1e-6:
+        raise ValueError(f"duration {spec!r} is not a whole number of ns")
+    return rounded
+
+
+def format_duration(value: Duration) -> str:
+    """Format a nanosecond duration with the largest exact unit.
+
+    >>> format_duration(50 * MS)
+    '50ms'
+    >>> format_duration(1500)
+    '1500ns'
+    """
+    if value == 0:
+        return "0s"
+    sign = "-" if value < 0 else ""
+    magnitude = abs(value)
+    for unit, factor in (("s", SEC), ("ms", MS), ("us", US)):
+        if magnitude % factor == 0:
+            return f"{sign}{magnitude // factor}{unit}"
+    return f"{sign}{magnitude}ns"

@@ -1,0 +1,31 @@
+"""Shared test fixtures and world-building helpers."""
+
+from __future__ import annotations
+
+from repro.ara import AraProcess
+from repro.network import NetworkInterface, Switch, SwitchConfig
+from repro.sim import World
+from repro.sim.platform import CALM, PlatformConfig
+from repro.someip import SdDaemon
+
+
+def build_ap_world(
+    seed: int = 0,
+    hosts: tuple[str, ...] = ("p1", "p2"),
+    platform_config: PlatformConfig | None = None,
+    switch_config: SwitchConfig | None = None,
+) -> World:
+    """A world with networked platforms, each running an SD daemon."""
+    world = World(seed)
+    switch = Switch(world.sim, world.rng.stream("net"), switch_config)
+    world.attach_network(switch)
+    for host in hosts:
+        platform = world.add_platform(host, platform_config or CALM)
+        nic = NetworkInterface(platform, switch)
+        SdDaemon(platform, nic)
+    return world
+
+
+def make_process(world: World, host: str, name: str, **kwargs) -> AraProcess:
+    """Create an AP application process on *host*."""
+    return AraProcess(world.platform(host), name, **kwargs)

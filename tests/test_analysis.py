@@ -1,0 +1,115 @@
+"""Unit tests for the analysis package."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.analysis import (
+    ascii_bar_chart,
+    compare_traces,
+    first_divergence,
+    histogram_table,
+    render_table,
+    summarize,
+)
+from repro.reactors.telemetry import Trace
+from repro.time import Tag
+
+
+class TestSummarize:
+    def test_basic_stats(self):
+        summary = summarize([1.0, 2.0, 3.0, 4.0])
+        assert summary.count == 4
+        assert summary.mean == 2.5
+        assert summary.minimum == 1.0
+        assert summary.maximum == 4.0
+        assert summary.median == 2.5
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+    @given(st.lists(st.floats(min_value=-1e9, max_value=1e9), min_size=1))
+    def test_bounds_property(self, values):
+        import math
+
+        summary = summarize(values)
+        assert summary.minimum <= summary.p25 <= summary.median
+        assert summary.median <= summary.p75 <= summary.maximum
+        # The mean is computed in floating point and may land one ULP
+        # outside [min, max] (e.g. for three identical values).
+        lo = math.nextafter(summary.minimum, -math.inf)
+        hi = math.nextafter(summary.maximum, math.inf)
+        assert lo <= summary.mean <= hi
+
+    def test_row_matches_header_length(self):
+        summary = summarize([1.0, 2.0])
+        assert len(summary.row()) == len(summary.header())
+
+
+class TestTraceComparison:
+    def _trace(self, values):
+        trace = Trace()
+        for index, value in enumerate(values):
+            trace.record(Tag(index, 0), "set", "port", value)
+        return trace
+
+    def test_identical_traces(self):
+        assert compare_traces([self._trace([1, 2]), self._trace([1, 2])])
+        assert first_divergence(self._trace([1, 2]), self._trace([1, 2])) is None
+
+    def test_value_divergence_located(self):
+        divergence = first_divergence(self._trace([1, 2, 3]), self._trace([1, 9, 3]))
+        assert divergence is not None
+        assert divergence.index == 1
+        assert "2" in divergence.left_line
+        assert "9" in divergence.right_line
+
+    def test_length_divergence_located(self):
+        divergence = first_divergence(self._trace([1]), self._trace([1, 2]))
+        assert divergence.index == 1
+        assert divergence.left_line is None
+        assert divergence.right_line is not None
+
+    def test_compare_needs_one(self):
+        with pytest.raises(ValueError):
+            compare_traces([])
+
+    def test_divergence_str(self):
+        divergence = first_divergence(self._trace([1]), self._trace([2]))
+        assert "diverge at record 0" in str(divergence)
+
+
+class TestRenderers:
+    def test_table_alignment(self):
+        table = render_table(["a", "bb"], [["1", "2"], ["333", "4"]])
+        lines = table.splitlines()
+        assert len(lines) == 4
+        assert all(len(line) == len(lines[0]) for line in lines[1:])
+
+    def test_table_row_width_validated(self):
+        with pytest.raises(ValueError):
+            render_table(["a"], [["1", "2"]])
+
+    def test_table_title(self):
+        assert render_table(["x"], [["1"]], title="T").startswith("T\n")
+
+    def test_histogram_probabilities_sum(self):
+        text = histogram_table({0: 1, 1: 3}, "H")
+        assert "0.250" in text
+        assert "0.750" in text
+
+    def test_histogram_empty_rejected(self):
+        with pytest.raises(ValueError):
+            histogram_table({}, "H")
+
+    def test_bar_chart_legend_and_bars(self):
+        chart = ascii_bar_chart(
+            [("r0", {"x": 1.0, "y": 0.0}), ("r1", {"x": 2.0, "y": 2.0})],
+            categories=["x", "y"],
+            title="C",
+        )
+        assert "A = x" in chart
+        assert "B = y" in chart
+        assert chart.count("\n") == 4
+        last = chart.splitlines()[-1]
+        assert "A" in last and "B" in last

@@ -1,0 +1,41 @@
+"""Tests for the Figure 1 counter application."""
+
+from collections import Counter
+
+import pytest
+
+from repro.apps.counter import run_det, run_nondet
+
+
+class TestNondet:
+    def test_result_in_valid_range(self):
+        for seed in range(6):
+            result = run_nondet(seed)
+            assert result.printed_value in (0, 1, 2, 3)
+
+    def test_same_seed_reproducible(self):
+        assert run_nondet(11).printed_value == run_nondet(11).printed_value
+
+    def test_multiple_outcomes_across_seeds(self):
+        """The essence of Figure 1: the program has several behaviours."""
+        outcomes = {run_nondet(seed).printed_value for seed in range(30)}
+        assert len(outcomes) >= 2
+
+    def test_wrong_results_occur(self):
+        """Some seeds must produce a value other than the intended 3."""
+        outcomes = [run_nondet(seed).printed_value for seed in range(30)]
+        assert any(value != 3 for value in outcomes)
+
+
+class TestDet:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_always_three(self, seed):
+        assert run_det(seed).printed_value == 3
+
+
+class TestContrast:
+    def test_histogram_shapes(self):
+        nondet = Counter(run_nondet(seed).printed_value for seed in range(25))
+        det = Counter(run_det(seed).printed_value for seed in range(4))
+        assert set(det) == {3}
+        assert len(nondet) >= 2

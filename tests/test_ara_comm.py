@@ -1,0 +1,377 @@
+"""Integration tests: proxy <-> skeleton communication over SOME/IP."""
+
+import pytest
+
+from repro.ara import (
+    AraProcess,
+    Event,
+    Field,
+    Method,
+    MethodCallProcessingMode,
+    ServiceInterface,
+)
+from repro.ara.proxy import MethodCallError
+from repro.errors import AraError, ServiceNotAvailableError
+from repro.sim import Compute, Sleep
+from repro.someip.serialization import INT32, STRING, UINT16
+from repro.time import MS, SEC
+
+from tests.conftest import build_ap_world, make_process
+
+CALC = ServiceInterface(
+    name="Calculator",
+    service_id=0x1234,
+    methods=[
+        Method("set_value", 0x0001, arguments=[("value", INT32)]),
+        Method("add", 0x0002, arguments=[("amount", INT32)]),
+        Method("get_value", 0x0003, returns=[("value", INT32)]),
+        Method("describe", 0x0004, returns=[("text", STRING), ("value", INT32)]),
+        Method("ping", 0x0005, fire_and_forget=True),
+    ],
+    events=[Event("tick", 0x8001, data=[("count", INT32)])],
+    fields=[Field("precision", UINT16)],
+)
+
+
+class CalcServer:
+    """A simple calculator service used across these tests."""
+
+    def __init__(self, process, instance_id=1, mode=MethodCallProcessingMode.EVENT):
+        self.value = 0
+        self.pings = 0
+        self.skeleton = process.create_skeleton(
+            CALC, instance_id, mode, field_defaults={"precision": 2}
+        )
+        self.skeleton.implement("set_value", self._set_value)
+        self.skeleton.implement("add", self._add)
+        self.skeleton.implement("get_value", lambda: self.value)
+        self.skeleton.implement(
+            "describe", lambda: {"text": "calc", "value": self.value}
+        )
+        self.skeleton.implement("ping", self._ping)
+        self.skeleton.offer()
+
+    def _set_value(self, value):
+        self.value = value
+
+    def _add(self, amount):
+        self.value += amount
+
+    def _ping(self):
+        self.pings += 1
+
+
+def setup_client_server(seed=0, mode=MethodCallProcessingMode.EVENT):
+    world = build_ap_world(seed)
+    server_process = make_process(world, "p1", "server")
+    client_process = make_process(world, "p2", "client")
+    server = CalcServer(server_process, mode=mode)
+    return world, server, client_process
+
+
+class TestMethodCalls:
+    def test_serialized_round_trip(self):
+        world, server, client_process = setup_client_server()
+        results = []
+
+        def client():
+            proxy = yield from client_process.find_service(CALC, 1)
+            future = proxy.call("set_value", value=10)
+            yield from future.get()
+            yield from proxy.call("add", amount=5).get()
+            value = yield from proxy.call("get_value").get()
+            results.append(value)
+
+        client_process.spawn("main", client())
+        world.run_for(2 * SEC)
+        assert results == [15]
+
+    def test_positional_arguments(self):
+        world, server, client_process = setup_client_server()
+        results = []
+
+        def client():
+            proxy = yield from client_process.find_service(CALC, 1)
+            yield from proxy.call("set_value", 33).get()
+            results.append((yield from proxy.call("get_value").get()))
+
+        client_process.spawn("main", client())
+        world.run_for(2 * SEC)
+        assert results == [33]
+
+    def test_dynamic_method_attributes(self):
+        world, server, client_process = setup_client_server()
+        results = []
+
+        def client():
+            proxy = yield from client_process.find_service(CALC, 1)
+            yield from proxy.set_value(value=4).get()
+            results.append((yield from proxy.get_value().get()))
+
+        client_process.spawn("main", client())
+        world.run_for(2 * SEC)
+        assert results == [4]
+
+    def test_multi_return_comes_back_as_dict(self):
+        world, server, client_process = setup_client_server()
+        results = []
+
+        def client():
+            proxy = yield from client_process.find_service(CALC, 1)
+            yield from proxy.call("set_value", value=8).get()
+            results.append((yield from proxy.call("describe").get()))
+
+        client_process.spawn("main", client())
+        world.run_for(2 * SEC)
+        assert results == [{"text": "calc", "value": 8}]
+
+    def test_fire_and_forget(self):
+        world, server, client_process = setup_client_server()
+        done = []
+
+        def client():
+            proxy = yield from client_process.find_service(CALC, 1)
+            future = proxy.call("ping")
+            yield from future.get()  # resolves immediately
+            done.append(True)
+
+        client_process.spawn("main", client())
+        world.run_for(2 * SEC)
+        assert done == [True]
+        assert server.pings == 1
+
+    def test_unknown_service_times_out(self):
+        world = build_ap_world()
+        client_process = make_process(world, "p2", "client")
+        errors = []
+
+        def client():
+            try:
+                yield from client_process.find_service(CALC, 1, timeout_ns=300 * MS)
+            except ServiceNotAvailableError:
+                errors.append("not-found")
+
+        client_process.spawn("main", client())
+        world.run_for(2 * SEC)
+        assert errors == ["not-found"]
+
+    def test_server_exception_becomes_error_response(self):
+        world = build_ap_world()
+        server_process = make_process(world, "p1", "server")
+        client_process = make_process(world, "p2", "client")
+        skeleton = server_process.create_skeleton(CALC, 1)
+        for name in ("set_value", "add", "describe", "ping"):
+            skeleton.implement(name, lambda **kw: None)
+
+        def broken():
+            raise RuntimeError("impl blew up")
+
+        skeleton.implement("get_value", broken)
+        skeleton.offer()
+        errors = []
+
+        def client():
+            proxy = yield from client_process.find_service(CALC, 1)
+            try:
+                yield from proxy.call("get_value").get()
+            except MethodCallError as exc:
+                errors.append(exc.return_code.name)
+
+        client_process.spawn("main", client())
+        world.run_for(2 * SEC)
+        assert errors == ["E_NOT_OK"]
+
+    def test_generator_implementation_consumes_time(self):
+        world = build_ap_world()
+        server_process = make_process(world, "p1", "server")
+        client_process = make_process(world, "p2", "client")
+        skeleton = server_process.create_skeleton(CALC, 1)
+
+        def slow_get():
+            yield Compute(20 * MS)
+            return 77
+
+        for name in ("set_value", "add", "describe", "ping"):
+            skeleton.implement(name, lambda **kw: None)
+        skeleton.implement("get_value", slow_get)
+        skeleton.offer()
+        results = []
+
+        def client():
+            proxy = yield from client_process.find_service(CALC, 1)
+            start = world.now
+            value = yield from proxy.call("get_value").get()
+            results.append((value, world.now - start))
+
+        client_process.spawn("main", client())
+        world.run_for(3 * SEC)
+        value, elapsed = results[0]
+        assert value == 77
+        assert elapsed >= 20 * MS
+
+
+class TestEvents:
+    def test_event_delivery(self):
+        world, server, client_process = setup_client_server()
+        received = []
+
+        def client():
+            proxy = yield from client_process.find_service(CALC, 1)
+            proxy.subscribe("tick", lambda count: received.append(count))
+            yield Sleep(200 * MS)  # let the subscription reach the server
+
+        client_process.spawn("main", client())
+        world.run_for(500 * MS)
+        server.skeleton.send_event("tick", 41)
+        world.run_for(500 * MS)
+        assert received == [41]
+
+    def test_event_without_subscriber_goes_nowhere(self):
+        world, server, client_process = setup_client_server()
+        world.run_for(200 * MS)
+        assert server.skeleton.send_event("tick", 1) == 0
+
+    def test_multiple_subscribers_receive(self):
+        world = build_ap_world(hosts=("p1", "p2", "p3"))
+        server_process = make_process(world, "p1", "server")
+        server = CalcServer(server_process)
+        received = {"p2": [], "p3": []}
+        for host in ("p2", "p3"):
+            process = make_process(world, host, f"client-{host}")
+
+            def client(process=process, host=host):
+                proxy = yield from process.find_service(CALC, 1)
+                proxy.subscribe("tick", lambda count: received[host].append(count))
+
+            process.spawn("main", client())
+        world.run_for(500 * MS)
+        count = server.skeleton.send_event("tick", 7)
+        world.run_for(500 * MS)
+        assert count == 2
+        assert received == {"p2": [7], "p3": [7]}
+
+
+class TestFields:
+    def test_field_get_set_notify(self):
+        world, server, client_process = setup_client_server()
+        log = []
+
+        def client():
+            proxy = yield from client_process.find_service(CALC, 1)
+            field = proxy.field("precision")
+            field.subscribe(lambda value: log.append(("notify", value)))
+            yield Sleep(200 * MS)
+            value = yield from field.get().get()
+            log.append(("get", value))
+            value = yield from field.set(5).get()
+            log.append(("set", value))
+            value = yield from field.get().get()
+            log.append(("get2", value))
+
+        client_process.spawn("main", client())
+        world.run_for(2 * SEC)
+        assert ("get", 2) in log
+        assert ("set", 5) in log
+        assert ("get2", 5) in log
+        assert ("notify", 5) in log
+
+    def test_server_side_field_update_notifies(self):
+        world, server, client_process = setup_client_server()
+        log = []
+
+        def client():
+            proxy = yield from client_process.find_service(CALC, 1)
+            proxy.field("precision").subscribe(lambda value: log.append(value))
+
+        client_process.spawn("main", client())
+        world.run_for(500 * MS)
+        server.skeleton.update_field("precision", 9)
+        world.run_for(500 * MS)
+        assert log == [9]
+        assert server.skeleton.field_value("precision") == 9
+
+
+class TestProcessingModes:
+    def test_poll_mode_defers_until_pumped(self):
+        world = build_ap_world()
+        server_process = make_process(world, "p1", "server")
+        client_process = make_process(world, "p2", "client")
+        server = CalcServer(
+            server_process, mode=MethodCallProcessingMode.POLL
+        )
+        results = []
+
+        def client():
+            proxy = yield from client_process.find_service(CALC, 1)
+            future = proxy.call("get_value")
+            yield Sleep(300 * MS)
+            results.append(("before-pump", future.is_ready()))
+            yield from future.get()
+            results.append(("after-pump", True))
+
+        def pump():
+            yield Sleep(500 * MS)
+            processed = yield from server.skeleton.process_next_method_call()
+            results.append(("pumped", processed))
+
+        client_process.spawn("main", client())
+        server_process.spawn("pump", pump())
+        world.run_for(2 * SEC)
+        assert ("before-pump", False) in results
+        assert ("pumped", True) in results
+        assert ("after-pump", True) in results
+
+    def test_poll_mode_empty_pump_returns_false(self):
+        world = build_ap_world()
+        server_process = make_process(world, "p1", "server")
+        server = CalcServer(server_process, mode=MethodCallProcessingMode.POLL)
+        results = []
+
+        def pump():
+            processed = yield from server.skeleton.process_next_method_call()
+            results.append(processed)
+
+        server_process.spawn("pump", pump())
+        world.run_for(1 * SEC)
+        assert results == [False]
+
+    def test_pump_on_event_mode_rejected(self):
+        world = build_ap_world()
+        server_process = make_process(world, "p1", "server")
+        server = CalcServer(server_process)
+        failures = []
+
+        def pump():
+            try:
+                yield from server.skeleton.process_next_method_call()
+            except AraError:
+                failures.append(True)
+
+        server_process.spawn("pump", pump())
+        world.run_for(1 * SEC)
+        assert failures == [True]
+
+    def test_offer_without_impls_rejected(self):
+        world = build_ap_world()
+        server_process = make_process(world, "p1", "server")
+        skeleton = server_process.create_skeleton(CALC, 1)
+        with pytest.raises(AraError):
+            skeleton.offer()
+
+
+class TestLocalCommunication:
+    def test_same_platform_client_server(self):
+        world = build_ap_world(hosts=("p1",))
+        server_process = make_process(world, "p1", "server")
+        client_process = make_process(world, "p1", "client")
+        CalcServer(server_process)
+        results = []
+
+        def client():
+            proxy = yield from client_process.find_service(CALC, 1)
+            yield from proxy.call("set_value", value=6).get()
+            results.append((yield from proxy.call("get_value").get()))
+
+        client_process.spawn("main", client())
+        world.run_for(2 * SEC)
+        assert results == [6]

@@ -1,0 +1,73 @@
+"""Unit tests for the execution manager."""
+
+import pytest
+
+from repro.ara import ExecutionManager, ProcessState
+from repro.errors import AraError
+from repro.sim import World
+from repro.time import MS
+
+
+class TestStartup:
+    def test_dependencies_start_first(self):
+        world = World(0)
+        manager = ExecutionManager(world)
+        started = []
+        manager.register("app", lambda: started.append(("app", world.now)),
+                         dependencies=("daemon",), start_offset_ns=5 * MS)
+        manager.register("daemon", lambda: started.append(("daemon", world.now)),
+                         start_offset_ns=2 * MS)
+        manager.start_all()
+        world.run_to_completion()
+        assert started == [("daemon", 2 * MS), ("app", 7 * MS)]
+
+    def test_chain_of_dependencies(self):
+        world = World(0)
+        manager = ExecutionManager(world)
+        started = []
+        for name, deps in (("c", ("b",)), ("b", ("a",)), ("a", ())):
+            manager.register(
+                name,
+                lambda name=name: started.append(name),
+                dependencies=deps,
+                start_offset_ns=1 * MS,
+            )
+        manager.start_all()
+        world.run_to_completion()
+        assert started == ["a", "b", "c"]
+
+    def test_cycle_detected(self):
+        world = World(0)
+        manager = ExecutionManager(world)
+        manager.register("a", lambda: None, dependencies=("b",))
+        manager.register("b", lambda: None, dependencies=("a",))
+        with pytest.raises(AraError):
+            manager.start_all()
+
+    def test_unknown_dependency_detected(self):
+        world = World(0)
+        manager = ExecutionManager(world)
+        manager.register("a", lambda: None, dependencies=("ghost",))
+        with pytest.raises(AraError):
+            manager.start_all()
+
+    def test_duplicate_registration_rejected(self):
+        manager = ExecutionManager(World(0))
+        manager.register("a", lambda: None)
+        with pytest.raises(AraError):
+            manager.register("a", lambda: None)
+
+
+class TestStates:
+    def test_state_transitions(self):
+        world = World(0)
+        manager = ExecutionManager(world)
+        manager.register("a", lambda: None)
+        assert manager.state("a") is ProcessState.IDLE
+        manager.start_all()
+        world.run_to_completion()
+        assert manager.state("a") is ProcessState.STARTING
+        manager.report_running("a")
+        assert manager.state("a") is ProcessState.RUNNING
+        manager.report_terminated("a")
+        assert manager.state("a") is ProcessState.TERMINATED

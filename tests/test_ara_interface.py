@@ -1,0 +1,130 @@
+"""Unit tests for service interface descriptions."""
+
+import pytest
+
+from repro.ara import Event, Field, Method, ServiceInterface
+from repro.someip.serialization import INT32, STRING, UINT16
+
+
+def calc_interface(**overrides):
+    spec = dict(
+        name="Calculator",
+        service_id=0x1234,
+        methods=[
+            Method("set_value", 0x0001, arguments=[("value", INT32)]),
+            Method("add", 0x0002, arguments=[("amount", INT32)]),
+            Method("get_value", 0x0003, returns=[("value", INT32)]),
+            Method("reset", 0x0004, fire_and_forget=True),
+        ],
+        events=[Event("overflow", 0x8001, data=[("value", INT32)])],
+        fields=[Field("precision", UINT16)],
+    )
+    spec.update(overrides)
+    return ServiceInterface(**spec)
+
+
+class TestMethods:
+    def test_lookup_by_name_and_id(self):
+        interface = calc_interface()
+        assert interface.method("add").method_id == 0x0002
+        assert interface.method_by_id(0x0001).name == "set_value"
+        assert interface.method_by_id(0x7777) is None
+
+    def test_argument_and_return_names(self):
+        interface = calc_interface()
+        assert interface.method("set_value").argument_names == ["value"]
+        assert interface.method("get_value").return_names == ["value"]
+
+    def test_fire_and_forget_cannot_return(self):
+        with pytest.raises(ValueError):
+            Method("bad", 0x10, returns=[("x", INT32)], fire_and_forget=True)
+
+    def test_method_id_msb_reserved(self):
+        with pytest.raises(ValueError):
+            Method("bad", 0x8000)
+
+    def test_duplicate_method_name_rejected(self):
+        with pytest.raises(ValueError):
+            calc_interface(
+                methods=[Method("a", 1), Method("a", 2)], events=[], fields=[]
+            )
+
+    def test_duplicate_method_id_rejected(self):
+        with pytest.raises(ValueError):
+            calc_interface(
+                methods=[Method("a", 1), Method("b", 1)], events=[], fields=[]
+            )
+
+
+class TestEvents:
+    def test_event_id_requires_msb(self):
+        with pytest.raises(ValueError):
+            Event("bad", 0x0001)
+
+    def test_lookup(self):
+        interface = calc_interface()
+        assert interface.event("overflow").event_id == 0x8001
+        assert interface.event_by_id(0x8001).name == "overflow"
+
+    def test_duplicate_event_id_rejected(self):
+        with pytest.raises(ValueError):
+            calc_interface(
+                events=[Event("a", 0x8001), Event("b", 0x8001)],
+                methods=[],
+                fields=[],
+            )
+
+
+class TestFields:
+    def test_field_expansion(self):
+        interface = calc_interface()
+        elements = interface.field_elements("precision")
+        assert elements["get"].name == "get_precision"
+        assert elements["set"].name == "set_precision"
+        assert elements["notify"].name == "precision_changed"
+        # Expanded elements are reachable through normal lookups.
+        assert interface.method("get_precision").returns[0][0] == "value"
+        assert interface.event("precision_changed").event_id & 0x8000
+
+    def test_getter_only_field(self):
+        interface = ServiceInterface(
+            "S",
+            0x10,
+            fields=[Field("ro", INT32, has_setter=False, has_notifier=False)],
+        )
+        elements = interface.field_elements("ro")
+        assert elements["get"] is not None
+        assert elements["set"] is None
+        assert elements["notify"] is None
+
+    def test_write_only_field_rejected(self):
+        with pytest.raises(ValueError):
+            Field("wo", INT32, has_getter=False, has_notifier=False)
+
+    def test_field_lookup_unknown(self):
+        with pytest.raises(KeyError):
+            calc_interface().field("nope")
+
+    def test_multiple_fields_get_distinct_ids(self):
+        interface = ServiceInterface(
+            "S", 0x11, fields=[Field("a", INT32), Field("b", STRING)]
+        )
+        ids = {
+            interface.field_elements(name)[kind].method_id
+            for name in ("a", "b")
+            for kind in ("get", "set")
+        }
+        assert len(ids) == 4
+
+
+class TestValidation:
+    def test_service_id_range(self):
+        with pytest.raises(ValueError):
+            ServiceInterface("S", 0)
+        with pytest.raises(ValueError):
+            ServiceInterface("S", 0xFFFF)
+
+    def test_repr_mentions_counts(self):
+        text = repr(calc_interface())
+        assert "Calculator" in text
+        assert "0x1234" in text

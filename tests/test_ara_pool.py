@@ -1,0 +1,109 @@
+"""Unit tests for the middleware dispatch pool."""
+
+import pytest
+
+from repro.ara import DispatchPool
+from repro.sim import Compute, World
+from repro.sim.platform import CALM, PlatformConfig
+from repro.time import MS
+
+
+def make_pool(seed=0, workers=2, cores=2):
+    world = World(seed)
+    config = PlatformConfig(num_cores=cores, dispatch_jitter_ns=0, timer_jitter_ns=0)
+    platform = world.add_platform("p", config)
+    return world, DispatchPool(platform, "pool", workers)
+
+
+class TestPool:
+    def test_jobs_run(self):
+        world, pool = make_pool()
+        done = []
+
+        def job(i):
+            def body():
+                yield Compute(1 * MS)
+                done.append(i)
+
+            return body
+
+        for i in range(5):
+            pool.submit(job(i))
+        world.run_for(100 * MS)
+        assert sorted(done) == [0, 1, 2, 3, 4]
+        assert pool.jobs_completed == 5
+        assert pool.jobs_submitted == 5
+
+    def test_parallelism_bounded_by_workers(self):
+        world, pool = make_pool(workers=2, cores=4)
+        running = [0]
+        peak = [0]
+
+        def body():
+            running[0] += 1
+            peak[0] = max(peak[0], running[0])
+            yield Compute(10 * MS)
+            running[0] -= 1
+
+        for _ in range(6):
+            pool.submit(lambda: body())
+        world.run_for(500 * MS)
+        assert peak[0] == 2
+
+    def test_execution_order_varies_with_seed(self):
+        """With OS dispatch jitter (as on a real board), workers pick up
+        queued jobs in nondeterministic order — the paper's source 1."""
+        orders = set()
+        for seed in range(12):
+            world = World(seed)
+            config = PlatformConfig(
+                num_cores=3, dispatch_jitter_ns=100_000, timer_jitter_ns=0
+            )
+            platform = world.add_platform("p", config)
+            pool = DispatchPool(platform, "pool", workers=3)
+            order = []
+
+            def job(i, order=order):
+                def body():
+                    order.append(i)
+                    yield Compute(1 * MS)
+
+                return body
+
+            for i in range(4):
+                pool.submit(job(i))
+            world.run_for(100 * MS)
+            orders.add(tuple(order))
+        assert len(orders) > 1
+
+    def test_stop_drains_then_exits(self):
+        world, pool = make_pool()
+        done = []
+
+        def body():
+            yield Compute(1 * MS)
+            done.append(1)
+
+        pool.submit(lambda: body())
+        pool.stop()
+        pool.submit(lambda: body())  # ignored after stop
+        world.run_to_completion()
+        assert done == [1]
+
+    def test_worker_count_validation(self):
+        world = World(0)
+        platform = world.add_platform("p", CALM)
+        with pytest.raises(ValueError):
+            DispatchPool(platform, "bad", workers=0)
+
+    def test_backlog_reporting(self):
+        world, pool = make_pool(workers=1, cores=1)
+
+        def body():
+            yield Compute(10 * MS)
+
+        for _ in range(3):
+            pool.submit(lambda: body())
+        assert pool.backlog == 3  # nothing started yet (no sim step)
+        world.run_for(100 * MS)
+        assert pool.backlog == 0

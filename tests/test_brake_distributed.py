@@ -1,0 +1,88 @@
+"""Distributed brake-assistant deployment (the E > 0 case).
+
+Extension of Section IV.B: the paper deploys all processing SWCs on one
+platform ("there is no clock synchronization error to account for").
+Here Computer Vision and EBA run on a second processing ECU with a
+skewed clock, exercising the full ``t + D + L + E`` machinery at system
+level.
+"""
+
+import pytest
+
+from repro.apps.brake import (
+    BrakeScenario,
+    run_det_brake_assistant,
+)
+from repro.apps.brake.logic import oracle_commands
+from repro.apps.brake.vision import SceneGenerator
+from repro.time import MS
+
+FRAMES = 150
+
+
+def scenario(skew_ns, error_ns):
+    return BrakeScenario(
+        n_frames=FRAMES,
+        distributed=True,
+        processing_clock_skew_ns=skew_ns,
+        clock_error_ns=error_ns,
+    )
+
+
+@pytest.fixture(scope="module")
+def oracle():
+    base = BrakeScenario(n_frames=FRAMES)
+    generator = SceneGenerator(base.period_ns, base.variant)
+    return oracle_commands(generator, FRAMES)
+
+
+class TestCoveredSkew:
+    def test_perfect_execution_with_covering_error_bound(self, oracle):
+        result = run_det_brake_assistant(0, scenario(2 * MS, 3 * MS))
+        assert result.errors.total() == 0
+        assert result.stp_violations == 0
+        assert result.deadline_misses == 0
+        assert result.compare_with_oracle(oracle).is_perfect
+
+    def test_commands_match_single_platform_deployment(self, oracle):
+        """Same logical outputs whether the pipeline is co-located or
+        distributed — deployment transparency."""
+        single = run_det_brake_assistant(0, BrakeScenario(n_frames=FRAMES))
+        distributed = run_det_brake_assistant(0, scenario(2 * MS, 3 * MS))
+        assert single.commands == distributed.commands
+
+    def test_small_skew_absorbed_by_stp_slack_even_with_zero_e(self):
+        """A structural finding: the pipeline's safe-to-process wait
+        (each stage processes at tag >= send + D + L) tolerates skew up
+        to roughly D + L minus the stage's execution time, even with an
+        assumed E of zero."""
+        result = run_det_brake_assistant(0, scenario(5 * MS, 0))
+        assert result.stp_violations == 0
+        assert result.errors.total() == 0
+
+
+class TestUncoveredSkew:
+    def test_large_skew_with_zero_e_is_observable(self):
+        result = run_det_brake_assistant(0, scenario(15 * MS, 0))
+        assert result.stp_violations > 0
+        assert result.errors.mismatch_computer_vision > 0
+        assert len(result.commands) < FRAMES
+
+    def test_no_silent_misbehaviour(self, oracle):
+        """Every wrong/missing output is matched by counted violations —
+        errors are observable, never silent."""
+        result = run_det_brake_assistant(0, scenario(15 * MS, 0))
+        comparison = result.compare_with_oracle(oracle)
+        degraded = (
+            comparison.missed_brakes
+            + comparison.phantom_brakes
+            + comparison.absent_outputs
+        )
+        assert degraded > 0
+        assert result.stp_violations + result.errors.total() > 0
+
+    def test_raising_e_restores_perfection(self, oracle):
+        result = run_det_brake_assistant(0, scenario(15 * MS, 20 * MS))
+        assert result.stp_violations == 0
+        assert result.errors.total() == 0
+        assert result.compare_with_oracle(oracle).is_perfect

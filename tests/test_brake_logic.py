@@ -1,0 +1,214 @@
+"""Unit tests for the brake-assistant data types, scene and logic."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.apps.brake.data import (
+    BRAKE_SPEC,
+    FRAME_SPEC,
+    LANE_SPEC,
+    VEHICLES_SPEC,
+    BrakeCommand,
+    DetectedVehicle,
+    Frame,
+    GroundTruthVehicle,
+    LaneBox,
+    VehicleList,
+    brake_from_wire,
+    brake_to_wire,
+    frame_from_wire,
+    frame_to_wire,
+    lane_from_wire,
+    lane_to_wire,
+    vehicles_from_wire,
+    vehicles_to_wire,
+)
+from repro.apps.brake.instrumentation import OneSlotBuffer
+from repro.apps.brake.logic import (
+    TTC_THRESHOLD_S,
+    decide_brake,
+    detect_vehicles,
+    oracle_commands,
+    preprocess,
+)
+from repro.apps.brake.vision import SceneGenerator, render_frame
+from repro.time import MS
+
+PERIOD = 50 * MS
+
+
+@pytest.fixture
+def generator():
+    return SceneGenerator(PERIOD)
+
+
+class TestScene:
+    def test_pure_function_of_seq(self, generator):
+        other = SceneGenerator(PERIOD)
+        for seq in (0, 17, 399, 5000):
+            assert generator.frame(seq) == other.frame(seq)
+
+    def test_variants_differ(self):
+        a = SceneGenerator(PERIOD, variant=0).frame(100)
+        b = SceneGenerator(PERIOD, variant=1).frame(100)
+        assert a != b
+
+    def test_cut_in_enters_lane(self, generator):
+        in_lane_frames = 0
+        for seq in range(500):
+            frame = generator.frame(seq)
+            adjacent = frame.vehicles[1]
+            if abs(adjacent.lateral_m - frame.lane_center_m) < frame.lane_width_m / 2:
+                in_lane_frames += 1
+        assert 40 <= in_lane_frames <= 120  # the cut-in window
+
+    def test_braking_required_somewhere(self, generator):
+        oracle = oracle_commands(generator, 600)
+        braking = [seq for seq, cmd in oracle.items() if cmd.brake]
+        assert braking, "scenario must contain emergency situations"
+        assert len(braking) < 600 // 2, "braking must be the exception"
+
+    def test_capture_timestamps(self, generator):
+        assert generator.frame(3).capture_time_ns == 3 * PERIOD
+
+
+class TestRenderer:
+    def test_image_dimensions_and_dtype(self, generator):
+        image = render_frame(generator.frame(0))
+        assert image.shape == (48, 64)
+        assert image.dtype.name == "uint8"
+
+    def test_lane_markings_present(self, generator):
+        image = render_frame(generator.frame(10))
+        marking_columns = ((image > 120) & (image < 250)).sum(axis=0)
+        assert (marking_columns > 20).sum() >= 2
+
+    def test_vehicles_rendered_as_blobs(self, generator):
+        image = render_frame(generator.frame(10))
+        assert (image == 255).sum() > 0
+
+
+class TestLogic:
+    def test_preprocess_centers_lane(self, generator):
+        frame = generator.frame(42)
+        lane = preprocess(frame)
+        assert lane.frame_seq == 42
+        assert lane.center_m == pytest.approx(frame.lane_center_m)
+        assert lane.width_m == pytest.approx(frame.lane_width_m)
+
+    def test_image_preprocess_approximates_closed_form(self, generator):
+        frame = generator.frame(42)
+        exact = preprocess(frame)
+        from_image = preprocess(frame, use_image=True)
+        # One image column is ~0.19 m; allow a couple of columns of error.
+        assert from_image.center_m == pytest.approx(exact.center_m, abs=0.5)
+
+    def test_detect_only_in_lane_vehicles(self, generator):
+        frame = generator.frame(10)  # adjacent vehicle out of lane
+        lane = preprocess(frame)
+        vehicles = detect_vehicles(frame, lane)
+        ids = {vehicle.vehicle_id for vehicle in vehicles.vehicles}
+        assert ids == {1}
+
+    def test_detect_cut_in_vehicle(self, generator):
+        frame = generator.frame(350)  # inside the cut-in window
+        lane = preprocess(frame)
+        vehicles = detect_vehicles(frame, lane)
+        ids = {vehicle.vehicle_id for vehicle in vehicles.vehicles}
+        assert 2 in ids
+
+    def test_stale_lane_can_corrupt_detection(self, generator):
+        """The mismatch mechanism: a stale lane box changes the in-lane
+        classification somewhere during a boundary crossing."""
+        differences = 0
+        for seq in range(280, 440):
+            frame = generator.frame(seq)
+            fresh = detect_vehicles(frame, preprocess(frame))
+            stale = detect_vehicles(frame, preprocess(generator.frame(seq - 3)))
+            if fresh.vehicles != stale.vehicles:
+                differences += 1
+        assert differences > 0
+
+    def test_decide_brake_threshold(self):
+        near = VehicleList(0, (DetectedVehicle(1, 10.0, 10.0),))  # TTC 1 s
+        far = VehicleList(1, (DetectedVehicle(1, 100.0, 10.0),))  # TTC 10 s
+        receding = VehicleList(2, (DetectedVehicle(1, 10.0, -5.0),))
+        empty = VehicleList(3, ())
+        assert decide_brake(near).brake
+        assert not decide_brake(far).brake
+        assert not decide_brake(receding).brake
+        assert not decide_brake(empty).brake
+
+    def test_brake_intensity_scales_with_urgency(self):
+        urgent = decide_brake(VehicleList(0, (DetectedVehicle(1, 5.0, 10.0),)))
+        mild_ttc = TTC_THRESHOLD_S * 0.9
+        mild = decide_brake(
+            VehicleList(0, (DetectedVehicle(1, 10.0 * mild_ttc, 10.0),))
+        )
+        assert urgent.intensity > mild.intensity
+        assert 0.0 <= mild.intensity <= 1.0
+
+    def test_oracle_is_deterministic(self, generator):
+        assert oracle_commands(generator, 100) == oracle_commands(generator, 100)
+
+
+finite = st.floats(min_value=-1000, max_value=1000, allow_nan=False)
+
+
+class TestWireFormats:
+    @given(
+        st.integers(min_value=0, max_value=10**6),
+        st.lists(
+            st.tuples(st.integers(0, 100), finite, finite, finite), max_size=5
+        ),
+    )
+    @settings(max_examples=50)
+    def test_frame_roundtrip(self, seq, vehicles):
+        frame = Frame(
+            seq=seq,
+            capture_time_ns=seq * PERIOD,
+            ego_speed_mps=25.0,
+            lane_center_m=1.0,
+            lane_width_m=3.6,
+            vehicles=tuple(GroundTruthVehicle(*v) for v in vehicles),
+        )
+        data = FRAME_SPEC.to_bytes(frame_to_wire(frame))
+        assert frame_from_wire(FRAME_SPEC.from_bytes(data)) == frame
+
+    def test_lane_roundtrip(self):
+        lane = LaneBox(7, -1.0, 2.6)
+        data = LANE_SPEC.to_bytes(lane_to_wire(lane))
+        assert lane_from_wire(LANE_SPEC.from_bytes(data)) == lane
+
+    def test_vehicles_roundtrip(self):
+        vehicles = VehicleList(9, (DetectedVehicle(1, 30.0, 5.0),))
+        data = VEHICLES_SPEC.to_bytes(vehicles_to_wire(vehicles))
+        assert vehicles_from_wire(VEHICLES_SPEC.from_bytes(data)) == vehicles
+
+    def test_brake_roundtrip(self):
+        command = BrakeCommand(3, True, 0.5)
+        data = BRAKE_SPEC.to_bytes(brake_to_wire(command))
+        assert brake_from_wire(BRAKE_SPEC.from_bytes(data)) == command
+
+
+class TestOneSlotBuffer:
+    def test_write_read_cycle(self):
+        buffer = OneSlotBuffer("b")
+        buffer.write("a")
+        assert buffer.read() == "a"
+        assert buffer.read() is None
+        assert buffer.drops == 0
+
+    def test_overwrite_counts_drop(self):
+        buffer = OneSlotBuffer("b")
+        buffer.write("a")
+        buffer.write("b")
+        assert buffer.drops == 1
+        assert buffer.read() == "b"
+
+    def test_read_after_read_is_empty(self):
+        buffer = OneSlotBuffer("b")
+        buffer.write(1)
+        buffer.read()
+        buffer.write(2)
+        assert buffer.drops == 0

@@ -1,0 +1,129 @@
+"""Integration tests for the two brake-assistant variants.
+
+These use small frame counts to stay fast; the benchmark suite runs the
+paper-scale experiments.
+"""
+
+import pytest
+
+from repro.apps.brake import (
+    BrakeScenario,
+    run_det_brake_assistant,
+    run_nondet_brake_assistant,
+)
+from repro.apps.brake.logic import oracle_commands
+from repro.apps.brake.vision import SceneGenerator
+
+SMALL = BrakeScenario(n_frames=120)
+
+
+@pytest.fixture(scope="module")
+def oracle():
+    generator = SceneGenerator(SMALL.period_ns, SMALL.variant)
+    return oracle_commands(generator, SMALL.n_frames)
+
+
+class TestNondetPipeline:
+    def test_pipeline_produces_commands(self):
+        result = run_nondet_brake_assistant(0, SMALL)
+        assert len(result.commands) > SMALL.n_frames // 2
+
+    def test_same_seed_reproducible(self):
+        first = run_nondet_brake_assistant(5, SMALL)
+        second = run_nondet_brake_assistant(5, SMALL)
+        assert first.errors.as_dict() == second.errors.as_dict()
+        assert first.commands == second.commands
+
+    def test_error_rate_varies_across_seeds(self):
+        scenario = BrakeScenario(n_frames=400)
+        rates = {
+            run_nondet_brake_assistant(seed, scenario).errors.total()
+            for seed in range(8)
+        }
+        assert len(rates) > 1
+
+    def test_commands_follow_logic_when_aligned(self, oracle):
+        """Even the stock pipeline computes correct commands for the
+        frames it does not lose or misalign."""
+        result = run_nondet_brake_assistant(0, SMALL)
+        agreeing = sum(
+            1
+            for seq, command in result.commands.items()
+            if oracle[seq] == command
+        )
+        assert agreeing >= len(result.commands) * 0.9
+
+    def test_latencies_recorded(self):
+        result = run_nondet_brake_assistant(0, SMALL)
+        assert result.latencies_ns
+        for latency in result.latencies_ns.values():
+            assert 0 < latency < 500_000_000
+
+
+class TestDetPipeline:
+    def test_zero_errors(self):
+        result = run_det_brake_assistant(0, SMALL)
+        assert result.errors.total() == 0
+        assert result.deadline_misses == 0
+        assert result.stp_violations == 0
+
+    def test_every_frame_processed(self):
+        result = run_det_brake_assistant(0, SMALL)
+        assert sorted(result.commands) == list(range(SMALL.n_frames))
+
+    def test_matches_oracle_exactly(self, oracle):
+        result = run_det_brake_assistant(0, SMALL)
+        assert result.compare_with_oracle(oracle).is_perfect
+
+    def test_commands_identical_across_seeds(self):
+        runs = [run_det_brake_assistant(seed, SMALL) for seed in range(3)]
+        commands = {tuple(sorted(run.commands.items())) for run in runs}
+        assert len(commands) == 1
+
+    def test_traces_identical_with_deterministic_camera(self):
+        scenario = BrakeScenario(n_frames=60, deterministic_camera=True)
+        fingerprints = {
+            tuple(sorted(run_det_brake_assistant(seed, scenario).trace_fingerprints.items()))
+            for seed in range(3)
+        }
+        assert len(fingerprints) == 1
+
+    def test_latency_is_bounded_by_deadline_chain(self):
+        """End-to-end physical latency stays within the budget the
+        deadline/STP chain implies."""
+        scenario = SMALL
+        result = run_det_brake_assistant(0, scenario)
+        release = scenario.latency_bound_ns + scenario.clock_error_ns
+        logical_budget = (
+            scenario.adapter_deadline_ns
+            + scenario.preprocessing_deadline_ns
+            + scenario.computer_vision_deadline_ns
+            + 3 * release
+        )
+        # Physical completion adds the EBA execution, bounded by its
+        # deadline budget; allow small scheduling slack on top.
+        bound = logical_budget + scenario.eba_deadline_ns + 5_000_000
+        for latency in result.latencies_ns.values():
+            assert latency <= bound
+
+    def test_nondet_loses_brake_events_det_does_not(self, oracle):
+        """The safety punchline on an unlucky seed."""
+        scenario = BrakeScenario(n_frames=400)
+        generator = SceneGenerator(scenario.period_ns, scenario.variant)
+        full_oracle = oracle_commands(generator, scenario.n_frames)
+        losses = []
+        for seed in range(8):
+            nondet = run_nondet_brake_assistant(seed, scenario)
+            comparison = nondet.compare_with_oracle(full_oracle)
+            losses.append(comparison.missed_brakes + comparison.phantom_brakes)
+        assert any(loss > 0 for loss in losses)
+        det = run_det_brake_assistant(0, scenario)
+        assert det.compare_with_oracle(full_oracle).is_perfect
+
+
+class TestImagePipeline:
+    def test_image_based_det_run(self):
+        scenario = BrakeScenario(n_frames=30, use_image_pipeline=True)
+        result = run_det_brake_assistant(0, scenario)
+        assert result.errors.total() == 0
+        assert len(result.commands) == 30

@@ -1,0 +1,42 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["fig5"])
+        assert args.runs == 20
+        assert args.frames == 2_000
+
+    def test_overrides(self):
+        args = build_parser().parse_args(["fig5", "--runs", "3", "--frames", "100"])
+        assert args.runs == 3
+        assert args.frames == 100
+
+
+class TestExecution:
+    def test_fig3_prints_sequence(self, capsys):
+        assert main(["fig3"]) == 0
+        out = capsys.readouterr().out
+        assert "tc + Dc + L + E" in out
+
+    def test_ablation_small(self, capsys):
+        assert main(["ablation", "--seeds", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "sources of nondeterminism" in out
+
+    def test_det_small(self, capsys):
+        assert main(["det", "--seeds", "1", "--frames", "60"]) == 0
+        out = capsys.readouterr().out
+        assert "deterministic brake assistant" in out
+
+    def test_scaling(self, capsys):
+        assert main(["scaling"]) == 0
+        assert "EXT-SCALE" in capsys.readouterr().out

@@ -1,0 +1,89 @@
+"""Tests for the experiment harness (small-scale figure drivers)."""
+
+import os
+
+import pytest
+
+from repro.harness import env_int, run_seeds
+from repro.harness.figures import (
+    ablation_sources,
+    det_case_study,
+    figure1,
+    figure3_sequence,
+    figure5,
+    let_baseline,
+    overhead,
+    tradeoff,
+)
+from repro.time import MS
+
+
+class TestRunner:
+    def test_run_seeds_order(self):
+        assert run_seeds(lambda seed: seed * 2, [3, 1, 2]) == [6, 2, 4]
+
+    def test_env_int_default(self):
+        os.environ.pop("REPRO_TEST_KNOB", None)
+        assert env_int("REPRO_TEST_KNOB", 7) == 7
+
+    def test_env_int_override(self):
+        os.environ["REPRO_TEST_KNOB"] = "42"
+        try:
+            assert env_int("REPRO_TEST_KNOB", 7) == 42
+        finally:
+            del os.environ["REPRO_TEST_KNOB"]
+
+
+class TestFigureDriversSmall:
+    """Each driver at miniature scale: structure + render sanity."""
+
+    def test_figure1(self):
+        result = figure1(nondet_seeds=8, det_seeds=2)
+        assert sum(result.nondet_counts.values()) == 8
+        assert set(result.det_counts) == {3}
+        assert "Figure 1" in result.render()
+        assert abs(sum(result.probabilities().values()) - 1.0) < 1e-9
+
+    def test_figure3(self):
+        result = figure3_sequence()
+        assert result.matches_paper_chain()
+        assert "tc + Dc + L + E" in result.render()
+
+    def test_figure5(self):
+        result = figure5(n_runs=3, n_frames=150)
+        assert len(result.runs) == 3
+        assert result.rates() == sorted(result.rates())
+        assert "Figure 5" in result.render()
+
+    def test_det_case_study(self):
+        result = det_case_study(n_seeds=2, n_frames=100)
+        assert result.total_errors() == 0
+        assert result.commands_identical
+        assert result.oracle_perfect
+        assert "deterministic brake assistant" in result.render()
+
+    def test_tradeoff_monotone(self):
+        result = tradeoff(deadlines_ns=[15 * MS, 25 * MS], n_frames=80)
+        assert len(result.points) == 2
+        unsound, sound = result.points
+        assert unsound.deadline_misses > sound.deadline_misses
+        assert sound.deadline_misses == 0
+        assert "trade-off" in result.render()
+
+    def test_ablation(self):
+        result = ablation_sources(n_seeds=6)
+        by_label = dict(result.rows)
+        assert set(by_label["sources off: serialized + FIFO"]) == {3}
+        assert "sources of nondeterminism" in result.render()
+
+    def test_overhead(self):
+        result = overhead(n_frames=100)
+        assert result.dear_frames_out == 100
+        assert result.dear_latency.maximum < 80 * MS
+        assert "Cost of determinism" in result.render()
+
+    def test_let_baseline(self):
+        result = let_baseline(n_frames=80, n_seeds=2)
+        assert result.deterministic
+        assert result.let_latency.mean == 200 * MS
+        assert "LET" in result.render()

@@ -1,0 +1,165 @@
+"""The proposed standard extension: native tag transport.
+
+The paper's conclusion advocates "an extension of the standard that
+obviates the need for the workarounds we implemented to associate
+method calls and events with tags".  The reproduction implements that
+extension as SOME/IP protocol version 2 (a first-class tag field after
+the header) selectable per endpoint; these tests check it is
+wire-correct, behaviourally identical to the trailer workaround, and
+interoperable with it.
+"""
+
+import pytest
+
+from repro.ara import AraProcess, Event, Method, ServiceInterface
+from repro.dear import (
+    ClientEventTransactor,
+    ServerEventTransactor,
+    StpConfig,
+    TransactorConfig,
+)
+from repro.errors import MalformedMessageError, SomeIpError
+from repro.reactors import Environment, Reactor
+from repro.someip import MessageType, SomeIpHeader, SomeIpMessage
+from repro.someip.serialization import INT32
+from repro.someip.wire import NATIVE_TAG_SIZE, PROTOCOL_VERSION_TAGGED
+from repro.time import MS, SEC, Tag
+
+from tests.conftest import build_ap_world
+
+PULSE = ServiceInterface(
+    "NativePulse", 0x5100,
+    methods=[Method("noop", 1)],
+    events=[Event("pulse", 0x8001, data=[("n", INT32)])],
+)
+
+CONFIG = TransactorConfig(deadline_ns=5 * MS, stp=StpConfig(latency_bound_ns=10 * MS))
+
+
+def header():
+    return SomeIpHeader(
+        service_id=1, method_id=2, client_id=3, session_id=4,
+        message_type=MessageType.NOTIFICATION,
+    )
+
+
+class TestWireFormat:
+    def test_native_tag_roundtrip(self):
+        message = SomeIpMessage(header(), b"payload", native_tag=Tag(50 * MS, 2))
+        parsed = SomeIpMessage.unpack(message.pack())
+        assert parsed.native_tag == Tag(50 * MS, 2)
+        assert parsed.payload == b"payload"
+        assert parsed.header.protocol_version == PROTOCOL_VERSION_TAGGED
+
+    def test_untagged_stays_version_one(self):
+        message = SomeIpMessage(header(), b"payload")
+        parsed = SomeIpMessage.unpack(message.pack())
+        assert parsed.native_tag is None
+        assert parsed.header.protocol_version == 0x01
+
+    def test_size_accounts_for_tag_field(self):
+        plain = SomeIpMessage(header(), b"xy")
+        tagged = SomeIpMessage(header(), b"xy", native_tag=Tag(0, 0))
+        assert tagged.size_bytes == plain.size_bytes + NATIVE_TAG_SIZE
+        assert tagged.size_bytes == len(tagged.pack())
+
+    def test_truncated_tag_field_rejected(self):
+        data = bytearray(SomeIpMessage(header(), b"").pack())
+        data[12] = PROTOCOL_VERSION_TAGGED  # claim v2 without a tag field
+        with pytest.raises(MalformedMessageError):
+            SomeIpMessage.unpack(bytes(data))
+
+    def test_negative_time_tags_supported(self):
+        """Tags are signed on the wire (relative/early tags survive)."""
+        message = SomeIpMessage(header(), b"", native_tag=Tag(-5, 1))
+        assert SomeIpMessage.unpack(message.pack()).native_tag == Tag(-5, 1)
+
+
+class _Pub(Reactor):
+    def __init__(self, name, owner, count=4):
+        super().__init__(name, owner)
+        self.out = self.output("out")
+        tick = self.timer("tick", offset=300 * MS, period=20 * MS)
+        self.n = 0
+
+        def fire(ctx):
+            if self.n < count:
+                self.n += 1
+                ctx.set(self.out, self.n)
+
+        self.reaction("fire", triggers=[tick], effects=[self.out], body=fire)
+
+
+class _Sub(Reactor):
+    def __init__(self, name, owner):
+        super().__init__(name, owner)
+        self.inp = self.input("inp")
+        self.received = []
+        self.reaction(
+            "recv", triggers=[self.inp],
+            body=lambda ctx: self.received.append((ctx.tag, ctx.get(self.inp))),
+        )
+
+
+def run_chain(publisher_transport: str, subscriber_transport: str, seed=0):
+    world = build_ap_world(seed)
+    server_process = AraProcess(
+        world.platform("p1"), "pub", tag_aware=True,
+        tag_transport=publisher_transport,
+    )
+    server_env = Environment(name="pub", timeout=2 * SEC, trace_origin=0)
+    publisher = _Pub("publisher", server_env)
+    skeleton = server_process.create_skeleton(PULSE, 1)
+    skeleton.implement("noop", lambda: None)
+    tx = ServerEventTransactor("tx", server_env, server_process, skeleton,
+                               "pulse", CONFIG)
+    server_env.connect(publisher.out, tx.inp)
+    skeleton.offer()
+    server_env.start(world.platform("p1"))
+
+    client_process = AraProcess(
+        world.platform("p2"), "sub", tag_aware=True,
+        tag_transport=subscriber_transport,
+    )
+    client_env = Environment(name="sub", timeout=3 * SEC, trace_origin=0)
+    subscriber = _Sub("subscriber", client_env)
+
+    def setup():
+        proxy = yield from client_process.find_service(PULSE, 1)
+        rx = ClientEventTransactor("rx", client_env, client_process, proxy,
+                                   "pulse", CONFIG)
+        client_env.connect(rx.out, subscriber.inp)
+        client_env.start(world.platform("p2"))
+
+    client_process.spawn("setup", setup())
+    world.run_for(5 * SEC)
+    return subscriber, client_env
+
+
+class TestNativeTransportBehaviour:
+    def test_native_mode_delivers_in_tag_order(self):
+        subscriber, _ = run_chain("native", "native")
+        assert [value for _, value in subscriber.received] == [1, 2, 3, 4]
+        tags = [tag for tag, _ in subscriber.received]
+        assert tags == sorted(tags)
+
+    def test_native_and_trailer_logically_equivalent(self):
+        """The encoding is transparent to application behaviour."""
+        native, native_env = run_chain("native", "native")
+        trailer, trailer_env = run_chain("trailer", "trailer")
+        assert native.received == trailer.received
+        assert native_env.trace.fingerprint() == trailer_env.trace.fingerprint()
+
+    def test_mixed_encodings_interoperate(self):
+        """A native sender with a trailer-mode receiver (and vice versa):
+        receivers accept both encodings."""
+        mixed_a, _ = run_chain("native", "trailer")
+        mixed_b, _ = run_chain("trailer", "native")
+        assert [value for _, value in mixed_a.received] == [1, 2, 3, 4]
+        assert [value for _, value in mixed_b.received] == [1, 2, 3, 4]
+
+    def test_unknown_transport_rejected(self):
+        world = build_ap_world(0)
+        with pytest.raises(SomeIpError):
+            AraProcess(world.platform("p1"), "x", tag_aware=True,
+                       tag_transport="smoke-signals")

@@ -1,0 +1,239 @@
+"""Property-based tests on core invariants (hypothesis).
+
+These sample the space of programs/configurations rather than fixing a
+handful: random lock programs must preserve mutual exclusion, random
+reactor pipelines must be schedule-independent, random payload schemas
+must round-trip, and the safe-to-process arithmetic must be monotone.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.dear.stp import StpConfig
+from repro.reactors import Environment, Reactor
+from repro.sim import Acquire, Compute, Release, World
+from repro.sim.platform import MINNOWBOARD, PlatformConfig
+from repro.someip.serialization import (
+    Array,
+    BOOL,
+    FLOAT64,
+    INT32,
+    INT64,
+    STRING,
+    Struct,
+    UINT8,
+    UINT16,
+    UINT32,
+)
+from repro.time import MS, Tag, US
+
+# ---------------------------------------------------------------------------
+# Random lock programs: mutual exclusion and completion.
+# ---------------------------------------------------------------------------
+
+lock_step = st.tuples(
+    st.integers(min_value=0, max_value=2),     # which mutex
+    st.integers(min_value=0, max_value=50_000)  # critical-section length (ns)
+)
+lock_program = st.lists(lock_step, min_size=1, max_size=5)
+
+
+class TestRandomLockPrograms:
+    @given(
+        st.lists(lock_program, min_size=2, max_size=4),
+        st.integers(min_value=0, max_value=10_000),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_mutual_exclusion_and_completion(self, programs, seed):
+        """Threads acquiring mutexes in a *fixed global order* (to avoid
+        deadlock) must preserve mutual exclusion and all terminate."""
+        world = World(seed)
+        platform = world.add_platform(
+            "p", PlatformConfig(num_cores=2, dispatch_jitter_ns=10_000,
+                                timer_jitter_ns=0)
+        )
+        mutexes = [platform.mutex(f"m{i}") for i in range(3)]
+        occupancy = {i: 0 for i in range(3)}
+        violations = []
+        finished = []
+
+        def body(steps, name):
+            for mutex_index, hold_ns in sorted(steps):
+                yield Acquire(mutexes[mutex_index])
+                occupancy[mutex_index] += 1
+                if occupancy[mutex_index] > 1:
+                    violations.append(name)
+                if hold_ns:
+                    yield Compute(hold_ns)
+                occupancy[mutex_index] -= 1
+                yield Release(mutexes[mutex_index])
+            finished.append(name)
+
+        for index, steps in enumerate(programs):
+            platform.spawn(f"t{index}", body(steps, index))
+        world.run_to_completion()
+        assert violations == []
+        assert sorted(finished) == list(range(len(programs)))
+
+
+# ---------------------------------------------------------------------------
+# Random reactor pipelines: schedule independence.
+# ---------------------------------------------------------------------------
+
+
+class _Stage(Reactor):
+    def __init__(self, name, owner, increment, cost):
+        super().__init__(name, owner)
+        self.inp = self.input("inp")
+        self.out = self.output("out")
+        self.reaction(
+            "work",
+            triggers=[self.inp],
+            effects=[self.out],
+            body=lambda ctx: ctx.set(self.out, ctx.get(self.inp) + increment),
+            exec_time=cost,
+        )
+
+
+class _Source(Reactor):
+    def __init__(self, name, owner, period):
+        super().__init__(name, owner)
+        self.out = self.output("out")
+        tick = self.timer("tick", offset=0, period=period)
+        self.n = 0
+
+        def emit(ctx):
+            self.n += 1
+            ctx.set(self.out, self.n)
+
+        self.reaction("emit", triggers=[tick], effects=[self.out], body=emit)
+
+
+pipeline_spec = st.lists(
+    st.tuples(
+        st.integers(min_value=-5, max_value=5),       # increment
+        st.integers(min_value=0, max_value=3 * MS),   # exec cost
+    ),
+    min_size=1,
+    max_size=5,
+)
+
+
+class TestRandomReactorPipelines:
+    @given(pipeline_spec, st.integers(min_value=2, max_value=20))
+    @settings(max_examples=25, deadline=None)
+    def test_trace_independent_of_platform_seed(self, stages, period_ms):
+        """Any linear pipeline yields the same logical trace for any
+        platform seed (the reactor determinism guarantee)."""
+
+        def run(seed):
+            world = World(seed)
+            platform = world.add_platform("p", MINNOWBOARD)
+            env = Environment(timeout=100 * MS)
+            source = _Source("source", env, period_ms * MS)
+            previous = source.out
+            for index, (increment, cost) in enumerate(stages):
+                stage = _Stage(f"s{index}", env, increment, cost)
+                env.connect(previous, stage.inp)
+                previous = stage.out
+            env.start(platform)
+            world.run_for(2_000 * MS)
+            assert env.terminated
+            return env.trace.fingerprint()
+
+        assert run(1) == run(2)
+
+    @given(pipeline_spec)
+    @settings(max_examples=25, deadline=None)
+    def test_fast_mode_matches_sim_mode_logically(self, stages):
+        """Fast (logical-only) execution and platform-embedded execution
+        of the same program produce the same logical trace."""
+
+        def build(env):
+            source = _Source("source", env, 10 * MS)
+            previous = source.out
+            for index, (increment, cost) in enumerate(stages):
+                stage = _Stage(f"s{index}", env, increment, cost)
+                env.connect(previous, stage.inp)
+                previous = stage.out
+
+        fast_env = Environment(timeout=50 * MS)
+        build(fast_env)
+        fast_env.execute()
+
+        world = World(7)
+        platform = world.add_platform("p", MINNOWBOARD)
+        sim_env = Environment(timeout=50 * MS)
+        build(sim_env)
+        sim_env.start(platform)
+        world.run_for(1_000 * MS)
+        assert sim_env.terminated
+        assert fast_env.trace.fingerprint() == sim_env.trace.fingerprint()
+
+
+# ---------------------------------------------------------------------------
+# Random payload schemas round-trip.
+# ---------------------------------------------------------------------------
+
+
+def _schema_and_value():
+    scalar = st.sampled_from([
+        (UINT8, st.integers(0, 255)),
+        (UINT16, st.integers(0, 2**16 - 1)),
+        (UINT32, st.integers(0, 2**32 - 1)),
+        (INT32, st.integers(-(2**31), 2**31 - 1)),
+        (INT64, st.integers(-(2**63), 2**63 - 1)),
+        (BOOL, st.booleans()),
+        (STRING, st.text(max_size=20)),
+        (FLOAT64, st.floats(allow_nan=False, allow_infinity=False)),
+    ])
+
+    def extend(base):
+        spec, values = base
+        return st.one_of(
+            st.just((Array(spec), st.lists(values, max_size=4))),
+            st.just((spec, values)),
+        )
+
+    return scalar.flatmap(extend)
+
+
+class TestRandomSchemas:
+    @given(
+        st.lists(_schema_and_value(), min_size=1, max_size=5).flatmap(
+            lambda fields: st.tuples(
+                st.just(Struct([(f"f{i}", spec) for i, (spec, _) in enumerate(fields)])),
+                st.tuples(*(values for _, values in fields)),
+            )
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_struct_roundtrip(self, schema_and_values):
+        spec, values = schema_and_values
+        payload = {f"f{i}": value for i, value in enumerate(values)}
+        assert spec.from_bytes(spec.to_bytes(payload)) == payload
+
+
+# ---------------------------------------------------------------------------
+# Safe-to-process arithmetic.
+# ---------------------------------------------------------------------------
+
+
+class TestStpArithmetic:
+    @given(
+        st.integers(min_value=0, max_value=10**9),
+        st.integers(min_value=0, max_value=10**8),
+        st.integers(min_value=0, max_value=10**8),
+        st.integers(min_value=0, max_value=10**12),
+        st.integers(min_value=0, max_value=1000),
+    )
+    def test_release_delay_monotone_and_order_preserving(
+        self, latency, error, delta, time, microstep
+    ):
+        config = StpConfig(latency_bound_ns=latency, clock_error_ns=error)
+        assert config.release_delay_ns == latency + error
+        tag = Tag(time, microstep)
+        later = Tag(time + delta + 1, 0)
+        shifted = Tag(tag.time + config.release_delay_ns, tag.microstep)
+        shifted_later = Tag(later.time + config.release_delay_ns, later.microstep)
+        # Adding the same release delay preserves tag order strictly.
+        assert shifted < shifted_later

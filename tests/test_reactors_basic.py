@@ -1,0 +1,397 @@
+"""Unit tests for the reactor runtime in fast (logical time) mode."""
+
+import pytest
+
+from repro.errors import (
+    AssemblyError,
+    CausalityError,
+    DeadlineViolation,
+    SchedulingError,
+)
+from repro.reactors import Environment, Reactor
+from repro.time import MS, Tag
+
+
+class Emitter(Reactor):
+    """Emits count values on a timer."""
+
+    def __init__(self, name, owner, period=10 * MS, limit=None):
+        super().__init__(name, owner)
+        self.out = self.output("out")
+        self.tick = self.timer("tick", offset=0, period=period)
+        self.count = 0
+        self.limit = limit
+        self.reaction("emit", triggers=[self.tick], effects=[self.out], body=self._emit)
+
+    def _emit(self, ctx):
+        self.count += 1
+        ctx.set(self.out, self.count)
+        if self.limit is not None and self.count >= self.limit:
+            ctx.request_stop()
+
+
+class Collector(Reactor):
+    """Records every (tag, value) it receives."""
+
+    def __init__(self, name, owner):
+        super().__init__(name, owner)
+        self.inp = self.input("inp")
+        self.received = []
+        self.reaction("collect", triggers=[self.inp], body=self._collect)
+
+    def _collect(self, ctx):
+        self.received.append((ctx.tag, ctx.get(self.inp)))
+
+
+class TestTimersAndConnections:
+    def test_timer_drives_pipeline(self):
+        env = Environment(timeout=35 * MS)
+        emitter = Emitter("emitter", env)
+        collector = Collector("collector", env)
+        env.connect(emitter.out, collector.inp)
+        env.execute()
+        values = [value for _, value in collector.received]
+        assert values == [1, 2, 3, 4]
+        times = [tag.time for tag, _ in collector.received]
+        assert times == [0, 10 * MS, 20 * MS, 30 * MS]
+
+    def test_logical_simultaneity(self):
+        """An event traverses a zero-delay chain within a single tag."""
+        env = Environment(timeout=5 * MS)
+        emitter = Emitter("emitter", env, period=10 * MS)
+        collector = Collector("collector", env)
+        env.connect(emitter.out, collector.inp)
+        env.execute()
+        tag, value = collector.received[0]
+        assert tag == Tag(0, 0)
+        assert value == 1
+
+    def test_one_shot_timer(self):
+        env = Environment(timeout=100 * MS)
+        holder = Reactor("holder", env)
+        fired = []
+        once = holder.timer("once", offset=7 * MS)
+        holder.reaction("go", triggers=[once], body=lambda ctx: fired.append(ctx.tag))
+        env.execute()
+        assert fired == [Tag(7 * MS, 0)]
+
+    def test_fan_out(self):
+        env = Environment(timeout=0)
+        emitter = Emitter("emitter", env)
+        sinks = [Collector(f"sink{i}", env) for i in range(3)]
+        for sink in sinks:
+            env.connect(emitter.out, sink.inp)
+        env.execute()
+        for sink in sinks:
+            assert [v for _, v in sink.received] == [1]
+
+    def test_request_stop_ends_execution(self):
+        env = Environment()  # no timeout: stop comes from the reactor
+        emitter = Emitter("emitter", env, limit=3)
+        collector = Collector("collector", env)
+        env.connect(emitter.out, collector.inp)
+        env.execute()
+        assert [v for _, v in collector.received] == [1, 2, 3]
+        assert env.terminated
+
+
+class TestStartupShutdown:
+    def test_startup_fires_once_at_first_tag(self):
+        env = Environment(timeout=50 * MS)
+        reactor = Reactor("r", env)
+        log = []
+        reactor.timer("tick", offset=0, period=10 * MS)  # keeps program alive
+        reactor.reaction(
+            "init", triggers=[reactor.startup], body=lambda ctx: log.append(ctx.tag)
+        )
+        env.execute()
+        assert log == [Tag(0, 0)]
+
+    def test_shutdown_fires_at_stop_tag(self):
+        env = Environment(timeout=25 * MS)
+        reactor = Reactor("r", env)
+        log = []
+        reactor.timer("tick", offset=0, period=10 * MS)
+        reactor.reaction(
+            "fini", triggers=[reactor.shutdown], body=lambda ctx: log.append(ctx.tag)
+        )
+        env.execute()
+        assert log == [Tag(25 * MS, 0)]
+
+    def test_startup_and_timer_share_first_tag(self):
+        env = Environment(timeout=0)
+        reactor = Reactor("r", env)
+        order = []
+        tick = reactor.timer("tick", offset=0, period=10 * MS)
+        reactor.reaction("a", triggers=[reactor.startup], body=lambda ctx: order.append("startup"))
+        reactor.reaction("b", triggers=[tick], body=lambda ctx: order.append("tick"))
+        env.execute()
+        # Same reactor: declaration order decides execution order.
+        assert order[:2] == ["startup", "tick"]
+
+
+class TestLogicalActions:
+    def test_zero_delay_advances_microstep(self):
+        env = Environment(timeout=10 * MS)
+        reactor = Reactor("r", env)
+        log = []
+        act = reactor.logical_action("act")
+        start = reactor.timer("start", offset=0)
+
+        def kick(ctx):
+            ctx.schedule(act, "ping")
+
+        def on_act(ctx):
+            log.append((ctx.tag, ctx.get(act)))
+
+        reactor.reaction("kick", triggers=[start], effects=[act], body=kick)
+        reactor.reaction("on_act", triggers=[act], body=on_act)
+        env.execute()
+        assert log == [(Tag(0, 1), "ping")]
+
+    def test_min_delay_plus_extra_delay(self):
+        env = Environment(timeout=20 * MS)
+        reactor = Reactor("r", env)
+        log = []
+        act = reactor.logical_action("act", min_delay=3 * MS)
+        start = reactor.timer("start", offset=0)
+        reactor.reaction(
+            "kick",
+            triggers=[start],
+            effects=[act],
+            body=lambda ctx: ctx.schedule(act, extra_delay=2 * MS),
+        )
+        reactor.reaction("on_act", triggers=[act], body=lambda ctx: log.append(ctx.tag))
+        env.execute()
+        assert log == [Tag(5 * MS, 0)]
+
+    def test_self_rescheduling_action(self):
+        env = Environment(timeout=10 * MS)
+        reactor = Reactor("r", env)
+        ticks = []
+        act = reactor.logical_action("act", min_delay=4 * MS)
+        start = reactor.timer("start", offset=0)
+
+        def fire(ctx):
+            ticks.append(ctx.tag.time)
+            ctx.schedule(act)
+
+        reactor.reaction("kick", triggers=[start], effects=[act],
+                         body=lambda ctx: ctx.schedule(act))
+        reactor.reaction("fire", triggers=[act], effects=[act], body=fire)
+        env.execute()
+        assert ticks == [4 * MS, 8 * MS]
+
+
+class TestDeclarationEnforcement:
+    def test_undeclared_effect_rejected(self):
+        env = Environment(timeout=0)
+        reactor = Reactor("r", env)
+        out = reactor.output("out")
+        start = reactor.timer("start", offset=0)
+        reactor.reaction(
+            "bad", triggers=[start], body=lambda ctx: ctx.set(out, 1)
+        )
+        with pytest.raises(SchedulingError):
+            env.execute()
+
+    def test_undeclared_read_rejected(self):
+        env = Environment(timeout=0)
+        emitter = Emitter("emitter", env)
+        reactor = Reactor("r", env)
+        inp = reactor.input("inp")
+        env.connect(emitter.out, inp)
+        start = reactor.timer("start", offset=0)
+        reactor.reaction("bad", triggers=[start], body=lambda ctx: ctx.get(inp))
+        with pytest.raises(SchedulingError):
+            env.execute()
+
+    def test_source_read_allowed(self):
+        env = Environment(timeout=0)
+        emitter = Emitter("emitter", env)
+        reactor = Reactor("r", env)
+        inp = reactor.input("inp")
+        env.connect(emitter.out, inp)
+        start = reactor.timer("start", offset=0)
+        seen = []
+        reactor.reaction(
+            "peek",
+            triggers=[start],
+            sources=[inp],
+            body=lambda ctx: seen.append(ctx.get(inp)),
+        )
+        env.execute()
+        assert seen == [1]  # emitter ran first (lower level)
+
+    def test_reaction_without_triggers_rejected(self):
+        env = Environment(timeout=0)
+        reactor = Reactor("r", env)
+        with pytest.raises(SchedulingError):
+            reactor.reaction("bad", triggers=[], body=lambda ctx: None)
+
+
+class TestAssemblyValidation:
+    def test_input_single_upstream(self):
+        env = Environment()
+        a = Emitter("a", env)
+        b = Emitter("b", env)
+        sink = Collector("sink", env)
+        env.connect(a.out, sink.inp)
+        with pytest.raises(AssemblyError):
+            env.connect(b.out, sink.inp)
+
+    def test_same_reactor_output_to_input_rejected(self):
+        env = Environment()
+        reactor = Reactor("r", env)
+        out = reactor.output("out")
+        inp = reactor.input("inp")
+        with pytest.raises(AssemblyError):
+            env.connect(out, inp)
+
+    def test_causality_cycle_detected(self):
+        env = Environment()
+        a = Reactor("a", env)
+        b = Reactor("b", env)
+        a_in, a_out = a.input("inp"), a.output("out")
+        b_in, b_out = b.input("inp"), b.output("out")
+        a.reaction("fwd", triggers=[a_in], effects=[a_out],
+                   body=lambda ctx: ctx.set(a_out, ctx.get(a_in)))
+        b.reaction("fwd", triggers=[b_in], effects=[b_out],
+                   body=lambda ctx: ctx.set(b_out, ctx.get(b_in)))
+        env.connect(a.out if False else a_out, b_in)
+        env.connect(b_out, a_in)
+        with pytest.raises(CausalityError):
+            env.execute()
+
+    def test_delayed_connection_breaks_cycle(self):
+        env = Environment(timeout=1 * MS)
+        a = Reactor("a", env)
+        b = Reactor("b", env)
+        a_in, a_out = a.input("inp"), a.output("out")
+        b_in, b_out = b.input("inp"), b.output("out")
+        hops = []
+
+        def fwd_a(ctx):
+            hops.append(("a", ctx.tag))
+            if len(hops) < 6:
+                ctx.set(a_out, ctx.get(a_in))
+
+        def fwd_b(ctx):
+            hops.append(("b", ctx.tag))
+            ctx.set(b_out, ctx.get(b_in))
+
+        start = a.timer("start", offset=0)
+        a.reaction("kick", triggers=[start], effects=[a_out],
+                   body=lambda ctx: ctx.set(a_out, 0))
+        a.reaction("fwd", triggers=[a_in], effects=[a_out], body=fwd_a)
+        b.reaction("fwd", triggers=[b_in], effects=[b_out], body=fwd_b)
+        env.connect(a_out, b_in)
+        env.connect(b_out, a_in, after=0)  # microstep delay breaks the cycle
+        env.execute()
+        assert [who for who, _ in hops[:4]] == ["b", "a", "b", "a"]
+        microsteps = [tag.microstep for who, tag in hops if who == "b"]
+        assert microsteps == sorted(microsteps)
+
+    def test_duplicate_element_names_rejected(self):
+        env = Environment()
+        reactor = Reactor("r", env)
+        reactor.output("x")
+        reactor.input("x")
+        start = reactor.timer("start", offset=0)
+        reactor.reaction("go", triggers=[start], body=lambda ctx: None)
+        with pytest.raises(AssemblyError):
+            env.execute()
+
+    def test_empty_environment_rejected(self):
+        with pytest.raises(AssemblyError):
+            Environment().execute()
+
+    def test_no_mutation_after_assembly(self):
+        env = Environment(timeout=0)
+        reactor = Reactor("r", env)
+        start = reactor.timer("start", offset=0)
+        reactor.reaction("go", triggers=[start], body=lambda ctx: None)
+        env.assemble()
+        with pytest.raises(AssemblyError):
+            Reactor("late", env)
+
+
+class TestHierarchy:
+    def test_nested_reactor_delegation(self):
+        env = Environment(timeout=0)
+
+        class Composite(Reactor):
+            def __init__(self, name, owner):
+                super().__init__(name, owner)
+                self.inp = self.input("inp")
+                self.out = self.output("out")
+                inner = Collector("inner", self)
+                inner_emit = Emitter("inner_emit", self)
+                self.environment.connect(self.inp, inner.inp)
+                self.environment.connect(inner_emit.out, self.out)
+                self.inner = inner
+
+        composite = Composite("comp", env)
+        emitter = Emitter("emitter", env)
+        sink = Collector("sink", env)
+        env.connect(emitter.out, composite.inp)
+        env.connect(composite.out, sink.inp)
+        env.execute()
+        assert [v for _, v in composite.inner.received] == [1]
+        assert [v for _, v in sink.received] == [1]
+
+    def test_fqn_path(self):
+        env = Environment()
+        outer = Reactor("outer", env)
+        inner = Reactor("inner", outer)
+        port = inner.input("inp")
+        assert inner.fqn == "outer.inner"
+        assert port.fqn == "outer.inner.inp"
+
+
+class TestLevels:
+    def test_pipeline_levels_increase(self):
+        env = Environment(timeout=0)
+        emitter = Emitter("emitter", env)
+        middle = Reactor("middle", env)
+        m_in, m_out = middle.input("inp"), middle.output("out")
+        middle.reaction("fwd", triggers=[m_in], effects=[m_out],
+                        body=lambda ctx: ctx.set(m_out, ctx.get(m_in)))
+        sink = Collector("sink", env)
+        env.connect(emitter.out, m_in)
+        env.connect(m_out, sink.inp)
+        env.assemble()
+        emit_level = emitter.reactions[0].level
+        fwd_level = middle.reactions[0].level
+        sink_level = sink.reactions[0].level
+        assert emit_level < fwd_level < sink_level
+
+    def test_same_reactor_priority_order(self):
+        env = Environment(timeout=0)
+        reactor = Reactor("r", env)
+        start = reactor.timer("start", offset=0)
+        order = []
+        for name in ("first", "second", "third"):
+            reactor.reaction(
+                name, triggers=[start], body=lambda ctx, name=name: order.append(name)
+            )
+        env.execute()
+        assert order == ["first", "second", "third"]
+
+
+class TestDeadlinesFastMode:
+    def test_no_violation_in_fast_mode(self):
+        from repro.reactors import Deadline
+
+        env = Environment(timeout=0)
+        reactor = Reactor("r", env)
+        start = reactor.timer("start", offset=0)
+        ran = []
+        reactor.reaction(
+            "guarded",
+            triggers=[start],
+            body=lambda ctx: ran.append("body"),
+            deadline=Deadline(1 * MS, handler=lambda ctx: ran.append("handler")),
+        )
+        env.execute()
+        assert ran == ["body"]

@@ -1,0 +1,197 @@
+"""Edge-case tests for reaction contexts, values and scheduling."""
+
+import pytest
+
+from repro.errors import SchedulingError
+from repro.reactors import Environment, Reactor
+from repro.sim import World
+from repro.sim.platform import CALM
+from repro.time import MS, Tag
+
+
+class TestContextTime:
+    def test_fast_mode_physical_equals_logical(self):
+        env = Environment(timeout=20 * MS)
+        reactor = Reactor("r", env)
+        tick = reactor.timer("tick", offset=5 * MS, period=10 * MS)
+        observations = []
+
+        def observe(ctx):
+            observations.append((ctx.logical_time, ctx.physical_time(), ctx.lag()))
+
+        reactor.reaction("observe", triggers=[tick], body=observe)
+        env.execute()
+        for logical, physical, lag in observations:
+            assert physical == logical
+            assert lag == 0
+
+    def test_sim_mode_lag_reflects_execution_cost(self):
+        world = World(0)
+        platform = world.add_platform("p", CALM)
+        env = Environment(timeout=50 * MS)
+        reactor = Reactor("r", env)
+        tick = reactor.timer("tick", offset=10 * MS)
+        lags = []
+        reactor.reaction("heavy", triggers=[tick], body=lambda ctx: None,
+                         exec_time=7 * MS)
+        reactor.reaction("observe", triggers=[tick],
+                         body=lambda ctx: lags.append(ctx.lag()))
+        env.start(platform)
+        world.run_for(1000 * MS)
+        assert lags and lags[0] >= 7 * MS
+
+
+class TestValues:
+    def test_same_reactor_later_reaction_overwrites_port(self):
+        env = Environment(timeout=0)
+        writer = Reactor("writer", env)
+        out = writer.output("out")
+        start = writer.timer("start", offset=0)
+        writer.reaction("first", triggers=[start], effects=[out],
+                        body=lambda ctx: ctx.set(out, "first"))
+        writer.reaction("second", triggers=[start], effects=[out],
+                        body=lambda ctx: ctx.set(out, "second"))
+        sink = Reactor("sink", env)
+        inp = sink.input("inp")
+        seen = []
+        sink.reaction("read", triggers=[inp], body=lambda ctx: seen.append(ctx.get(inp)))
+        env.connect(out, inp)
+        env.execute()
+        # The downstream reaction runs after *both* writers (APG) and
+        # sees the last value; it is triggered once per tag.
+        assert seen == ["second"]
+
+    def test_absent_port_reads_none(self):
+        env = Environment(timeout=0)
+        source = Reactor("source", env)
+        out = source.output("out")
+        start = source.timer("start", offset=0)
+        source.reaction("noop", triggers=[start], effects=[out],
+                        body=lambda ctx: None)  # never sets out
+        sink = Reactor("sink", env)
+        inp = sink.input("inp")
+        probe = sink.timer("probe", offset=0)
+        observations = []
+        sink.reaction(
+            "peek", triggers=[probe], sources=[inp],
+            body=lambda ctx: observations.append(
+                (ctx.is_present(inp), ctx.get(inp))
+            ),
+        )
+        env.connect(out, inp)
+        env.execute()
+        assert observations == [(False, None)]
+
+    def test_delayed_connection_carries_value(self):
+        env = Environment(timeout=20 * MS)
+        source = Reactor("source", env)
+        out = source.output("out")
+        start = source.timer("start", offset=0)
+        source.reaction("emit", triggers=[start], effects=[out],
+                        body=lambda ctx: ctx.set(out, "payload"))
+        sink = Reactor("sink", env)
+        inp = sink.input("inp")
+        received = []
+        sink.reaction("recv", triggers=[inp],
+                      body=lambda ctx: received.append((ctx.tag, ctx.get(inp))))
+        env.connect(out, inp, after=7 * MS)
+        env.execute()
+        assert received == [(Tag(7 * MS, 0), "payload")]
+
+    def test_values_cleared_between_tags(self):
+        env = Environment(timeout=25 * MS)
+        source = Reactor("source", env)
+        out = source.output("out")
+        tick = source.timer("tick", offset=0, period=10 * MS)
+        count = [0]
+
+        def emit(ctx):
+            count[0] += 1
+            if count[0] == 1:
+                ctx.set(out, "only-once")
+
+        source.reaction("emit", triggers=[tick], effects=[out], body=emit)
+        sink = Reactor("sink", env)
+        inp = sink.input("inp")
+        probe = sink.timer("probe", offset=0, period=10 * MS)
+        observations = []
+        sink.reaction("peek", triggers=[probe], sources=[inp],
+                      body=lambda ctx: observations.append(ctx.is_present(inp)))
+        env.connect(out, inp)
+        env.execute()
+        assert observations == [True, False, False]
+
+
+class TestSchedulingEdgeCases:
+    def test_physical_action_schedulable_from_reaction(self):
+        """Reactions may schedule physical actions; the tag comes from
+        physical time (here fast mode: equal to logical)."""
+        env = Environment(timeout=10 * MS)
+        reactor = Reactor("r", env)
+        action = reactor.physical_action("sensor", min_delay=2 * MS)
+        start = reactor.timer("start", offset=0)
+        fired = []
+        reactor.reaction("kick", triggers=[start], effects=[action],
+                         body=lambda ctx: ctx.schedule(action, "x"))
+        reactor.reaction("on_action", triggers=[action],
+                         body=lambda ctx: fired.append(ctx.tag))
+        env.execute()
+        assert fired and fired[0].time == 2 * MS
+
+    def test_negative_extra_delay_rejected(self):
+        env = Environment(timeout=10 * MS)
+        reactor = Reactor("r", env)
+        action = reactor.logical_action("act")
+        start = reactor.timer("start", offset=0)
+        errors = []
+
+        def kick(ctx):
+            try:
+                ctx.schedule(action, extra_delay=-1)
+            except SchedulingError:
+                errors.append(True)
+
+        reactor.reaction("kick", triggers=[start], effects=[action], body=kick)
+        reactor.reaction("sink", triggers=[action], body=lambda ctx: None)
+        env.execute()
+        assert errors == [True]
+
+    def test_invocation_counter(self):
+        env = Environment(timeout=45 * MS)
+        reactor = Reactor("r", env)
+        tick = reactor.timer("tick", offset=0, period=10 * MS)
+        reaction = reactor.reaction("count", triggers=[tick], body=lambda ctx: None)
+        env.execute()
+        assert reaction.invocations == 5
+
+    def test_exec_time_callable_receives_rng(self):
+        world = World(0)
+        platform = world.add_platform("p", CALM)
+        env = Environment(timeout=10 * MS)
+        reactor = Reactor("r", env)
+        start = reactor.timer("start", offset=0)
+        sampled = []
+
+        def cost_model(rng):
+            value = rng.randint(1 * MS, 2 * MS)
+            sampled.append(value)
+            return value
+
+        done = []
+        reactor.reaction("work", triggers=[start],
+                         body=lambda ctx: done.append(platform.local_now()),
+                         exec_time=cost_model)
+        env.start(platform)
+        world.run_for(1000 * MS)
+        assert len(sampled) == 1
+        assert done[0] >= sampled[0]
+
+    def test_timer_validation(self):
+        env = Environment()
+        reactor = Reactor("r", env)
+        with pytest.raises(ValueError):
+            reactor.timer("bad", offset=-1)
+        with pytest.raises(ValueError):
+            reactor.timer("bad2", offset=0, period=0)
+        with pytest.raises(ValueError):
+            reactor.logical_action("bad3", min_delay=-1)

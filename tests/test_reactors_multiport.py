@@ -1,0 +1,115 @@
+"""Tests for multiports (port banks)."""
+
+import pytest
+
+from repro.errors import AssemblyError
+from repro.reactors import Environment, Multiport, Reactor
+from repro.time import MS
+
+
+class Scatter(Reactor):
+    """Writes i*10 to channel i on startup."""
+
+    def __init__(self, name, owner, width):
+        super().__init__(name, owner)
+        self.out = self.output_multiport("out", width)
+        start = self.timer("start", offset=0)
+
+        def emit(ctx):
+            for index, channel in enumerate(self.out):
+                ctx.set(channel, index * 10)
+
+        self.reaction("emit", triggers=[start], effects=[self.out], body=emit)
+
+
+class Gather(Reactor):
+    """Collects all channels whenever any fires."""
+
+    def __init__(self, name, owner, width):
+        super().__init__(name, owner)
+        self.inp = self.input_multiport("inp", width)
+        self.observations = []
+        self.reaction(
+            "collect",
+            triggers=[self.inp],
+            body=lambda ctx: self.observations.append(
+                (self.inp.present_channels(), self.inp.values())
+            ),
+        )
+
+
+class TestMultiports:
+    def test_pairwise_connection_and_gather(self):
+        env = Environment(timeout=0)
+        scatter = Scatter("scatter", env, 3)
+        gather = Gather("gather", env, 3)
+        env.connect_multiports(scatter.out, gather.inp)
+        env.execute()
+        assert gather.observations == [([0, 1, 2], [0, 10, 20])]
+
+    def test_width_mismatch_rejected(self):
+        env = Environment()
+        scatter = Scatter("scatter", env, 3)
+        gather = Gather("gather", env, 2)
+        with pytest.raises(AssemblyError):
+            env.connect_multiports(scatter.out, gather.inp)
+
+    def test_partial_presence(self):
+        env = Environment(timeout=0)
+
+        class Sparse(Reactor):
+            def __init__(self, name, owner):
+                super().__init__(name, owner)
+                self.out = self.output_multiport("out", 3)
+                start = self.timer("start", offset=0)
+                self.reaction(
+                    "emit", triggers=[start], effects=[self.out],
+                    body=lambda ctx: ctx.set(self.out[1], "only-middle"),
+                )
+
+        sparse = Sparse("sparse", env)
+        gather = Gather("gather", env, 3)
+        env.connect_multiports(sparse.out, gather.inp)
+        env.execute()
+        channels, values = gather.observations[0]
+        assert channels == [1]
+        assert values == [None, "only-middle", None]
+
+    def test_fan_in_from_separate_reactors(self):
+        env = Environment(timeout=0)
+
+        class One(Reactor):
+            def __init__(self, name, owner, value):
+                super().__init__(name, owner)
+                self.out = self.output("out")
+                start = self.timer("start", offset=0)
+                self.reaction("emit", triggers=[start], effects=[self.out],
+                              body=lambda ctx: ctx.set(self.out, value))
+
+        sources = [One(f"s{i}", env, i + 100) for i in range(3)]
+        gather = Gather("gather", env, 3)
+        for index, source in enumerate(sources):
+            env.connect(source.out, gather.inp[index])
+        env.execute()
+        assert gather.observations == [([0, 1, 2], [100, 101, 102])]
+
+    def test_channel_fqns(self):
+        env = Environment()
+        scatter = Scatter("scatter", env, 2)
+        assert scatter.out[0].fqn == "scatter.out[0]"
+        assert scatter.out.fqn == "scatter.out"
+        assert scatter.out.width == 2
+
+    def test_invalid_width(self):
+        env = Environment()
+        reactor = Reactor("r", env)
+        with pytest.raises(ValueError):
+            reactor.input_multiport("bad", 0)
+
+    def test_delayed_multiport_connection(self):
+        env = Environment(timeout=10 * MS)
+        scatter = Scatter("scatter", env, 2)
+        gather = Gather("gather", env, 2)
+        env.connect_multiports(scatter.out, gather.inp, after=4 * MS)
+        env.execute()
+        assert gather.observations == [([0, 1], [0, 10])]

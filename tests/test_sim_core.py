@@ -1,0 +1,124 @@
+"""Unit tests for the discrete-event simulation kernel."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import Simulator
+
+
+class TestScheduling:
+    def test_events_fire_in_time_order(self):
+        sim = Simulator()
+        fired = []
+        sim.at(30, lambda: fired.append("c"))
+        sim.at(10, lambda: fired.append("a"))
+        sim.at(20, lambda: fired.append("b"))
+        sim.run()
+        assert fired == ["a", "b", "c"]
+        assert sim.now == 30
+
+    def test_equal_time_fifo(self):
+        sim = Simulator()
+        fired = []
+        for label in "abcde":
+            sim.at(10, lambda label=label: fired.append(label))
+        sim.run()
+        assert fired == list("abcde")
+
+    def test_priority_orders_within_time(self):
+        sim = Simulator()
+        fired = []
+        sim.at(10, lambda: fired.append("late"), priority=200)
+        sim.at(10, lambda: fired.append("early"), priority=50)
+        sim.run()
+        assert fired == ["early", "late"]
+
+    def test_after_is_relative(self):
+        sim = Simulator()
+        times = []
+        sim.at(100, lambda: sim.after(50, lambda: times.append(sim.now)))
+        sim.run()
+        assert times == [150]
+
+    def test_scheduling_in_past_rejected(self):
+        sim = Simulator()
+        sim.at(100, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.at(50, lambda: None)
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(SimulationError):
+            Simulator().after(-1, lambda: None)
+
+
+class TestRunUntil:
+    def test_run_until_stops_before_later_events(self):
+        sim = Simulator()
+        fired = []
+        sim.at(10, lambda: fired.append(1))
+        sim.at(100, lambda: fired.append(2))
+        sim.run(until=50)
+        assert fired == [1]
+        assert sim.now == 50
+        sim.run()
+        assert fired == [1, 2]
+
+    def test_run_until_advances_time_without_events(self):
+        sim = Simulator()
+        sim.run(until=1000)
+        assert sim.now == 1000
+
+    def test_event_exactly_at_until_fires(self):
+        sim = Simulator()
+        fired = []
+        sim.at(50, lambda: fired.append(1))
+        sim.run(until=50)
+        assert fired == [1]
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self):
+        sim = Simulator()
+        fired = []
+        handle = sim.at(10, lambda: fired.append(1))
+        handle.cancel()
+        sim.run()
+        assert fired == []
+        assert handle.cancelled
+
+    def test_pending_count_ignores_cancelled(self):
+        sim = Simulator()
+        keep = sim.at(10, lambda: None)
+        drop = sim.at(20, lambda: None)
+        drop.cancel()
+        assert sim.pending_count() == 1
+        assert not keep.cancelled
+
+    def test_cancel_after_fire_is_noop(self):
+        sim = Simulator()
+        handle = sim.at(10, lambda: None)
+        sim.run()
+        handle.cancel()  # must not raise
+
+
+class TestStep:
+    def test_step_returns_false_when_empty(self):
+        assert Simulator().step() is False
+
+    def test_events_processed_counter(self):
+        sim = Simulator()
+        for t in (1, 2, 3):
+            sim.at(t, lambda: None)
+        sim.run()
+        assert sim.events_processed == 3
+
+    def test_reentrant_run_rejected(self):
+        sim = Simulator()
+
+        def reenter():
+            with pytest.raises(SimulationError):
+                sim.run()
+
+        sim.at(1, reenter)
+        sim.run()

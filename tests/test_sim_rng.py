@@ -1,0 +1,51 @@
+"""Unit tests for hierarchical RNG streams."""
+
+from repro.sim import RngTree
+
+
+class TestStreams:
+    def test_same_name_same_stream_object(self):
+        tree = RngTree(1)
+        assert tree.stream("a") is tree.stream("a")
+
+    def test_different_names_independent(self):
+        tree = RngTree(1)
+        a = [tree.stream("a").random() for _ in range(5)]
+        b = [tree.stream("b").random() for _ in range(5)]
+        assert a != b
+
+    def test_same_seed_reproducible(self):
+        first = [RngTree(7).stream("x").random() for _ in range(3)]
+        second = [RngTree(7).stream("x").random() for _ in range(3)]
+        assert first == second
+
+    def test_different_seeds_differ(self):
+        a = RngTree(1).stream("x").random()
+        b = RngTree(2).stream("x").random()
+        assert a != b
+
+    def test_stream_isolation_from_creation_order(self):
+        """Creating extra streams must not perturb existing ones."""
+        tree1 = RngTree(3)
+        value1 = tree1.stream("target").random()
+
+        tree2 = RngTree(3)
+        tree2.stream("other1").random()
+        tree2.stream("other2").random()
+        value2 = tree2.stream("target").random()
+        assert value1 == value2
+
+
+class TestChildTrees:
+    def test_child_is_namespaced(self):
+        tree = RngTree(5)
+        child_a = tree.child("a")
+        child_b = tree.child("b")
+        assert child_a.seed != child_b.seed
+        assert child_a.stream("s").random() != child_b.stream("s").random()
+
+    def test_child_reproducible(self):
+        assert RngTree(5).child("p").seed == RngTree(5).child("p").seed
+
+    def test_repr_contains_seed(self):
+        assert "seed=9" in repr(RngTree(9))

@@ -1,0 +1,136 @@
+"""Unit tests for typed payload serialization."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import SerializationError
+from repro.someip import (
+    Array,
+    BOOL,
+    BYTES,
+    FLOAT64,
+    INT32,
+    INT64,
+    STRING,
+    Struct,
+    UINT8,
+    UINT16,
+    UINT32,
+)
+
+
+class TestScalars:
+    @pytest.mark.parametrize(
+        "spec,value",
+        [
+            (UINT8, 0),
+            (UINT8, 255),
+            (UINT16, 65535),
+            (UINT32, 2**32 - 1),
+            (INT32, -(2**31)),
+            (INT64, 2**63 - 1),
+        ],
+    )
+    def test_bounds_roundtrip(self, spec, value):
+        assert spec.from_bytes(spec.to_bytes(value)) == value
+
+    @pytest.mark.parametrize(
+        "spec,value", [(UINT8, 256), (UINT8, -1), (INT32, 2**31), (UINT16, -7)]
+    )
+    def test_out_of_range(self, spec, value):
+        with pytest.raises(SerializationError):
+            spec.to_bytes(value)
+
+    @given(st.integers(min_value=-(2**31), max_value=2**31 - 1))
+    def test_int32_roundtrip(self, value):
+        assert INT32.from_bytes(INT32.to_bytes(value)) == value
+
+    @given(st.floats(allow_nan=False, allow_infinity=False))
+    def test_float64_roundtrip(self, value):
+        result = FLOAT64.from_bytes(FLOAT64.to_bytes(value))
+        assert result == value or (math.isnan(result) and math.isnan(value))
+
+    def test_big_endian(self):
+        assert UINT16.to_bytes(0x0102) == b"\x01\x02"
+
+
+class TestBoolBytesString:
+    def test_bool_roundtrip(self):
+        assert BOOL.from_bytes(BOOL.to_bytes(True)) is True
+        assert BOOL.from_bytes(BOOL.to_bytes(False)) is False
+
+    def test_bool_invalid_byte(self):
+        with pytest.raises(SerializationError):
+            BOOL.from_bytes(b"\x02")
+
+    @given(st.binary(max_size=500))
+    def test_bytes_roundtrip(self, blob):
+        assert BYTES.from_bytes(BYTES.to_bytes(blob)) == blob
+
+    @given(st.text(max_size=200))
+    def test_string_roundtrip(self, text):
+        assert STRING.from_bytes(STRING.to_bytes(text)) == text
+
+    def test_string_type_check(self):
+        with pytest.raises(SerializationError):
+            STRING.to_bytes(42)
+
+    def test_truncated_bytes(self):
+        data = BYTES.to_bytes(b"hello")[:-2]
+        with pytest.raises(SerializationError):
+            BYTES.from_bytes(data)
+
+
+class TestArray:
+    @given(st.lists(st.integers(min_value=0, max_value=255), max_size=50))
+    def test_roundtrip(self, values):
+        spec = Array(UINT8)
+        assert spec.from_bytes(spec.to_bytes(values)) == values
+
+    def test_nested_arrays(self):
+        spec = Array(Array(UINT16))
+        value = [[1, 2], [], [65535]]
+        assert spec.from_bytes(spec.to_bytes(value)) == value
+
+    def test_non_sequence_rejected(self):
+        with pytest.raises(SerializationError):
+            Array(UINT8).to_bytes(7)
+
+
+class TestStruct:
+    def _spec(self):
+        return Struct(
+            [("id", UINT32), ("name", STRING), ("scores", Array(INT32))],
+            name="record",
+        )
+
+    def test_roundtrip(self):
+        spec = self._spec()
+        value = {"id": 9, "name": "frame", "scores": [-1, 0, 5]}
+        assert spec.from_bytes(spec.to_bytes(value)) == value
+
+    def test_missing_field(self):
+        with pytest.raises(SerializationError):
+            self._spec().to_bytes({"id": 1, "name": "x"})
+
+    def test_unknown_field(self):
+        with pytest.raises(SerializationError):
+            self._spec().to_bytes(
+                {"id": 1, "name": "x", "scores": [], "bogus": 3}
+            )
+
+    def test_duplicate_field_names_rejected(self):
+        with pytest.raises(ValueError):
+            Struct([("a", UINT8), ("a", UINT8)])
+
+    def test_trailing_bytes_rejected(self):
+        spec = self._spec()
+        data = spec.to_bytes({"id": 1, "name": "", "scores": []}) + b"\x00"
+        with pytest.raises(SerializationError):
+            spec.from_bytes(data)
+
+    def test_field_order_is_wire_order(self):
+        spec = Struct([("a", UINT8), ("b", UINT8)])
+        assert spec.to_bytes({"a": 1, "b": 2}) == b"\x01\x02"

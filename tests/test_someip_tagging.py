@@ -1,0 +1,66 @@
+"""Unit tests for the tagged-message extension and timestamp bypass."""
+
+from hypothesis import given, strategies as st
+
+from repro.someip import TimestampBypass, attach_tag, extract_tag
+from repro.time import MS, Tag
+
+
+class TestTrailer:
+    def test_roundtrip(self):
+        payload, tag = extract_tag(attach_tag(b"hello", Tag(50 * MS, 3)))
+        assert payload == b"hello"
+        assert tag == Tag(50 * MS, 3)
+
+    def test_untagged_passthrough(self):
+        payload, tag = extract_tag(b"plain old payload")
+        assert payload == b"plain old payload"
+        assert tag is None
+
+    def test_short_payload_untagged(self):
+        payload, tag = extract_tag(b"tiny")
+        assert payload == b"tiny"
+        assert tag is None
+
+    def test_empty_payload_tagged(self):
+        payload, tag = extract_tag(attach_tag(b"", Tag(0, 0)))
+        assert payload == b""
+        assert tag == Tag(0, 0)
+
+    @given(
+        st.binary(max_size=300),
+        st.integers(min_value=0, max_value=10**15),
+        st.integers(min_value=0, max_value=10**6),
+    )
+    def test_roundtrip_property(self, payload, time, microstep):
+        tag = Tag(time, microstep)
+        recovered_payload, recovered_tag = extract_tag(attach_tag(payload, tag))
+        assert recovered_payload == payload
+        assert recovered_tag == tag
+
+    def test_stock_receiver_sees_longer_payload(self):
+        """A non-tag-aware receiver treats the trailer as payload bytes —
+        the standard-compatibility property the paper relies on."""
+        tagged = attach_tag(b"data", Tag(1, 0))
+        assert tagged.startswith(b"data")
+        assert len(tagged) == len(b"data") + 20
+
+
+class TestBypass:
+    def test_fifo_order(self):
+        bypass = TimestampBypass()
+        bypass.deposit(Tag(1, 0))
+        bypass.deposit(Tag(2, 0))
+        assert bypass.collect() == Tag(1, 0)
+        assert bypass.collect() == Tag(2, 0)
+
+    def test_empty_collect_returns_none(self):
+        assert TimestampBypass().collect() is None
+
+    def test_len(self):
+        bypass = TimestampBypass()
+        assert len(bypass) == 0
+        bypass.deposit(Tag(0, 0))
+        assert len(bypass) == 1
+        bypass.collect()
+        assert len(bypass) == 0

@@ -1,0 +1,99 @@
+"""Unit tests for the SOME/IP wire format."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import MalformedMessageError
+from repro.someip import MessageType, ReturnCode, SomeIpHeader, SomeIpMessage
+
+
+def make_header(**overrides):
+    base = dict(
+        service_id=0x1234,
+        method_id=0x0001,
+        client_id=0x0042,
+        session_id=0x0007,
+        interface_version=1,
+        message_type=MessageType.REQUEST,
+        return_code=ReturnCode.E_OK,
+    )
+    base.update(overrides)
+    return SomeIpHeader(**base)
+
+
+class TestPackUnpack:
+    def test_roundtrip(self):
+        message = SomeIpMessage(make_header(), b"\x01\x02\x03")
+        parsed = SomeIpMessage.unpack(message.pack())
+        assert parsed == message
+
+    def test_empty_payload(self):
+        message = SomeIpMessage(make_header(), b"")
+        assert SomeIpMessage.unpack(message.pack()).payload == b""
+
+    def test_size_matches_packed_length(self):
+        message = SomeIpMessage(make_header(), b"x" * 37)
+        assert message.size_bytes == len(message.pack())
+
+    @given(
+        st.integers(min_value=0, max_value=0xFFFF),
+        st.integers(min_value=0, max_value=0xFFFF),
+        st.integers(min_value=0, max_value=0xFFFF),
+        st.integers(min_value=0, max_value=0xFFFF),
+        st.binary(max_size=200),
+        st.sampled_from(list(MessageType)),
+        st.sampled_from(list(ReturnCode)),
+    )
+    def test_roundtrip_property(
+        self, service, method, client, session, payload, mtype, rc
+    ):
+        header = SomeIpHeader(
+            service_id=service,
+            method_id=method,
+            client_id=client,
+            session_id=session,
+            message_type=mtype,
+            return_code=rc,
+        )
+        message = SomeIpMessage(header, payload)
+        assert SomeIpMessage.unpack(message.pack()) == message
+
+
+class TestIds:
+    def test_message_id_composition(self):
+        header = make_header(service_id=0xABCD, method_id=0x1234)
+        assert header.message_id == 0xABCD1234
+
+    def test_request_id_composition(self):
+        header = make_header(client_id=0x00AA, session_id=0x0BB0)
+        assert header.request_id == 0x00AA0BB0
+
+
+class TestMalformed:
+    def test_truncated_header(self):
+        with pytest.raises(MalformedMessageError):
+            SomeIpMessage.unpack(b"\x00" * 10)
+
+    def test_length_mismatch(self):
+        data = bytearray(SomeIpMessage(make_header(), b"abc").pack())
+        data += b"EXTRA"
+        with pytest.raises(MalformedMessageError):
+            SomeIpMessage.unpack(bytes(data))
+
+    def test_bad_protocol_version(self):
+        data = bytearray(SomeIpMessage(make_header(), b"").pack())
+        data[12] = 0x99
+        with pytest.raises(MalformedMessageError):
+            SomeIpMessage.unpack(bytes(data))
+
+    def test_bad_message_type(self):
+        data = bytearray(SomeIpMessage(make_header(), b"").pack())
+        data[14] = 0x55
+        with pytest.raises(MalformedMessageError):
+            SomeIpMessage.unpack(bytes(data))
+
+    def test_bad_return_code(self):
+        data = bytearray(SomeIpMessage(make_header(), b"").pack())
+        data[15] = 0xEE
+        with pytest.raises(MalformedMessageError):
+            SomeIpMessage.unpack(bytes(data))

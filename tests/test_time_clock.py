@@ -1,0 +1,75 @@
+"""Unit tests for physical clock models."""
+
+import random
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.time import ClockModel, PhysicalClock, SEC
+
+
+class TestClockModel:
+    def test_perfect_clock_maps_identity(self):
+        clock = PhysicalClock(ClockModel.perfect())
+        for t in (0, 17, 10**12):
+            assert clock.local_time(t) == t
+
+    def test_offset(self):
+        clock = PhysicalClock(ClockModel(offset_ns=500))
+        assert clock.local_time(1000) == 1500
+
+    def test_drift(self):
+        clock = PhysicalClock(ClockModel(drift_ppb=1000))  # 1 ppm
+        assert clock.local_time(SEC) == SEC + 1000
+
+    def test_sync_error_bound_perfect(self):
+        assert ClockModel.perfect().sync_error_bound(10 * SEC) == 0
+
+    def test_sync_error_bound_dominates_observations(self):
+        model = ClockModel(offset_ns=100, drift_ppb=500, read_jitter_ns=50)
+        clock = PhysicalClock(model, random.Random(1))
+        mission = 10 * SEC
+        bound = model.sync_error_bound(mission)
+        for t in range(0, mission, SEC):
+            assert abs(clock.read(t) - t) <= bound
+
+
+class TestInversion:
+    @given(
+        st.integers(min_value=-10**6, max_value=10**6),
+        st.integers(min_value=-100_000, max_value=100_000),
+        st.integers(min_value=0, max_value=10**13),
+    )
+    def test_global_time_for_never_undershoots(self, offset, drift, local):
+        model = ClockModel(offset_ns=offset, drift_ppb=drift)
+        clock = PhysicalClock(model)
+        g = clock.global_time_for(local)
+        assert clock.local_time(g) >= local
+        if g > 0:
+            assert clock.local_time(g - 1) < local
+
+
+class TestMonotonicRead:
+    def test_reads_never_go_backwards(self):
+        model = ClockModel(read_jitter_ns=1000)
+        clock = PhysicalClock(model, random.Random(42))
+        last = None
+        for t in range(0, 100_000, 100):
+            value = clock.read(t)
+            if last is not None:
+                assert value >= last
+            last = value
+
+    def test_jitter_requires_rng(self):
+        clock = PhysicalClock(ClockModel(read_jitter_ns=100), rng=None)
+        assert clock.read(1000) == 1000
+
+
+class TestSyncErrorBetweenPlatforms:
+    def test_two_offset_clocks_within_combined_bound(self):
+        a = ClockModel(offset_ns=200)
+        b = ClockModel(offset_ns=-300)
+        ca, cb = PhysicalClock(a), PhysicalClock(b)
+        bound = a.sync_error_bound(SEC) + b.sync_error_bound(SEC)
+        for t in range(0, SEC, SEC // 10):
+            assert abs(ca.local_time(t) - cb.local_time(t)) <= bound

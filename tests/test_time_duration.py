@@ -1,0 +1,70 @@
+"""Unit tests for repro.time.duration."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.time import MS, NS, SEC, US, duration, format_duration, msec, nsec, sec, usec
+
+
+class TestConstructors:
+    def test_unit_constants(self):
+        assert NS == 1
+        assert US == 1_000
+        assert MS == 1_000_000
+        assert SEC == 1_000_000_000
+
+    def test_helpers(self):
+        assert nsec(7) == 7
+        assert usec(3) == 3_000
+        assert msec(50) == 50_000_000
+        assert sec(2) == 2_000_000_000
+
+
+class TestParse:
+    @pytest.mark.parametrize(
+        "spec,expected",
+        [
+            ("50ms", 50 * MS),
+            ("5 us", 5 * US),
+            ("1.5s", 1_500_000_000),
+            ("100ns", 100),
+            ("2min", 120 * SEC),
+            ("0ms", 0),
+        ],
+    )
+    def test_valid(self, spec, expected):
+        assert duration(spec) == expected
+
+    def test_int_passthrough(self):
+        assert duration(12345) == 12345
+
+    @pytest.mark.parametrize("spec", ["fifty ms", "50", "50 lightyears", "ms", ""])
+    def test_invalid(self, spec):
+        with pytest.raises(ValueError):
+            duration(spec)
+
+    def test_fractional_ns_rejected(self):
+        with pytest.raises(ValueError):
+            duration("0.5ns")
+
+
+class TestFormat:
+    @pytest.mark.parametrize(
+        "value,expected",
+        [
+            (0, "0s"),
+            (50 * MS, "50ms"),
+            (3 * SEC, "3s"),
+            (7 * US, "7us"),
+            (1500, "1500ns"),
+            (-20 * MS, "-20ms"),
+        ],
+    )
+    def test_format(self, value, expected):
+        assert format_duration(value) == expected
+
+    @given(st.integers(min_value=-10 * SEC, max_value=10 * SEC))
+    def test_roundtrip(self, value):
+        formatted = format_duration(value)
+        if value >= 0:
+            assert duration(formatted) == value
