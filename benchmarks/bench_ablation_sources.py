@@ -13,16 +13,19 @@ second client (source 2) makes it nondeterministic again even though
 source 1 stays fixed.
 """
 
-from repro.harness import env_int
+from repro.harness import SweepRunner, env_int
 from repro.harness.figures import ablation_sources
 
 
 def test_ablation_sources(benchmark, show):
     n_seeds = env_int("REPRO_ABLATION_SEEDS", 25)
+    runner = SweepRunner()
     result = benchmark.pedantic(
-        ablation_sources, args=(n_seeds,), rounds=1, iterations=1
+        ablation_sources, args=(n_seeds,), kwargs={"sweep": runner},
+        rounds=1, iterations=1,
     )
     show(result.render())
+    show(runner.stats.summary_line())
 
     by_label = {label: counts for label, counts in result.rows}
     source1 = by_label["source 1 on: thread-per-invocation"]

@@ -16,17 +16,20 @@ Scale knobs: ``REPRO_DET_SEEDS`` (default 5), ``REPRO_DET_FRAMES``
 """
 
 from repro.apps.brake import BrakeScenario
-from repro.harness import env_int
+from repro.harness import SweepRunner, env_int
 from repro.harness.figures import det_case_study
 
 
 def test_det_case_study(benchmark, show):
     n_seeds = env_int("REPRO_DET_SEEDS", 5)
     n_frames = env_int("REPRO_DET_FRAMES", 500)
+    runner = SweepRunner()
     result = benchmark.pedantic(
-        det_case_study, args=(n_seeds, n_frames), rounds=1, iterations=1
+        det_case_study, args=(n_seeds, n_frames), kwargs={"sweep": runner},
+        rounds=1, iterations=1,
     )
     show(result.render())
+    show(runner.stats.summary_line())
 
     assert result.total_errors() == 0
     assert result.total_violations() == 0

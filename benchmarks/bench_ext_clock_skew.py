@@ -11,12 +11,17 @@ and no violations occur; whenever the actual skew exceeds the assumed
 counted as a violation — observable, never silent.
 """
 
+from repro.harness import SweepRunner
 from repro.harness.extensions import clock_skew_sweep
 
 
 def test_clock_skew_sweep(benchmark, show):
-    result = benchmark.pedantic(clock_skew_sweep, rounds=1, iterations=1)
+    runner = SweepRunner()
+    result = benchmark.pedantic(
+        clock_skew_sweep, kwargs={"sweep": runner}, rounds=1, iterations=1
+    )
     show(result.render())
+    show(runner.stats.summary_line())
 
     for point in result.points:
         covered = point.assumed_error_ns >= point.actual_skew_ns

@@ -13,13 +13,26 @@ violations, mismatches and lost frames — degradation is observable,
 never silent.
 """
 
+from functools import partial
+
 from repro.apps.brake import BrakeScenario, run_det_brake_assistant
 from repro.analysis.report import render_table
-from repro.harness import env_int
+from repro.harness import SweepRunner, env_int
 from repro.time import MS
 
 
-def sweep(n_frames):
+def _point(configuration, n_frames):
+    skew, error = configuration
+    scenario = BrakeScenario(
+        n_frames=n_frames,
+        distributed=True,
+        processing_clock_skew_ns=skew,
+        clock_error_ns=error,
+    )
+    return run_det_brake_assistant(0, scenario)
+
+
+def sweep(n_frames, runner=None):
     configurations = [
         (0, 0),
         (5 * MS, 0),
@@ -27,22 +40,23 @@ def sweep(n_frames):
         (20 * MS, 0),
         (20 * MS, 25 * MS),
     ]
-    rows = []
-    for skew, error in configurations:
-        scenario = BrakeScenario(
-            n_frames=n_frames,
-            distributed=True,
-            processing_clock_skew_ns=skew,
-            clock_error_ns=error,
-        )
-        run = run_det_brake_assistant(0, scenario)
-        rows.append((skew, error, run))
-    return rows
+    runner = runner or SweepRunner()
+    runs = runner.map(
+        partial(_point, n_frames=n_frames),
+        configurations,
+        name="ext-dist-bench",
+        params={"n_frames": n_frames},
+    )
+    return [(skew, error, run) for (skew, error), run in zip(configurations, runs)]
 
 
 def test_distributed_brake_assistant(benchmark, show):
     n_frames = env_int("REPRO_DIST_FRAMES", 200)
-    rows = benchmark.pedantic(sweep, args=(n_frames,), rounds=1, iterations=1)
+    runner = SweepRunner()
+    rows = benchmark.pedantic(
+        sweep, args=(n_frames,), kwargs={"runner": runner},
+        rounds=1, iterations=1,
+    )
     table = render_table(
         ["clock skew", "assumed E", "STP violations", "CV mismatches",
          "frames answered"],
@@ -59,6 +73,7 @@ def test_distributed_brake_assistant(benchmark, show):
         title="EXT-DIST - distributed brake assistant vs. clock skew:",
     )
     show(table)
+    show(runner.stats.summary_line())
 
     by_config = {(skew, error): run for skew, error, run in rows}
     # Covered (or slack-absorbed) configurations: perfect.

@@ -10,11 +10,15 @@ Expected shape (asserted): measured logical latency equals
 ``depth x (D + L + E)`` for every depth.
 """
 
+from repro.harness import SweepRunner
 from repro.harness.extensions import native_transport_comparison, pipeline_scaling
 
 
 def test_pipeline_scaling(benchmark, show):
-    result = benchmark.pedantic(pipeline_scaling, rounds=1, iterations=1)
+    runner = SweepRunner()
+    result = benchmark.pedantic(
+        pipeline_scaling, kwargs={"sweep": runner}, rounds=1, iterations=1
+    )
     show(result.render())
 
     for point in result.points:
@@ -31,7 +35,10 @@ def test_native_transport(benchmark, show):
     The native protocol-v2 tag field must behave identically to the
     trailer workaround while costing fewer bytes per message.
     """
-    result = benchmark.pedantic(native_transport_comparison, rounds=1, iterations=1)
+    result = benchmark.pedantic(
+        native_transport_comparison, kwargs={"sweep": SweepRunner()},
+        rounds=1, iterations=1,
+    )
     show(result.render())
     assert result.behaviour_identical
     assert result.native_bytes < result.trailer_bytes

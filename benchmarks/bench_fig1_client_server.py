@@ -11,17 +11,19 @@ prints 3 every time.
 Scale knobs: ``REPRO_FIG1_SEEDS`` (default 200).
 """
 
-from repro.harness import env_int
+from repro.harness import SweepRunner, env_int
 from repro.harness.figures import figure1
 
 
 def test_figure1(benchmark, show):
     n_seeds = env_int("REPRO_FIG1_SEEDS", 200)
+    runner = SweepRunner()
     result = benchmark.pedantic(
-        figure1, args=(n_seeds,), kwargs={"det_seeds": 8},
+        figure1, args=(n_seeds,), kwargs={"det_seeds": 8, "sweep": runner},
         rounds=1, iterations=1,
     )
     show(result.render())
+    show(runner.stats.summary_line())
 
     probabilities = result.probabilities()
     # All observed outcomes are legal interleavings of {set, add, get}.

@@ -14,17 +14,20 @@ Scale knobs: ``REPRO_FIG5_RUNS`` (default 20) and
 ``REPRO_BRAKE_FRAMES`` (default 2000; paper scale is 100000).
 """
 
-from repro.harness import env_int
+from repro.harness import SweepRunner, env_int
 from repro.harness.figures import figure5
 
 
 def test_figure5(benchmark, show):
     n_runs = env_int("REPRO_FIG5_RUNS", 20)
     n_frames = env_int("REPRO_BRAKE_FRAMES", 2_000)
+    runner = SweepRunner()
     result = benchmark.pedantic(
-        figure5, args=(n_runs, n_frames), rounds=1, iterations=1
+        figure5, args=(n_runs, n_frames), kwargs={"sweep": runner},
+        rounds=1, iterations=1,
     )
     show(result.render())
+    show(runner.stats.summary_line())
 
     rates = result.rates()
     # Huge spread: some runs near-perfect, some catastrophically bad.

@@ -11,17 +11,20 @@ across seeds, its end-to-end latency is (pipeline depth) x (period) =
 budget to the period chain (~2.5x here).
 """
 
-from repro.harness import env_int
+from repro.harness import SweepRunner, env_int
 from repro.harness.figures import let_baseline
 from repro.time import MS
 
 
 def test_let_baseline(benchmark, show):
     n_frames = env_int("REPRO_LET_FRAMES", 300)
+    runner = SweepRunner()
     result = benchmark.pedantic(
-        let_baseline, kwargs={"n_frames": n_frames}, rounds=1, iterations=1
+        let_baseline, kwargs={"n_frames": n_frames, "sweep": runner},
+        rounds=1, iterations=1,
     )
     show(result.render())
+    show(runner.stats.summary_line())
 
     assert result.deterministic
     # Four 50 ms hops: exactly 200 ms for every frame.

@@ -14,16 +14,19 @@ the DEAR latency respects from below as well.
 """
 
 from repro.apps.brake import BrakeScenario
-from repro.harness import env_int
+from repro.harness import SweepRunner, env_int
 from repro.harness.figures import overhead
 
 
 def test_overhead(benchmark, show):
     n_frames = env_int("REPRO_OVERHEAD_FRAMES", 400)
+    runner = SweepRunner()
     result = benchmark.pedantic(
-        overhead, kwargs={"n_frames": n_frames}, rounds=1, iterations=1
+        overhead, kwargs={"n_frames": n_frames, "sweep": runner},
+        rounds=1, iterations=1,
     )
     show(result.render())
+    show(runner.stats.summary_line())
 
     scenario = BrakeScenario()
     release = scenario.latency_bound_ns + scenario.clock_error_ns

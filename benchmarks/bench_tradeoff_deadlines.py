@@ -11,17 +11,20 @@ violations and losses appear and grow as the deadline shrinks; the
 end-to-end latency grows monotonically with the deadline budget.
 """
 
-from repro.harness import env_int
+from repro.harness import SweepRunner, env_int
 from repro.harness.figures import tradeoff
 from repro.time import MS
 
 
 def test_deadline_tradeoff(benchmark, show):
     n_frames = env_int("REPRO_TRADEOFF_FRAMES", 300)
+    runner = SweepRunner()
     result = benchmark.pedantic(
-        tradeoff, kwargs={"n_frames": n_frames}, rounds=1, iterations=1
+        tradeoff, kwargs={"n_frames": n_frames, "sweep": runner},
+        rounds=1, iterations=1,
     )
     show(result.render())
+    show(runner.stats.summary_line())
 
     by_deadline = {point.deadline_ns: point for point in result.points}
     # Sound deadlines (>= WCET 21 ms): zero violations, zero loss.

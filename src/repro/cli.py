@@ -4,10 +4,16 @@ Usage::
 
     python -m repro fig5 --runs 20 --frames 2000
     python -m repro det --seeds 5 --frames 500
+    python -m repro fig5 --workers 8          # parallel sweep
+    python -m repro fig5 --force              # ignore cached results
     python -m repro all
 
 Every subcommand runs the corresponding experiment driver and prints
-the text rendering of the paper figure/table it reproduces.
+the text rendering of the paper figure/table it reproduces.  Sweeps run
+in parallel on a process pool (``--workers``, ``REPRO_WORKERS``,
+default: all cores) and cache per-seed results under ``.repro_cache/``
+so repeated invocations only pay for what changed; a throughput summary
+(seeds/s, cache hits) is printed to stderr after each run.
 """
 
 from __future__ import annotations
@@ -21,6 +27,30 @@ def _add_int(parser: argparse.ArgumentParser, name: str, default: int, help_text
     parser.add_argument(name, type=int, default=default, help=help_text)
 
 
+def _sweep_options() -> argparse.ArgumentParser:
+    """Options shared by every subcommand: parallelism and caching."""
+    common = argparse.ArgumentParser(add_help=False)
+    group = common.add_argument_group("sweep execution")
+    group.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="process-pool size for seed sweeps "
+             "(default: REPRO_WORKERS or all cores; 1 = sequential)",
+    )
+    group.add_argument(
+        "--no-cache", action="store_true",
+        help="do not read or write the on-disk result cache",
+    )
+    group.add_argument(
+        "--force", action="store_true",
+        help="recompute every seed, overwriting cached results",
+    )
+    group.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="result cache location (default: REPRO_CACHE_DIR or .repro_cache)",
+    )
+    return common
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -30,90 +60,148 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     commands = parser.add_subparsers(dest="command", required=True)
+    common = _sweep_options()
 
-    fig1 = commands.add_parser("fig1", help="Figure 1: client/server histogram")
+    fig1 = commands.add_parser(
+        "fig1", help="Figure 1: client/server histogram", parents=[common]
+    )
     _add_int(fig1, "--seeds", 200, "number of stock-AP runs")
 
-    commands.add_parser("fig3", help="Figure 3: tagged message sequence")
+    commands.add_parser(
+        "fig3", help="Figure 3: tagged message sequence", parents=[common]
+    )
 
-    fig5 = commands.add_parser("fig5", help="Figure 5: error prevalence")
+    fig5 = commands.add_parser(
+        "fig5", help="Figure 5: error prevalence", parents=[common]
+    )
     _add_int(fig5, "--runs", 20, "number of experiment instances")
     _add_int(fig5, "--frames", 2_000, "frames per run (paper: 100000)")
 
-    det = commands.add_parser("det", help="Section IV.B: deterministic variant")
+    det = commands.add_parser(
+        "det", help="Section IV.B: deterministic variant", parents=[common]
+    )
     _add_int(det, "--seeds", 5, "number of seeds")
     _add_int(det, "--frames", 500, "frames per run")
 
-    tradeoff = commands.add_parser("tradeoff", help="deadline vs. error/latency")
+    tradeoff = commands.add_parser(
+        "tradeoff", help="deadline vs. error/latency", parents=[common]
+    )
     _add_int(tradeoff, "--frames", 300, "frames per point")
 
-    ablation = commands.add_parser("ablation", help="the three sources (II.B)")
+    ablation = commands.add_parser(
+        "ablation", help="the three sources (II.B)", parents=[common]
+    )
     _add_int(ablation, "--seeds", 25, "seeds per configuration")
 
-    overhead = commands.add_parser("overhead", help="cost of determinism")
+    overhead = commands.add_parser(
+        "overhead", help="cost of determinism", parents=[common]
+    )
     _add_int(overhead, "--frames", 400, "frames per variant")
 
-    let = commands.add_parser("let", help="LET baseline comparison")
+    let = commands.add_parser(
+        "let", help="LET baseline comparison", parents=[common]
+    )
     _add_int(let, "--frames", 300, "frames")
 
-    commands.add_parser("skew", help="EXT: clock-sync error sweep")
-    commands.add_parser("scaling", help="EXT: pipeline-depth latency")
-    commands.add_parser("native", help="EXT: native tag transport")
+    commands.add_parser(
+        "skew", help="EXT: clock-sync error sweep", parents=[common]
+    )
+    commands.add_parser(
+        "scaling", help="EXT: pipeline-depth latency", parents=[common]
+    )
+    commands.add_parser(
+        "native", help="EXT: native tag transport", parents=[common]
+    )
 
     distributed = commands.add_parser(
-        "distributed", help="EXT: brake assistant across two processing ECUs"
+        "distributed",
+        help="EXT: brake assistant across two processing ECUs",
+        parents=[common],
     )
     _add_int(distributed, "--frames", 200, "frames per configuration")
 
-    run_all = commands.add_parser("all", help="run every experiment (default scale)")
+    run_all = commands.add_parser(
+        "all", help="run every experiment (default scale)", parents=[common]
+    )
     run_all.add_argument(
         "--quick", action="store_true", help="reduced sizes for a fast pass"
     )
     return parser
 
 
-def _run_one(name: str, args: argparse.Namespace) -> str:
+def _make_sweep(args: argparse.Namespace):
+    """A :class:`SweepRunner` configured from the common CLI options."""
+    from repro.harness.sweep import SweepRunner
+
+    return SweepRunner(
+        workers=args.workers,
+        use_cache=False if args.no_cache else None,
+        force=args.force,
+        cache_dir=args.cache_dir,
+    )
+
+
+def _run_one(name: str, args: argparse.Namespace, sweep) -> str:
     from repro.harness import extensions, figures
 
     if name == "fig1":
-        return figures.figure1(nondet_seeds=args.seeds).render()
+        return figures.figure1(nondet_seeds=args.seeds, sweep=sweep).render()
     if name == "fig3":
         return figures.figure3_sequence().render()
     if name == "fig5":
-        return figures.figure5(n_runs=args.runs, n_frames=args.frames).render()
+        return figures.figure5(
+            n_runs=args.runs, n_frames=args.frames, sweep=sweep
+        ).render()
     if name == "det":
-        return figures.det_case_study(n_seeds=args.seeds, n_frames=args.frames).render()
+        return figures.det_case_study(
+            n_seeds=args.seeds, n_frames=args.frames, sweep=sweep
+        ).render()
     if name == "tradeoff":
-        return figures.tradeoff(n_frames=args.frames).render()
+        return figures.tradeoff(n_frames=args.frames, sweep=sweep).render()
     if name == "ablation":
-        return figures.ablation_sources(n_seeds=args.seeds).render()
+        return figures.ablation_sources(n_seeds=args.seeds, sweep=sweep).render()
     if name == "overhead":
-        return figures.overhead(n_frames=args.frames).render()
+        return figures.overhead(n_frames=args.frames, sweep=sweep).render()
     if name == "let":
-        return figures.let_baseline(n_frames=args.frames).render()
+        return figures.let_baseline(n_frames=args.frames, sweep=sweep).render()
     if name == "skew":
-        return extensions.clock_skew_sweep().render()
+        return extensions.clock_skew_sweep(sweep=sweep).render()
     if name == "scaling":
-        return extensions.pipeline_scaling().render()
+        return extensions.pipeline_scaling(sweep=sweep).render()
     if name == "native":
-        return extensions.native_transport_comparison().render()
+        return extensions.native_transport_comparison(sweep=sweep).render()
     if name == "distributed":
-        return _render_distributed(args.frames)
+        return _render_distributed(args.frames, sweep)
     raise ValueError(f"unknown command {name!r}")
 
 
-def _render_distributed(frames: int) -> str:
-    from repro.analysis.report import render_table
+def _distributed_point(configuration, frames: int):
+    """One (skew, assumed E) distributed run (runs in a worker)."""
     from repro.apps.brake import BrakeScenario, run_det_brake_assistant
+
+    skew, error = configuration
+    scenario = BrakeScenario(
+        n_frames=frames, distributed=True,
+        processing_clock_skew_ns=skew, clock_error_ns=error,
+    )
+    return run_det_brake_assistant(0, scenario)
+
+
+def _render_distributed(frames: int, sweep) -> str:
+    from functools import partial
+
+    from repro.analysis.report import render_table
     from repro.time import MS
 
+    configurations = [(0, 0), (15 * MS, 0), (20 * MS, 25 * MS)]
+    runs = sweep.map(
+        partial(_distributed_point, frames=frames),
+        configurations,
+        name="ext-dist",
+        params={"frames": frames},
+    )
     rows = []
-    for skew, error in ((0, 0), (15 * MS, 0), (20 * MS, 25 * MS)):
-        scenario = BrakeScenario(
-            n_frames=frames, distributed=True,
-            processing_clock_skew_ns=skew, clock_error_ns=error,
-        )
-        run = run_det_brake_assistant(0, scenario)
+    for (skew, error), run in zip(configurations, runs):
         rows.append([
             f"{skew / 1e6:.0f} ms", f"{error / 1e6:.0f} ms",
             str(run.stp_violations), f"{len(run.commands)}/{frames}",
@@ -145,8 +233,11 @@ _QUICK_SIZES = {
 def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    sweep = _make_sweep(args)
     if args.command != "all":
-        print(_run_one(args.command, args))
+        print(_run_one(args.command, args, sweep))
+        if sweep.stats.sweeps:
+            print(sweep.stats.summary_line(), file=sys.stderr)
         return 0
     for name in _ALL:
         sub_args = build_parser().parse_args([name])
@@ -155,8 +246,10 @@ def main(argv: list[str] | None = None) -> int:
                 setattr(sub_args, key, value)
         started = time.time()
         print(f"==== {name} " + "=" * (60 - len(name)))
-        print(_run_one(name, sub_args))
+        print(_run_one(name, sub_args, sweep))
         print(f"---- {name} done in {time.time() - started:.1f}s\n")
+    if sweep.stats.sweeps:
+        print(sweep.stats.summary_line(), file=sys.stderr)
     return 0
 
 

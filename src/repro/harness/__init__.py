@@ -5,9 +5,34 @@ index in ``DESIGN.md`` (FIG1, FIG5, DET, TRADEOFF, ABLATE-SRC, OVERHEAD,
 LET); each returns a result object with a ``render()`` method producing
 the text form of the corresponding figure.  The benchmark suite under
 ``benchmarks/`` is a thin wrapper around these drivers.
+
+:mod:`repro.harness.sweep` provides :class:`SweepRunner`, the parallel
+seeded-sweep engine (process-pool fan-out, deterministic seed-order
+merge, on-disk result cache) that the drivers, the CLI and the
+benchmarks all share.
 """
 
 from repro.harness.runner import env_int, run_seeds
+from repro.harness.sweep import (
+    SeedOutcome,
+    SweepError,
+    SweepResult,
+    SweepRunner,
+    SweepStats,
+    code_fingerprint,
+    default_workers,
+)
 from repro.harness import figures
 
-__all__ = ["run_seeds", "env_int", "figures"]
+__all__ = [
+    "run_seeds",
+    "env_int",
+    "figures",
+    "SweepRunner",
+    "SweepResult",
+    "SeedOutcome",
+    "SweepStats",
+    "SweepError",
+    "code_fingerprint",
+    "default_workers",
+]

@@ -22,8 +22,10 @@ probe the parts of the design the paper only argues about:
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import partial
 
 from repro.analysis.report import render_table
+from repro.harness.sweep import SweepRunner
 from repro.ara import AraProcess, Event, Method, ServiceInterface
 from repro.dear import (
     ClientEventTransactor,
@@ -118,8 +120,74 @@ class ClockSkewResult:
         )
 
 
+def _skew_point(configuration, count: int) -> SkewPoint:
+    """One (actual skew, assumed E) configuration (runs in a worker)."""
+    actual_skew, assumed_error = configuration
+    interface = _pulse_interface(0x5200)
+    world = World(0)
+    switch = Switch(
+        world.sim, world.rng.stream("net"),
+        SwitchConfig(latency=ConstantLatency(1 * MS), ns_per_byte=0),
+    )
+    world.attach_network(switch)
+    pub_platform = world.add_platform("pub-ecu", CALM)
+    sub_platform = world.add_platform(
+        "sub-ecu",
+        PlatformConfig(
+            num_cores=1,
+            clock=ClockModel(offset_ns=actual_skew),
+            dispatch_jitter_ns=0,
+            timer_jitter_ns=0,
+        ),
+    )
+    for platform in (pub_platform, sub_platform):
+        SdDaemon(platform, NetworkInterface(platform, switch))
+    config = TransactorConfig(
+        deadline_ns=5 * MS,
+        stp=StpConfig(latency_bound_ns=2 * MS, clock_error_ns=assumed_error),
+    )
+    server_process = AraProcess(pub_platform, "pub", tag_aware=True)
+    server_env = Environment(name="pub", timeout=2 * SEC)
+    publisher = _Publisher("publisher", server_env, count)
+    skeleton = server_process.create_skeleton(interface, 1)
+    skeleton.implement("noop", lambda: None)
+    tx = ServerEventTransactor(
+        "tx", server_env, server_process, skeleton, "pulse", config
+    )
+    server_env.connect(publisher.out, tx.inp)
+    skeleton.offer()
+    server_env.start(pub_platform)
+
+    client_process = AraProcess(sub_platform, "sub", tag_aware=True)
+    client_env = Environment(name="sub", timeout=3 * SEC)
+    subscriber = _Subscriber("subscriber", client_env)
+    holder = {}
+
+    def setup():
+        proxy = yield from client_process.find_service(interface, 1)
+        rx = ClientEventTransactor(
+            "rx", client_env, client_process, proxy, "pulse", config
+        )
+        client_env.connect(rx.out, subscriber.inp)
+        client_env.start(sub_platform)
+        holder["rx"] = rx
+
+    client_process.spawn("setup", setup())
+    world.run_for(5 * SEC)
+    tags = [tag for tag, _ in subscriber.received]
+    return SkewPoint(
+        actual_skew_ns=actual_skew,
+        assumed_error_ns=assumed_error,
+        stp_violations=holder["rx"].stp_violations,
+        delivered=len(subscriber.received),
+        in_order=tags == sorted(tags),
+    )
+
+
 def clock_skew_sweep(
-    configurations: list[tuple[int, int]] | None = None, count: int = 12
+    configurations: list[tuple[int, int]] | None = None,
+    count: int = 12,
+    sweep: SweepRunner | None = None,
 ) -> ClockSkewResult:
     """Sweep (actual skew, assumed E) pairs over a two-ECU event chain."""
     if configurations is None:
@@ -130,69 +198,13 @@ def clock_skew_sweep(
             (25 * MS, 12 * MS),
             (25 * MS, 30 * MS),
         ]
-    interface = _pulse_interface(0x5200)
-    points = []
-    for actual_skew, assumed_error in configurations:
-        world = World(0)
-        switch = Switch(
-            world.sim, world.rng.stream("net"),
-            SwitchConfig(latency=ConstantLatency(1 * MS), ns_per_byte=0),
-        )
-        world.attach_network(switch)
-        pub_platform = world.add_platform("pub-ecu", CALM)
-        sub_platform = world.add_platform(
-            "sub-ecu",
-            PlatformConfig(
-                num_cores=1,
-                clock=ClockModel(offset_ns=actual_skew),
-                dispatch_jitter_ns=0,
-                timer_jitter_ns=0,
-            ),
-        )
-        for platform in (pub_platform, sub_platform):
-            SdDaemon(platform, NetworkInterface(platform, switch))
-        config = TransactorConfig(
-            deadline_ns=5 * MS,
-            stp=StpConfig(latency_bound_ns=2 * MS, clock_error_ns=assumed_error),
-        )
-        server_process = AraProcess(pub_platform, "pub", tag_aware=True)
-        server_env = Environment(name="pub", timeout=2 * SEC)
-        publisher = _Publisher("publisher", server_env, count)
-        skeleton = server_process.create_skeleton(interface, 1)
-        skeleton.implement("noop", lambda: None)
-        tx = ServerEventTransactor(
-            "tx", server_env, server_process, skeleton, "pulse", config
-        )
-        server_env.connect(publisher.out, tx.inp)
-        skeleton.offer()
-        server_env.start(pub_platform)
-
-        client_process = AraProcess(sub_platform, "sub", tag_aware=True)
-        client_env = Environment(name="sub", timeout=3 * SEC)
-        subscriber = _Subscriber("subscriber", client_env)
-        holder = {}
-
-        def setup():
-            proxy = yield from client_process.find_service(interface, 1)
-            rx = ClientEventTransactor(
-                "rx", client_env, client_process, proxy, "pulse", config
-            )
-            client_env.connect(rx.out, subscriber.inp)
-            client_env.start(sub_platform)
-            holder["rx"] = rx
-
-        client_process.spawn("setup", setup())
-        world.run_for(5 * SEC)
-        tags = [tag for tag, _ in subscriber.received]
-        points.append(
-            SkewPoint(
-                actual_skew_ns=actual_skew,
-                assumed_error_ns=assumed_error,
-                stp_violations=holder["rx"].stp_violations,
-                delivered=len(subscriber.received),
-                in_order=tags == sorted(tags),
-            )
-        )
+    sweep = sweep or SweepRunner()
+    points = sweep.map(
+        partial(_skew_point, count=count),
+        configurations,
+        name="ext-skew",
+        params={"count": count},
+    )
     return ClockSkewResult(points, count)
 
 
@@ -233,10 +245,127 @@ class PipelineScalingResult:
         )
 
 
+def _scaling_point(
+    depth: int, deadline_ns: int, latency_bound_ns: int
+) -> ScalePoint:
+    """One pipeline depth of the scaling sweep (runs in a worker)."""
+    hop_cost = deadline_ns + latency_bound_ns
+    config = TransactorConfig(
+        deadline_ns=deadline_ns, stp=StpConfig(latency_bound_ns=latency_bound_ns)
+    )
+    world = World(0)
+    switch = Switch(
+        world.sim, world.rng.stream("net"),
+        SwitchConfig(latency=ConstantLatency(1 * MS),
+                     loopback_latency=ConstantLatency(100_000),
+                     ns_per_byte=0),
+    )
+    world.attach_network(switch)
+    platforms = []
+    for host in ("ecu-a", "ecu-b"):
+        platform = world.add_platform(host, CALM)
+        SdDaemon(platform, NetworkInterface(platform, switch))
+        platforms.append(platform)
+
+    interfaces = [
+        _pulse_interface(0x5300 + index, f"Hop{index}")
+        for index in range(depth)
+    ]
+    start_tag = {}
+    end_tags = []
+
+    # Source SWC publishes into hop 0.
+    source_platform = platforms[0]
+    source_process = AraProcess(source_platform, "source", tag_aware=True)
+    source_env = Environment(name="source", timeout=3 * SEC)
+    publisher = _Publisher("publisher", source_env, count=3)
+    source_skeleton = source_process.create_skeleton(interfaces[0], 1)
+    source_skeleton.implement("noop", lambda: None)
+    source_tx = ServerEventTransactor(
+        "tx", source_env, source_process, source_skeleton, "pulse", config
+    )
+
+    class _Tap(Reactor):
+        """Records the tag at which each pulse leaves the source."""
+
+        def __init__(self, name, owner):
+            super().__init__(name, owner)
+            self.inp = self.input("inp")
+            self.out = self.output("out")
+
+            def tap(ctx):
+                start_tag[ctx.get(self.inp)] = ctx.tag.time
+                ctx.set(self.out, ctx.get(self.inp))
+
+            self.reaction("tap", triggers=[self.inp], effects=[self.out],
+                          body=tap)
+
+    tap = _Tap("tap", source_env)
+    source_env.connect(publisher.out, tap.inp)
+    source_env.connect(tap.out, source_tx.inp)
+    source_skeleton.offer()
+    source_env.start(source_platform)
+
+    # Forwarding SWCs: hop i subscribes to interface i, publishes i+1.
+    def make_forwarder(index):
+        platform = platforms[(index + 1) % 2]
+        process = AraProcess(platform, f"hop{index}", tag_aware=True)
+        env = Environment(name=f"hop{index}", timeout=3 * SEC)
+        is_last = index == depth - 1
+
+        class Forwarder(Reactor):
+            def __init__(self, name, owner):
+                super().__init__(name, owner)
+                self.inp = self.input("inp")
+                self.out = self.output("out")
+
+                def forward(ctx):
+                    value = ctx.get(self.inp)
+                    if is_last:
+                        end_tags.append((value, ctx.tag.time))
+                    else:
+                        ctx.set(self.out, value)
+
+                self.reaction("fwd", triggers=[self.inp],
+                              effects=[self.out], body=forward)
+
+        forwarder = Forwarder("logic", env)
+        if not is_last:
+            skeleton = process.create_skeleton(interfaces[index + 1], 1)
+            skeleton.implement("noop", lambda: None)
+            tx = ServerEventTransactor(
+                "tx", env, process, skeleton, "pulse", config
+            )
+            env.connect(forwarder.out, tx.inp)
+            skeleton.offer()
+
+        def setup():
+            proxy = yield from process.find_service(interfaces[index], 1)
+            rx = ClientEventTransactor(
+                "rx", env, process, proxy, "pulse", config
+            )
+            env.connect(rx.out, forwarder.inp)
+            env.start(platform)
+
+        process.spawn("setup", setup())
+
+    for index in range(depth):
+        make_forwarder(index)
+    world.run_for(6 * SEC)
+    if not end_tags or not start_tag:
+        raise RuntimeError(f"pipeline of depth {depth} produced no output")
+    value, end_time = end_tags[0]
+    latency = end_time - start_tag[value]
+    return ScalePoint(
+        depth=depth, logical_latency_ns=latency, expected_ns=depth * hop_cost
+    )
+
+
 def pipeline_scaling(
     depths: list[int] | None = None,
     deadline_ns: int = 5 * MS,
     latency_bound_ns: int = 5 * MS,
+    sweep: SweepRunner | None = None,
 ) -> PipelineScalingResult:
     """Measure logical end-to-end latency of DEAR chains of varying depth.
 
@@ -246,120 +375,18 @@ def pipeline_scaling(
     """
     if depths is None:
         depths = [1, 2, 4, 6]
-    hop_cost = deadline_ns + latency_bound_ns
-    config = TransactorConfig(
-        deadline_ns=deadline_ns, stp=StpConfig(latency_bound_ns=latency_bound_ns)
+    sweep = sweep or SweepRunner()
+    points = sweep.map(
+        partial(
+            _scaling_point,
+            deadline_ns=deadline_ns,
+            latency_bound_ns=latency_bound_ns,
+        ),
+        depths,
+        name="ext-scale",
+        params={"deadline_ns": deadline_ns, "latency_bound_ns": latency_bound_ns},
     )
-    points = []
-    for depth in depths:
-        world = World(0)
-        switch = Switch(
-            world.sim, world.rng.stream("net"),
-            SwitchConfig(latency=ConstantLatency(1 * MS),
-                         loopback_latency=ConstantLatency(100_000),
-                         ns_per_byte=0),
-        )
-        world.attach_network(switch)
-        platforms = []
-        for host in ("ecu-a", "ecu-b"):
-            platform = world.add_platform(host, CALM)
-            SdDaemon(platform, NetworkInterface(platform, switch))
-            platforms.append(platform)
-
-        interfaces = [
-            _pulse_interface(0x5300 + index, f"Hop{index}")
-            for index in range(depth)
-        ]
-        start_tag = {}
-        end_tags = []
-
-        # Source SWC publishes into hop 0.
-        source_platform = platforms[0]
-        source_process = AraProcess(source_platform, "source", tag_aware=True)
-        source_env = Environment(name="source", timeout=3 * SEC)
-        publisher = _Publisher("publisher", source_env, count=3)
-        source_skeleton = source_process.create_skeleton(interfaces[0], 1)
-        source_skeleton.implement("noop", lambda: None)
-        source_tx = ServerEventTransactor(
-            "tx", source_env, source_process, source_skeleton, "pulse", config
-        )
-
-        class _Tap(Reactor):
-            """Records the tag at which each pulse leaves the source."""
-
-            def __init__(self, name, owner):
-                super().__init__(name, owner)
-                self.inp = self.input("inp")
-                self.out = self.output("out")
-
-                def tap(ctx):
-                    start_tag[ctx.get(self.inp)] = ctx.tag.time
-                    ctx.set(self.out, ctx.get(self.inp))
-
-                self.reaction("tap", triggers=[self.inp], effects=[self.out],
-                              body=tap)
-
-        tap = _Tap("tap", source_env)
-        source_env.connect(publisher.out, tap.inp)
-        source_env.connect(tap.out, source_tx.inp)
-        source_skeleton.offer()
-        source_env.start(source_platform)
-
-        # Forwarding SWCs: hop i subscribes to interface i, publishes i+1.
-        def make_forwarder(index):
-            platform = platforms[(index + 1) % 2]
-            process = AraProcess(platform, f"hop{index}", tag_aware=True)
-            env = Environment(name=f"hop{index}", timeout=3 * SEC)
-            is_last = index == depth - 1
-
-            class Forwarder(Reactor):
-                def __init__(self, name, owner):
-                    super().__init__(name, owner)
-                    self.inp = self.input("inp")
-                    self.out = self.output("out")
-
-                    def forward(ctx):
-                        value = ctx.get(self.inp)
-                        if is_last:
-                            end_tags.append((value, ctx.tag.time))
-                        else:
-                            ctx.set(self.out, value)
-
-                    self.reaction("fwd", triggers=[self.inp],
-                                  effects=[self.out], body=forward)
-
-            forwarder = Forwarder("logic", env)
-            if not is_last:
-                skeleton = process.create_skeleton(interfaces[index + 1], 1)
-                skeleton.implement("noop", lambda: None)
-                tx = ServerEventTransactor(
-                    "tx", env, process, skeleton, "pulse", config
-                )
-                env.connect(forwarder.out, tx.inp)
-                skeleton.offer()
-
-            def setup():
-                proxy = yield from process.find_service(interfaces[index], 1)
-                rx = ClientEventTransactor(
-                    "rx", env, process, proxy, "pulse", config
-                )
-                env.connect(rx.out, forwarder.inp)
-                env.start(platform)
-
-            process.spawn("setup", setup())
-
-        for index in range(depth):
-            make_forwarder(index)
-        world.run_for(6 * SEC)
-        if not end_tags or not start_tag:
-            raise RuntimeError(f"pipeline of depth {depth} produced no output")
-        value, end_time = end_tags[0]
-        latency = end_time - start_tag[value]
-        points.append(
-            ScalePoint(depth=depth, logical_latency_ns=latency,
-                       expected_ns=depth * hop_cost)
-        )
-    return PipelineScalingResult(points, hop_cost)
+    return PipelineScalingResult(points, deadline_ns + latency_bound_ns)
 
 
 # ---------------------------------------------------------------------------
@@ -434,15 +461,19 @@ def _run_encoding_chain(transport: str) -> str:
     return client_env.trace.fingerprint()
 
 
-def native_transport_comparison() -> NativeTransportResult:
+def native_transport_comparison(
+    sweep: SweepRunner | None = None,
+) -> NativeTransportResult:
     """Compare the two tag encodings: behaviour and wire cost."""
     from repro.someip import MessageType, SomeIpHeader, SomeIpMessage
     from repro.someip.tagging import attach_tag
     from repro.time import Tag
 
-    behaviour_identical = (
-        _run_encoding_chain("trailer") == _run_encoding_chain("native")
+    sweep = sweep or SweepRunner()
+    trailer_trace, native_trace = sweep.map(
+        _run_encoding_chain, ["trailer", "native"], name="ext-native"
     )
+    behaviour_identical = trailer_trace == native_trace
     header = SomeIpHeader(
         service_id=1, method_id=0x8001, client_id=0, session_id=1,
         message_type=MessageType.NOTIFICATION,

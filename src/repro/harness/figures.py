@@ -3,12 +3,21 @@
 Each function runs its experiment and returns a result object whose
 ``render()`` produces the text form of the paper artifact.  Benchmarks
 under ``benchmarks/`` call these and assert the expected *shapes*.
+
+Every sweep-shaped driver accepts an optional ``sweep``
+(:class:`repro.harness.sweep.SweepRunner`): pass one to control worker
+count and caching and to collect a throughput summary; omit it and the
+driver builds a default runner (``REPRO_WORKERS`` / all cores, cache
+on).  Per-seed work is dispatched through module-level functions so it
+pickles across the process-pool boundary; results merge in seed order,
+so output is bit-identical to a sequential run.
 """
 
 from __future__ import annotations
 
 from collections import Counter
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
+from functools import partial
 
 from repro.analysis.report import ascii_bar_chart, histogram_table, render_table
 from repro.analysis.stats import Summary, summarize
@@ -27,6 +36,7 @@ from repro.apps.brake.logic import (
 )
 from repro.apps.brake.vision import SceneGenerator
 from repro.ara import MethodCallProcessingMode
+from repro.harness.sweep import SweepRunner
 from repro.let import LetChannel, LetExecutor, LetTask
 from repro.sim import World
 from repro.sim.platform import MINNOWBOARD
@@ -65,12 +75,19 @@ class Figure1Result:
         return "\n\n".join(parts)
 
 
-def figure1(nondet_seeds: int = 300, det_seeds: int = 10) -> Figure1Result:
+def figure1(
+    nondet_seeds: int = 300,
+    det_seeds: int = 10,
+    sweep: SweepRunner | None = None,
+) -> Figure1Result:
     """Reproduce Figure 1: run the counter app across seeds."""
-    nondet = Counter(
-        counter.run_nondet(seed).printed_value for seed in range(nondet_seeds)
+    sweep = sweep or SweepRunner()
+    nondet_runs = sweep.map(
+        counter.run_nondet, range(nondet_seeds), name="fig1-nondet"
     )
-    det = Counter(counter.run_det(seed).printed_value for seed in range(det_seeds))
+    det_runs = sweep.map(counter.run_det, range(det_seeds), name="fig1-det")
+    nondet = Counter(run.printed_value for run in nondet_runs)
+    det = Counter(run.printed_value for run in det_runs)
     return Figure1Result(nondet, det)
 
 
@@ -308,10 +325,20 @@ class Figure5Result:
         return chart + footer
 
 
-def figure5(n_runs: int = 20, n_frames: int = 2_000) -> Figure5Result:
+def figure5(
+    n_runs: int = 20,
+    n_frames: int = 2_000,
+    sweep: SweepRunner | None = None,
+) -> Figure5Result:
     """Reproduce Figure 5: 20 stock runs, counting the four error types."""
+    sweep = sweep or SweepRunner()
     scenario = BrakeScenario(n_frames=n_frames)
-    runs = [run_nondet_brake_assistant(seed, scenario) for seed in range(n_runs)]
+    runs = sweep.map(
+        partial(run_nondet_brake_assistant, scenario=scenario),
+        range(n_runs),
+        name="fig5",
+        params=asdict(scenario),
+    )
     return Figure5Result(runs, n_frames)
 
 
@@ -354,15 +381,30 @@ class DetCaseStudyResult:
         )
 
 
-def det_case_study(n_seeds: int = 5, n_frames: int = 500) -> DetCaseStudyResult:
+def det_case_study(
+    n_seeds: int = 5,
+    n_frames: int = 500,
+    sweep: SweepRunner | None = None,
+) -> DetCaseStudyResult:
     """Reproduce Section IV.B: zero errors, determinism, bounded latency."""
+    sweep = sweep or SweepRunner()
     scenario = BrakeScenario(n_frames=n_frames)
-    runs = [run_det_brake_assistant(seed, scenario) for seed in range(n_seeds)]
+    runs = sweep.map(
+        partial(run_det_brake_assistant, scenario=scenario),
+        range(n_seeds),
+        name="det",
+        params=asdict(scenario),
+    )
     command_sets = {tuple(sorted(run.commands.items())) for run in runs}
     det_scenario = BrakeScenario(
         n_frames=min(n_frames, 200), deterministic_camera=True
     )
-    trace_runs = [run_det_brake_assistant(seed, det_scenario) for seed in range(3)]
+    trace_runs = sweep.map(
+        partial(run_det_brake_assistant, scenario=det_scenario),
+        range(3),
+        name="det-trace",
+        params=asdict(det_scenario),
+    )
     fingerprints = {
         tuple(sorted(run.trace_fingerprints.items())) for run in trace_runs
     }
@@ -427,30 +469,40 @@ class TradeoffResult:
         )
 
 
+def _tradeoff_point(deadline_ns: int, n_frames: int, seed: int) -> TradeoffPoint:
+    """One deadline setting of the trade-off sweep (runs in a worker)."""
+    scenario = BrakeScenario(
+        n_frames=n_frames,
+        preprocessing_deadline_ns=deadline_ns,
+        computer_vision_deadline_ns=deadline_ns,
+    )
+    run = run_det_brake_assistant(seed, scenario)
+    latencies = list(run.latencies_ns.values())
+    return TradeoffPoint(
+        deadline_ns=deadline_ns,
+        deadline_misses=run.deadline_misses,
+        frames_lost=n_frames - len(run.commands),
+        latency_mean_ns=(sum(latencies) / len(latencies)) if latencies else 0,
+        latency_max_ns=max(latencies) if latencies else 0,
+    )
+
+
 def tradeoff(
-    deadlines_ns: list[int] | None = None, n_frames: int = 300, seed: int = 0
+    deadlines_ns: list[int] | None = None,
+    n_frames: int = 300,
+    seed: int = 0,
+    sweep: SweepRunner | None = None,
 ) -> TradeoffResult:
     """Sweep the heavy stages' deadlines below and above their WCET."""
     if deadlines_ns is None:
         deadlines_ns = [10 * MS, 15 * MS, 18 * MS, 22 * MS, 25 * MS, 35 * MS]
-    points = []
-    for deadline in deadlines_ns:
-        scenario = BrakeScenario(
-            n_frames=n_frames,
-            preprocessing_deadline_ns=deadline,
-            computer_vision_deadline_ns=deadline,
-        )
-        run = run_det_brake_assistant(seed, scenario)
-        latencies = list(run.latencies_ns.values())
-        points.append(
-            TradeoffPoint(
-                deadline_ns=deadline,
-                deadline_misses=run.deadline_misses,
-                frames_lost=n_frames - len(run.commands),
-                latency_mean_ns=(sum(latencies) / len(latencies)) if latencies else 0,
-                latency_max_ns=max(latencies) if latencies else 0,
-            )
-        )
+    sweep = sweep or SweepRunner()
+    points = sweep.map(
+        partial(_tradeoff_point, n_frames=n_frames, seed=seed),
+        deadlines_ns,
+        name="tradeoff",
+        params={"n_frames": n_frames, "seed": seed},
+    )
     return TradeoffResult(points, n_frames)
 
 
@@ -480,8 +532,11 @@ class AblationResult:
         )
 
 
-def ablation_sources(n_seeds: int = 25) -> AblationResult:
+def ablation_sources(
+    n_seeds: int = 25, sweep: SweepRunner | None = None
+) -> AblationResult:
     """Toggle each source of nondeterminism individually."""
+    sweep = sweep or SweepRunner()
     single = MethodCallProcessingMode.EVENT_SINGLE_THREAD
     configurations = [
         ("source 1 on: thread-per-invocation", dict()),
@@ -497,11 +552,13 @@ def ablation_sources(n_seeds: int = 25) -> AblationResult:
     ]
     rows = []
     for label, kwargs in configurations:
-        counts = Counter(
-            counter.run_variant(seed, **kwargs).printed_value
-            for seed in range(n_seeds)
+        runs = sweep.map(
+            partial(counter.run_variant, **kwargs),
+            range(n_seeds),
+            name="ablation",
+            params={"config": label},
         )
-        rows.append((label, counts))
+        rows.append((label, Counter(run.printed_value for run in runs)))
     return AblationResult(rows)
 
 
@@ -543,11 +600,27 @@ class OverheadResult:
         )
 
 
-def overhead(n_frames: int = 400, seed: int = 0) -> OverheadResult:
-    """Compare end-to-end latency and completeness of the two variants."""
+def _overhead_variant(variant: str, n_frames: int, seed: int) -> BrakeRunResult:
+    """One variant of the overhead comparison (runs in a worker)."""
     scenario = BrakeScenario(n_frames=n_frames)
-    stock = run_nondet_brake_assistant(seed, scenario)
-    dear = run_det_brake_assistant(seed, scenario)
+    runner = (
+        run_nondet_brake_assistant if variant == "stock"
+        else run_det_brake_assistant
+    )
+    return runner(seed, scenario)
+
+
+def overhead(
+    n_frames: int = 400, seed: int = 0, sweep: SweepRunner | None = None
+) -> OverheadResult:
+    """Compare end-to-end latency and completeness of the two variants."""
+    sweep = sweep or SweepRunner()
+    stock, dear = sweep.map(
+        partial(_overhead_variant, n_frames=n_frames, seed=seed),
+        ["stock", "dear"],
+        name="overhead",
+        params={"n_frames": n_frames, "seed": seed},
+    )
     return OverheadResult(
         stock_latency=summarize(list(stock.latencies_ns.values())),
         dear_latency=summarize(list(dear.latencies_ns.values())),
@@ -592,80 +665,89 @@ class LetBaselineResult:
         )
 
 
-def let_baseline(n_frames: int = 300, n_seeds: int = 3) -> LetBaselineResult:
-    """The brake pipeline as LET tasks, compared against DEAR."""
+def _let_run(seed: int, n_frames: int):
+    """One LET-pipeline run (runs in a worker); returns (commands, latencies)."""
     period = 50 * MS
     generator = SceneGenerator(period)
+    world = World(seed)
+    platform = world.add_platform("ecu", MINNOWBOARD)
+    executor = LetExecutor(platform)
+    camera_ch = LetChannel("camera")
+    frame_ch = LetChannel("frame")
+    fwd_frame_ch = LetChannel("fwd_frame")
+    lane_ch = LetChannel("lane")
+    vehicles_ch = LetChannel("vehicles")
+    brake_ch = LetChannel("brake", keep_history=True)
+    # Deterministic camera: publish frame k exactly at its capture time.
+    for seq in range(n_frames):
+        world.sim.at(
+            (seq + 1) * period,
+            lambda seq=seq: camera_ch.publish(world.sim.now, generator.frame(seq)),
+        )
+    executor.add_task(LetTask(
+        "adapter", period,
+        body=lambda inputs: {"out": inputs["cam"]},
+        reads={"cam": camera_ch}, writes={"out": frame_ch}, wcet_ns=3 * MS,
+    ))
 
-    def run(seed: int):
-        world = World(seed)
-        platform = world.add_platform("ecu", MINNOWBOARD)
-        executor = LetExecutor(platform)
-        camera_ch = LetChannel("camera")
-        frame_ch = LetChannel("frame")
-        fwd_frame_ch = LetChannel("fwd_frame")
-        lane_ch = LetChannel("lane")
-        vehicles_ch = LetChannel("vehicles")
-        brake_ch = LetChannel("brake", keep_history=True)
-        # Deterministic camera: publish frame k exactly at its capture time.
-        for seq in range(n_frames):
-            world.sim.at(
-                (seq + 1) * period,
-                lambda seq=seq: camera_ch.publish(world.sim.now, generator.frame(seq)),
-            )
-        executor.add_task(LetTask(
-            "adapter", period,
-            body=lambda inputs: {"out": inputs["cam"]},
-            reads={"cam": camera_ch}, writes={"out": frame_ch}, wcet_ns=3 * MS,
-        ))
+    def pre_body(inputs):
+        frame = inputs["frame"]
+        if frame is None:
+            return {}
+        return {"frame": frame, "lane": preprocess(frame)}
 
-        def pre_body(inputs):
-            frame = inputs["frame"]
-            if frame is None:
-                return {}
-            return {"frame": frame, "lane": preprocess(frame)}
+    executor.add_task(LetTask(
+        "preprocessing", period, pre_body,
+        reads={"frame": frame_ch},
+        writes={"frame": fwd_frame_ch, "lane": lane_ch}, wcet_ns=21 * MS,
+    ))
 
-        executor.add_task(LetTask(
-            "preprocessing", period, pre_body,
-            reads={"frame": frame_ch},
-            writes={"frame": fwd_frame_ch, "lane": lane_ch}, wcet_ns=21 * MS,
-        ))
+    def cv_body(inputs):
+        frame, lane = inputs["frame"], inputs["lane"]
+        if frame is None or lane is None:
+            return {}
+        return {"out": detect_vehicles(frame, lane)}
 
-        def cv_body(inputs):
-            frame, lane = inputs["frame"], inputs["lane"]
-            if frame is None or lane is None:
-                return {}
-            return {"out": detect_vehicles(frame, lane)}
+    executor.add_task(LetTask(
+        "cv", period, cv_body,
+        reads={"frame": fwd_frame_ch, "lane": lane_ch},
+        writes={"out": vehicles_ch}, wcet_ns=21 * MS,
+    ))
 
-        executor.add_task(LetTask(
-            "cv", period, cv_body,
-            reads={"frame": fwd_frame_ch, "lane": lane_ch},
-            writes={"out": vehicles_ch}, wcet_ns=21 * MS,
-        ))
+    def eba_body(inputs):
+        vehicles = inputs["vehicles"]
+        if vehicles is None:
+            return {}
+        return {"out": decide_brake(vehicles)}
 
-        def eba_body(inputs):
-            vehicles = inputs["vehicles"]
-            if vehicles is None:
-                return {}
-            return {"out": decide_brake(vehicles)}
+    executor.add_task(LetTask(
+        "eba", period, eba_body,
+        reads={"vehicles": vehicles_ch}, writes={"out": brake_ch},
+        wcet_ns=3 * MS,
+    ))
+    executor.start((n_frames + 8) * period)
+    world.run_to_completion(check_deadlock=False)
+    commands = {}
+    latencies = []
+    for publish_time, command in brake_ch.history:
+        if command.frame_seq not in commands:
+            commands[command.frame_seq] = command
+            capture = (command.frame_seq + 1) * period
+            latencies.append(publish_time - capture)
+    return commands, latencies
 
-        executor.add_task(LetTask(
-            "eba", period, eba_body,
-            reads={"vehicles": vehicles_ch}, writes={"out": brake_ch},
-            wcet_ns=3 * MS,
-        ))
-        executor.start((n_frames + 8) * period)
-        world.run_to_completion(check_deadlock=False)
-        commands = {}
-        latencies = []
-        for publish_time, command in brake_ch.history:
-            if command.frame_seq not in commands:
-                commands[command.frame_seq] = command
-                capture = (command.frame_seq + 1) * period
-                latencies.append(publish_time - capture)
-        return commands, latencies
 
-    outcomes = [run(seed) for seed in range(n_seeds)]
+def let_baseline(
+    n_frames: int = 300, n_seeds: int = 3, sweep: SweepRunner | None = None
+) -> LetBaselineResult:
+    """The brake pipeline as LET tasks, compared against DEAR."""
+    sweep = sweep or SweepRunner()
+    outcomes = sweep.map(
+        partial(_let_run, n_frames=n_frames),
+        range(n_seeds),
+        name="let",
+        params={"n_frames": n_frames},
+    )
     command_sets = {tuple(sorted(commands.items())) for commands, _ in outcomes}
     latencies = outcomes[0][1]
     dear = run_det_brake_assistant(0, BrakeScenario(n_frames=min(n_frames, 300)))

@@ -24,4 +24,9 @@ def env_int(name: str, default: int) -> int:
     value = os.environ.get(name)
     if value is None:
         return default
-    return int(value)
+    try:
+        return int(value)
+    except ValueError:
+        raise ValueError(
+            f"environment variable {name} must be an integer, got {value!r}"
+        ) from None

@@ -1,0 +1,434 @@
+"""Parallel seeded-sweep engine with on-disk result caching.
+
+Every paper artifact is an embarrassingly parallel sweep over seeds (or
+over another scalar knob such as a deadline or a pipeline depth).  The
+:class:`SweepRunner` fans the per-seed work out over a
+``concurrent.futures.ProcessPoolExecutor`` and merges the results back
+**in seed order**, so the merged output is bit-identical to the
+sequential :func:`repro.harness.runner.run_seeds` path — each seed
+builds its own :class:`~repro.sim.World`, so per-seed results (including
+trace fingerprints) do not depend on scheduling across seeds.
+
+Results are cached on disk as JSON lines under ``.repro_cache/`` (one
+file per experiment), keyed by experiment name + parameters + seed +
+a fingerprint of the ``repro`` source tree, so repeated CLI/benchmark
+invocations skip already-computed seeds.  ``force=True`` recomputes and
+overwrites; ``use_cache=False`` bypasses the cache entirely.
+
+Environment knobs:
+
+``REPRO_WORKERS``
+    Default worker count (else ``os.cpu_count()``).  ``1`` runs inline.
+``REPRO_CACHE_DIR``
+    Cache directory (default ``.repro_cache`` in the working directory).
+``REPRO_NO_CACHE``
+    Any non-empty value disables the cache by default.
+"""
+
+from __future__ import annotations
+
+import base64
+import hashlib
+import json
+import os
+import pickle
+import time
+import traceback
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from functools import lru_cache
+from pathlib import Path
+from typing import Any, Callable, Iterable, Sequence
+
+from repro.harness.runner import env_int
+
+__all__ = [
+    "SweepRunner",
+    "SweepResult",
+    "SeedOutcome",
+    "SweepStats",
+    "SweepError",
+    "code_fingerprint",
+    "default_workers",
+]
+
+DEFAULT_CACHE_DIR = ".repro_cache"
+
+
+def default_workers() -> int:
+    """Worker count from ``REPRO_WORKERS``, else ``os.cpu_count()``."""
+    return max(1, env_int("REPRO_WORKERS", os.cpu_count() or 1))
+
+
+@lru_cache(maxsize=1)
+def code_fingerprint() -> str:
+    """Hash of the ``repro`` source tree (cache-invalidation key).
+
+    Any change to the library invalidates previously cached sweep
+    results, so a cache hit is always the result the current code would
+    have produced.
+    """
+    import repro
+
+    root = Path(repro.__file__).resolve().parent
+    digest = hashlib.sha256()
+    for path in sorted(root.rglob("*.py")):
+        digest.update(path.relative_to(root).as_posix().encode())
+        digest.update(b"\0")
+        digest.update(path.read_bytes())
+    return digest.hexdigest()[:16]
+
+
+# ---------------------------------------------------------------------------
+# Result records.
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class SeedOutcome:
+    """One seed's outcome: a value, or a captured error."""
+
+    seed: Any
+    value: Any = None
+    #: Formatted traceback if the seed failed; ``None`` on success.
+    error: str | None = None
+    #: Whether the value came from the on-disk cache.
+    cached: bool = False
+    #: Wall-clock compute time (0.0 for cache hits).
+    elapsed_s: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+
+class SweepError(RuntimeError):
+    """Raised by :meth:`SweepResult.values` when any seed failed."""
+
+    def __init__(self, name: str, failures: Sequence[SeedOutcome]):
+        self.name = name
+        self.failures = list(failures)
+        first = self.failures[0]
+        super().__init__(
+            f"sweep {name!r}: {len(self.failures)} seed(s) failed; "
+            f"first failure (seed {first.seed!r}):\n{first.error}"
+        )
+
+
+@dataclass
+class SweepResult:
+    """All outcomes of one sweep, merged in seed order."""
+
+    name: str
+    outcomes: list[SeedOutcome]
+    elapsed_s: float
+    workers: int
+
+    @property
+    def failures(self) -> list[SeedOutcome]:
+        return [outcome for outcome in self.outcomes if not outcome.ok]
+
+    @property
+    def cache_hits(self) -> int:
+        return sum(1 for outcome in self.outcomes if outcome.cached)
+
+    def values(self) -> list[Any]:
+        """Per-seed values in seed order; raises :class:`SweepError`
+        if any seed failed (after the whole sweep completed)."""
+        if self.failures:
+            raise SweepError(self.name, self.failures)
+        return [outcome.value for outcome in self.outcomes]
+
+
+@dataclass
+class SweepStats:
+    """Throughput accounting accumulated across a runner's sweeps."""
+
+    seeds: int = 0
+    cache_hits: int = 0
+    errors: int = 0
+    elapsed_s: float = 0.0
+    sweeps: int = 0
+    workers: int = 0
+
+    def record(self, result: SweepResult) -> None:
+        self.sweeps += 1
+        self.seeds += len(result.outcomes)
+        self.cache_hits += result.cache_hits
+        self.errors += len(result.failures)
+        self.elapsed_s += result.elapsed_s
+        self.workers = max(self.workers, result.workers)
+
+    def summary_line(self) -> str:
+        from repro.analysis.report import sweep_summary
+
+        return sweep_summary(
+            seeds=self.seeds,
+            elapsed_s=self.elapsed_s,
+            cache_hits=self.cache_hits,
+            errors=self.errors,
+            workers=self.workers,
+        )
+
+
+# ---------------------------------------------------------------------------
+# The on-disk cache.
+# ---------------------------------------------------------------------------
+
+
+def _encode_value(value: Any) -> tuple[str, Any]:
+    """Encode a result for a JSON-lines record.
+
+    Values that survive an exact JSON round-trip are stored as plain
+    JSON; everything else (dataclasses, Counters, int-keyed dicts —
+    which JSON would silently corrupt) is pickled and base64-wrapped.
+    """
+    try:
+        text = json.dumps(value)
+        if json.loads(text) == value:
+            return "json", value
+    except (TypeError, ValueError):
+        pass
+    blob = base64.b64encode(pickle.dumps(value)).decode("ascii")
+    return "pickle", blob
+
+
+def _decode_value(encoding: str, payload: Any) -> Any:
+    if encoding == "json":
+        return payload
+    if encoding == "pickle":
+        return pickle.loads(base64.b64decode(payload))
+    raise ValueError(f"unknown cache encoding {encoding!r}")
+
+
+def _jsonable_seed(seed: Any) -> Any:
+    """A JSON-able form of a sweep item for keys and records."""
+    if isinstance(seed, (bool, int, float, str)) or seed is None:
+        return seed
+    if isinstance(seed, (tuple, list)):
+        return [_jsonable_seed(item) for item in seed]
+    return repr(seed)
+
+
+class ResultCache:
+    """JSON-lines result store: one ``<experiment>.jsonl`` per sweep.
+
+    Records are append-only; on load, later records win, so ``force``
+    reruns simply shadow stale entries.
+    """
+
+    def __init__(self, directory: str | Path):
+        self.directory = Path(directory)
+
+    def _path(self, experiment: str) -> Path:
+        safe = "".join(
+            ch if ch.isalnum() or ch in "-._" else "_" for ch in experiment
+        )
+        return self.directory / f"{safe}.jsonl"
+
+    def load(self, experiment: str) -> dict[str, dict]:
+        """All valid records of *experiment*, keyed by cache key."""
+        path = self._path(experiment)
+        records: dict[str, dict] = {}
+        if not path.exists():
+            return records
+        try:
+            lines = path.read_text().splitlines()
+        except OSError:
+            return records
+        for line in lines:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+                records[record["key"]] = record
+            except (ValueError, KeyError, TypeError):
+                continue  # torn/corrupt line: treat as a miss
+        return records
+
+    def append(self, experiment: str, records: Iterable[dict]) -> None:
+        records = list(records)
+        if not records:
+            return
+        self.directory.mkdir(parents=True, exist_ok=True)
+        with self._path(experiment).open("a") as handle:
+            for record in records:
+                handle.write(json.dumps(record) + "\n")
+
+    def fetch(self, record: dict) -> Any:
+        """Decode a record's payload (raises on a corrupt payload)."""
+        return _decode_value(record["encoding"], record["payload"])
+
+
+# ---------------------------------------------------------------------------
+# The runner.
+# ---------------------------------------------------------------------------
+
+
+def _call_experiment(
+    experiment: Callable[[Any], Any], seed: Any
+) -> tuple[Any, str | None, float]:
+    """Run one seed, capturing any exception as a formatted traceback.
+
+    Runs inside the worker process; never raises, so one bad seed
+    cannot kill the sweep.
+    """
+    started = time.perf_counter()
+    try:
+        value = experiment(seed)
+        return value, None, time.perf_counter() - started
+    except Exception:
+        return None, traceback.format_exc(), time.perf_counter() - started
+
+
+class SweepRunner:
+    """Fan an experiment out over seeds; merge results in seed order.
+
+    The *experiment* callable must be picklable (a module-level
+    function, or a :func:`functools.partial` of one with picklable
+    arguments) because it crosses a process boundary.
+
+    One runner can serve many sweeps; :attr:`stats` accumulates
+    seeds/s, cache hits and errors across all of them for the CLI /
+    benchmark summary line.
+    """
+
+    def __init__(
+        self,
+        workers: int | None = None,
+        use_cache: bool | None = None,
+        force: bool = False,
+        cache_dir: str | Path | None = None,
+    ):
+        self.workers = workers if workers and workers > 0 else default_workers()
+        if use_cache is None:
+            use_cache = not os.environ.get("REPRO_NO_CACHE")
+        self.use_cache = use_cache
+        self.force = force
+        directory = cache_dir or os.environ.get(
+            "REPRO_CACHE_DIR", DEFAULT_CACHE_DIR
+        )
+        self.cache = ResultCache(directory)
+        self.stats = SweepStats()
+
+    # -- keying -------------------------------------------------------------
+
+    def _key(self, name: str, params: dict, seed: Any) -> str:
+        material = json.dumps(
+            {
+                "experiment": name,
+                "params": params,
+                "seed": _jsonable_seed(seed),
+                "code": code_fingerprint(),
+            },
+            sort_keys=True,
+            default=repr,
+        )
+        return hashlib.sha256(material.encode()).hexdigest()[:32]
+
+    # -- execution ----------------------------------------------------------
+
+    def run(
+        self,
+        experiment: Callable[[Any], Any],
+        seeds: Iterable[Any],
+        *,
+        name: str,
+        params: dict | None = None,
+    ) -> SweepResult:
+        """Run *experiment* for every seed; outcomes in seed order.
+
+        A failed seed is captured as a :class:`SeedOutcome` with its
+        traceback — the sweep always completes.  Call
+        :meth:`SweepResult.values` to get plain values (raising a
+        single aggregate :class:`SweepError` if anything failed).
+        """
+        seeds = list(seeds)
+        params = dict(params or {})
+        started = time.perf_counter()
+        outcomes: list[SeedOutcome | None] = [None] * len(seeds)
+
+        keys = [self._key(name, params, seed) for seed in seeds]
+        known = self.cache.load(name) if self.use_cache else {}
+        pending: list[int] = []
+        for index, (seed, key) in enumerate(zip(seeds, keys)):
+            record = None if self.force else known.get(key)
+            if record is not None:
+                try:
+                    value = self.cache.fetch(record)
+                except Exception:
+                    pending.append(index)  # corrupt payload: recompute
+                    continue
+                outcomes[index] = SeedOutcome(seed, value, cached=True)
+            else:
+                pending.append(index)
+
+        workers = min(self.workers, max(1, len(pending)))
+        if pending:
+            if workers <= 1:
+                for index in pending:
+                    value, error, elapsed = _call_experiment(
+                        experiment, seeds[index]
+                    )
+                    outcomes[index] = SeedOutcome(
+                        seeds[index], value, error, elapsed_s=elapsed
+                    )
+            else:
+                with ProcessPoolExecutor(max_workers=workers) as pool:
+                    futures = {
+                        index: pool.submit(
+                            _call_experiment, experiment, seeds[index]
+                        )
+                        for index in pending
+                    }
+                    # Collect in submission (= seed) order: the merge is
+                    # deterministic no matter which worker finishes first.
+                    for index, future in futures.items():
+                        try:
+                            value, error, elapsed = future.result()
+                        except Exception as exc:  # unpicklable result etc.
+                            value, error, elapsed = (
+                                None,
+                                f"{type(exc).__name__}: {exc}",
+                                0.0,
+                            )
+                        outcomes[index] = SeedOutcome(
+                            seeds[index], value, error, elapsed_s=elapsed
+                        )
+            if self.use_cache:
+                fresh = []
+                for index in pending:
+                    outcome = outcomes[index]
+                    if not outcome.ok:
+                        continue
+                    encoding, payload = _encode_value(outcome.value)
+                    fresh.append(
+                        {
+                            "key": keys[index],
+                            "seed": _jsonable_seed(outcome.seed),
+                            "encoding": encoding,
+                            "payload": payload,
+                        }
+                    )
+                self.cache.append(name, fresh)
+
+        result = SweepResult(
+            name=name,
+            outcomes=outcomes,  # type: ignore[arg-type]
+            elapsed_s=time.perf_counter() - started,
+            workers=workers,
+        )
+        self.stats.record(result)
+        return result
+
+    def map(
+        self,
+        experiment: Callable[[Any], Any],
+        seeds: Iterable[Any],
+        *,
+        name: str,
+        params: dict | None = None,
+    ) -> list[Any]:
+        """Shorthand: :meth:`run` then :meth:`SweepResult.values`."""
+        return self.run(experiment, seeds, name=name, params=params).values()

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.ara import (
-    AraProcess,
     Event,
     Field,
     Method,

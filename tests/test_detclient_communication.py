@@ -14,7 +14,6 @@ samples depending on platform timing.
 
 from repro.ara import (
     ActivationReturnType,
-    AraProcess,
     DeterministicClient,
     Event,
     Method,

@@ -7,7 +7,6 @@ skew above the assumed ``E``, deadlines below WCET — and check the
 violation is counted, never silent.
 """
 
-import pytest
 
 from repro.ara import AraProcess, Event, Method, ServiceInterface
 from repro.dear import (

@@ -33,6 +33,19 @@ class TestRunner:
         finally:
             del os.environ["REPRO_TEST_KNOB"]
 
+    @pytest.mark.parametrize("bad", ["ten", "1.5", "", "0x10"])
+    def test_env_int_rejects_malformed(self, bad):
+        os.environ["REPRO_TEST_KNOB"] = bad
+        try:
+            with pytest.raises(ValueError) as excinfo:
+                env_int("REPRO_TEST_KNOB", 7)
+            # The error names the variable and the offending value, so a
+            # typo in a shell knob doesn't surface as a bare traceback.
+            assert "REPRO_TEST_KNOB" in str(excinfo.value)
+            assert repr(bad) in str(excinfo.value)
+        finally:
+            del os.environ["REPRO_TEST_KNOB"]
+
 
 class TestFigureDriversSmall:
     """Each driver at miniature scale: structure + render sanity."""

@@ -4,7 +4,7 @@ import pytest
 
 from repro.let import LetChannel, LetExecutor, LetTask
 from repro.sim import World
-from repro.sim.platform import CALM, MINNOWBOARD, PlatformConfig
+from repro.sim.platform import CALM, MINNOWBOARD
 from repro.time import MS
 
 

@@ -24,7 +24,7 @@ from repro.someip.serialization import (
     UINT16,
     UINT32,
 )
-from repro.time import MS, Tag, US
+from repro.time import MS, Tag
 
 # ---------------------------------------------------------------------------
 # Random lock programs: mutual exclusion and completion.

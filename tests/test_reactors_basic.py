@@ -5,7 +5,6 @@ import pytest
 from repro.errors import (
     AssemblyError,
     CausalityError,
-    DeadlineViolation,
     SchedulingError,
 )
 from repro.reactors import Environment, Reactor

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.errors import AssemblyError
-from repro.reactors import Environment, Multiport, Reactor
+from repro.reactors import Environment, Reactor
 from repro.time import MS
 
 

@@ -5,8 +5,8 @@ import pytest
 from repro.errors import DeadlineViolation
 from repro.reactors import Deadline, Environment, Reactor
 from repro.sim import World
-from repro.sim.platform import CALM, MINNOWBOARD, PlatformConfig
-from repro.time import MS, SEC, US
+from repro.sim.platform import CALM, MINNOWBOARD
+from repro.time import MS, SEC
 
 
 def sim_env(seed=0, config=CALM, **env_kwargs):

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.sim import Compute, Sleep, World
-from repro.sim.platform import CALM, PlatformConfig
+from repro.sim.platform import PlatformConfig
 from repro.sim.sync import Semaphore
 from repro.time import MS
 

@@ -18,7 +18,7 @@ from repro.sim import (
     World,
     Yield,
 )
-from repro.sim.platform import CALM, PlatformConfig
+from repro.sim.platform import PlatformConfig
 from repro.time import MS, US
 
 

@@ -3,11 +3,10 @@
 import pytest
 
 from repro.ara import Method, ServiceInterface
-from repro.ara.proxy import MethodCallError
 from repro.errors import SomeIpError
 from repro.someip.serialization import INT32
 from repro.someip.wire import ReturnCode
-from repro.time import MS, SEC
+from repro.time import SEC
 
 from tests.conftest import build_ap_world, make_process
 

@@ -1,6 +1,5 @@
 """Integration tests for SOME/IP service discovery."""
 
-import pytest
 
 from repro.network import NetworkInterface, Switch
 from repro.sim import World

@@ -1,0 +1,148 @@
+"""Tests for the parallel sweep engine and its on-disk result cache."""
+
+from collections import Counter
+from functools import partial
+
+import pytest
+
+from repro.apps.brake import BrakeScenario, run_det_brake_assistant
+from repro.harness import SweepError, SweepRunner, code_fingerprint, run_seeds
+from repro.harness.sweep import _decode_value, _encode_value
+
+
+def _double(seed):
+    return seed * 2
+
+
+def _fail_on_odd(seed):
+    if seed % 2:
+        raise ValueError(f"seed {seed} is odd")
+    return seed
+
+
+class TestSweepRunner:
+    def test_merges_in_seed_order(self, tmp_path):
+        runner = SweepRunner(workers=4, use_cache=False, cache_dir=tmp_path)
+        assert runner.map(_double, [5, 1, 3], name="t") == [10, 2, 6]
+
+    def test_matches_sequential_run_seeds(self, tmp_path):
+        """workers=4 must be bit-identical to the sequential path —
+        per-seed results *and* trace fingerprints."""
+        scenario = BrakeScenario(n_frames=80, deterministic_camera=True)
+        experiment = partial(run_det_brake_assistant, scenario=scenario)
+        sequential = run_seeds(experiment, range(3))
+        parallel = SweepRunner(
+            workers=4, use_cache=False, cache_dir=tmp_path
+        ).map(experiment, range(3), name="det")
+        assert parallel == sequential  # dataclass eq: every field
+        for seq_run, par_run in zip(sequential, parallel):
+            assert par_run.trace_fingerprints == seq_run.trace_fingerprints
+            assert par_run.commands == seq_run.commands
+
+    def test_error_capture_does_not_kill_sweep(self, tmp_path):
+        runner = SweepRunner(workers=2, use_cache=False, cache_dir=tmp_path)
+        result = runner.run(_fail_on_odd, range(4), name="t")
+        assert len(result.outcomes) == 4  # the sweep completed
+        assert [outcome.ok for outcome in result.outcomes] == [
+            True, False, True, False,
+        ]
+        assert result.outcomes[0].value == 0
+        assert "seed 1 is odd" in result.outcomes[1].error
+        with pytest.raises(SweepError, match="2 seed"):
+            result.values()
+
+    def test_failed_seeds_are_not_cached(self, tmp_path):
+        runner = SweepRunner(workers=1, cache_dir=tmp_path)
+        runner.run(_fail_on_odd, range(4), name="t")
+        rerun = SweepRunner(workers=1, cache_dir=tmp_path).run(
+            _fail_on_odd, range(4), name="t"
+        )
+        assert rerun.cache_hits == 2  # only the successes
+
+    def test_stats_accumulate(self, tmp_path):
+        runner = SweepRunner(workers=1, use_cache=False, cache_dir=tmp_path)
+        runner.run(_double, range(3), name="a")
+        runner.run(_double, range(2), name="b")
+        assert runner.stats.sweeps == 2
+        assert runner.stats.seeds == 5
+        assert "5 seeds" in runner.stats.summary_line()
+
+
+class TestResultCache:
+    def test_miss_then_hit(self, tmp_path):
+        cold = SweepRunner(workers=1, cache_dir=tmp_path)
+        first = cold.run(_double, range(4), name="exp")
+        assert first.cache_hits == 0
+        warm = SweepRunner(workers=1, cache_dir=tmp_path)
+        second = warm.run(_double, range(4), name="exp")
+        assert second.cache_hits == 4
+        assert second.values() == first.values()
+
+    def test_partial_hit(self, tmp_path):
+        SweepRunner(workers=1, cache_dir=tmp_path).run(
+            _double, range(2), name="exp"
+        )
+        result = SweepRunner(workers=1, cache_dir=tmp_path).run(
+            _double, range(4), name="exp"
+        )
+        assert result.cache_hits == 2
+        assert result.values() == [0, 2, 4, 6]
+
+    def test_force_recomputes(self, tmp_path):
+        SweepRunner(workers=1, cache_dir=tmp_path).run(
+            _double, range(3), name="exp"
+        )
+        forced = SweepRunner(workers=1, cache_dir=tmp_path, force=True).run(
+            _double, range(3), name="exp"
+        )
+        assert forced.cache_hits == 0
+        assert forced.values() == [0, 2, 4]
+        # ...and the forced results land back in the cache.
+        after = SweepRunner(workers=1, cache_dir=tmp_path).run(
+            _double, range(3), name="exp"
+        )
+        assert after.cache_hits == 3
+
+    def test_no_cache_writes_nothing(self, tmp_path):
+        SweepRunner(workers=1, use_cache=False, cache_dir=tmp_path).run(
+            _double, range(3), name="exp"
+        )
+        assert list(tmp_path.iterdir()) == []
+
+    def test_params_partition_the_key_space(self, tmp_path):
+        SweepRunner(workers=1, cache_dir=tmp_path).run(
+            _double, range(3), name="exp", params={"frames": 100}
+        )
+        other = SweepRunner(workers=1, cache_dir=tmp_path).run(
+            _double, range(3), name="exp", params={"frames": 200}
+        )
+        assert other.cache_hits == 0
+
+    def test_corrupt_lines_are_misses(self, tmp_path):
+        SweepRunner(workers=1, cache_dir=tmp_path).run(
+            _double, range(2), name="exp"
+        )
+        cache_file = tmp_path / "exp.jsonl"
+        cache_file.write_text("not json\n" + cache_file.read_text())
+        result = SweepRunner(workers=1, cache_dir=tmp_path).run(
+            _double, range(2), name="exp"
+        )
+        assert result.cache_hits == 2  # valid records survive the junk
+
+    def test_payload_encoding_round_trips(self):
+        for value in (
+            7,
+            [1, 2, 3],
+            {"a": 1},
+            (1, 2),                       # tuple: JSON would flatten to list
+            {3: "x"},                     # int keys: JSON would stringify
+            Counter({"a": 2}),
+        ):
+            encoding, payload = _encode_value(value)
+            decoded = _decode_value(encoding, payload)
+            assert decoded == value
+            assert type(decoded) is type(value)
+
+    def test_code_fingerprint_is_stable(self):
+        assert code_fingerprint() == code_fingerprint()
+        assert len(code_fingerprint()) == 16

@@ -2,7 +2,6 @@
 
 import random
 
-import pytest
 from hypothesis import given, strategies as st
 
 from repro.time import ClockModel, PhysicalClock, SEC
