@@ -17,7 +17,7 @@ from repro.harness import SweepRunner, env_int
 from repro.harness.figures import ablation_sources
 
 
-def test_ablation_sources(benchmark, show):
+def test_ablation_sources(benchmark, show, bench_json):
     n_seeds = env_int("REPRO_ABLATION_SEEDS", 25)
     runner = SweepRunner()
     result = benchmark.pedantic(
@@ -28,6 +28,12 @@ def test_ablation_sources(benchmark, show):
     show(runner.stats.summary_line())
 
     by_label = {label: counts for label, counts in result.rows}
+    bench_json.sweep(runner).record(
+        seeds=n_seeds,
+        distinct_outcomes={
+            label: len(counts) for label, counts in result.rows
+        },
+    )
     source1 = by_label["source 1 on: thread-per-invocation"]
     fixed = by_label["sources off: serialized + FIFO"]
     source3 = by_label["source 3 on: unordered transport"]

@@ -20,7 +20,7 @@ from repro.harness import SweepRunner, env_int
 from repro.harness.figures import det_case_study
 
 
-def test_det_case_study(benchmark, show):
+def test_det_case_study(benchmark, show, bench_json):
     n_seeds = env_int("REPRO_DET_SEEDS", 5)
     n_frames = env_int("REPRO_DET_FRAMES", 500)
     runner = SweepRunner()
@@ -30,6 +30,13 @@ def test_det_case_study(benchmark, show):
     )
     show(result.render())
     show(runner.stats.summary_line())
+    bench_json.sweep(runner).record(
+        seeds=n_seeds,
+        frames=n_frames,
+        errors_total=result.total_errors(),
+        violations_total=result.total_violations(),
+        latency_max_ns=result.latency.maximum,
+    )
 
     assert result.total_errors() == 0
     assert result.total_violations() == 0

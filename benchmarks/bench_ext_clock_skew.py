@@ -15,13 +15,23 @@ from repro.harness import SweepRunner
 from repro.harness.extensions import clock_skew_sweep
 
 
-def test_clock_skew_sweep(benchmark, show):
+def test_clock_skew_sweep(benchmark, show, bench_json):
     runner = SweepRunner()
     result = benchmark.pedantic(
         clock_skew_sweep, kwargs={"sweep": runner}, rounds=1, iterations=1
     )
     show(result.render())
     show(runner.stats.summary_line())
+    bench_json.sweep(runner).record(
+        points=[
+            {
+                "actual_skew_ns": point.actual_skew_ns,
+                "assumed_error_ns": point.assumed_error_ns,
+                "stp_violations": point.stp_violations,
+            }
+            for point in result.points
+        ],
+    )
 
     for point in result.points:
         covered = point.assumed_error_ns >= point.actual_skew_ns

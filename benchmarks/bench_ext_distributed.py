@@ -50,12 +50,25 @@ def sweep(n_frames, runner=None):
     return [(skew, error, run) for (skew, error), run in zip(configurations, runs)]
 
 
-def test_distributed_brake_assistant(benchmark, show):
+def test_distributed_brake_assistant(benchmark, show, bench_json):
     n_frames = env_int("REPRO_DIST_FRAMES", 200)
     runner = SweepRunner()
     rows = benchmark.pedantic(
         sweep, args=(n_frames,), kwargs={"runner": runner},
         rounds=1, iterations=1,
+    )
+    bench_json.sweep(runner).record(
+        frames=n_frames,
+        configurations=[
+            {
+                "skew_ns": skew,
+                "assumed_error_ns": error,
+                "stp_violations": run.stp_violations,
+                "errors_total": run.errors.total(),
+                "frames_answered": len(run.commands),
+            }
+            for skew, error, run in rows
+        ],
     )
     table = render_table(
         ["clock skew", "assumed E", "STP violations", "CV mismatches",

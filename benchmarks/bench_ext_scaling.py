@@ -14,12 +14,18 @@ from repro.harness import SweepRunner
 from repro.harness.extensions import native_transport_comparison, pipeline_scaling
 
 
-def test_pipeline_scaling(benchmark, show):
+def test_pipeline_scaling(benchmark, show, bench_json):
     runner = SweepRunner()
     result = benchmark.pedantic(
         pipeline_scaling, kwargs={"sweep": runner}, rounds=1, iterations=1
     )
     show(result.render())
+    bench_json.sweep(runner).record(
+        latency_by_depth={
+            str(point.depth): point.logical_latency_ns
+            for point in result.points
+        },
+    )
 
     for point in result.points:
         assert point.logical_latency_ns == point.expected_ns
@@ -29,7 +35,7 @@ def test_pipeline_scaling(benchmark, show):
     assert latencies == [depth * result.hop_cost_ns for depth in depths]
 
 
-def test_native_transport(benchmark, show):
+def test_native_transport(benchmark, show, bench_json):
     """EXT-NATIVE — the standard extension the paper advocates.
 
     The native protocol-v2 tag field must behave identically to the
@@ -40,5 +46,10 @@ def test_native_transport(benchmark, show):
         rounds=1, iterations=1,
     )
     show(result.render())
+    bench_json.record(
+        native_bytes=result.native_bytes,
+        trailer_bytes=result.trailer_bytes,
+        behaviour_identical=result.behaviour_identical,
+    )
     assert result.behaviour_identical
     assert result.native_bytes < result.trailer_bytes

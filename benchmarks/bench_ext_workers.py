@@ -71,8 +71,13 @@ def sweep():
     return {workers: run_with_workers(workers) for workers in (1, 2, 4)}
 
 
-def test_worker_scaling(benchmark, show):
+def test_worker_scaling(benchmark, show, bench_json):
     results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    bench_json.record(
+        mean_lag_ns_by_workers={
+            str(workers): lag for workers, (lag, _fp) in sorted(results.items())
+        },
+    )
     rows = [
         [str(workers), f"{lag / 1e6:.1f} ms"]
         for workers, (lag, _fp) in sorted(results.items())

@@ -15,7 +15,7 @@ from repro.harness import SweepRunner, env_int
 from repro.harness.figures import figure1
 
 
-def test_figure1(benchmark, show):
+def test_figure1(benchmark, show, bench_json):
     n_seeds = env_int("REPRO_FIG1_SEEDS", 200)
     runner = SweepRunner()
     result = benchmark.pedantic(
@@ -26,6 +26,10 @@ def test_figure1(benchmark, show):
     show(runner.stats.summary_line())
 
     probabilities = result.probabilities()
+    bench_json.sweep(runner).record(
+        seeds=n_seeds,
+        probabilities={str(k): v for k, v in sorted(probabilities.items())},
+    )
     # All observed outcomes are legal interleavings of {set, add, get}.
     assert set(probabilities) <= {0, 1, 2, 3}
     # The program has several behaviours...

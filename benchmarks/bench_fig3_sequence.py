@@ -12,9 +12,12 @@ exactly.
 from repro.harness.figures import figure3_sequence
 
 
-def test_figure3_sequence(benchmark, show):
+def test_figure3_sequence(benchmark, show, bench_json):
     result = benchmark.pedantic(figure3_sequence, rounds=1, iterations=1)
     show(result.render())
+    bench_json.record(
+        server_tag_ns=result.server_tag_ns, reply_tag_ns=result.reply_tag_ns
+    )
 
     assert result.server_tag_ns == result.expected_server_tag_ns()
     assert result.reply_tag_ns == result.expected_reply_tag_ns()

@@ -18,7 +18,7 @@ from repro.harness import SweepRunner, env_int
 from repro.harness.figures import figure5
 
 
-def test_figure5(benchmark, show):
+def test_figure5(benchmark, show, bench_json):
     n_runs = env_int("REPRO_FIG5_RUNS", 20)
     n_frames = env_int("REPRO_BRAKE_FRAMES", 2_000)
     runner = SweepRunner()
@@ -30,6 +30,13 @@ def test_figure5(benchmark, show):
     show(runner.stats.summary_line())
 
     rates = result.rates()
+    bench_json.sweep(runner).record(
+        runs=n_runs,
+        frames=n_frames,
+        error_rates={
+            "min": min(rates), "mean": result.mean_rate(), "max": max(rates)
+        },
+    )
     # Huge spread: some runs near-perfect, some catastrophically bad.
     assert min(rates) < 0.005
     assert max(rates) > 0.10

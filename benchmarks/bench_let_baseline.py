@@ -16,7 +16,7 @@ from repro.harness.figures import let_baseline
 from repro.time import MS
 
 
-def test_let_baseline(benchmark, show):
+def test_let_baseline(benchmark, show, bench_json):
     n_frames = env_int("REPRO_LET_FRAMES", 300)
     runner = SweepRunner()
     result = benchmark.pedantic(
@@ -25,6 +25,11 @@ def test_let_baseline(benchmark, show):
     )
     show(result.render())
     show(runner.stats.summary_line())
+    bench_json.sweep(runner).record(
+        frames=n_frames,
+        let_latency_mean_ns=result.let_latency.mean,
+        dear_latency_mean_ns=result.dear_latency.mean,
+    )
 
     assert result.deterministic
     # Four 50 ms hops: exactly 200 ms for every frame.

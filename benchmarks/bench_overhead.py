@@ -18,7 +18,7 @@ from repro.harness import SweepRunner, env_int
 from repro.harness.figures import overhead
 
 
-def test_overhead(benchmark, show):
+def test_overhead(benchmark, show, bench_json):
     n_frames = env_int("REPRO_OVERHEAD_FRAMES", 400)
     runner = SweepRunner()
     result = benchmark.pedantic(
@@ -27,6 +27,13 @@ def test_overhead(benchmark, show):
     )
     show(result.render())
     show(runner.stats.summary_line())
+    bench_json.sweep(runner).record(
+        frames=n_frames,
+        dear_latency_mean_ns=result.dear_latency.mean,
+        stock_latency_mean_ns=result.stock_latency.mean,
+        dear_frames_out=result.dear_frames_out,
+        stock_frames_out=result.stock_frames_out,
+    )
 
     scenario = BrakeScenario()
     release = scenario.latency_bound_ns + scenario.clock_error_ns

@@ -13,7 +13,7 @@ from repro.someip.serialization import Array, INT32, Struct, UINT32
 from repro.time import MS, US
 
 
-def test_sim_kernel_event_throughput(benchmark):
+def test_sim_kernel_event_throughput(benchmark, bench_json):
     """Schedule-and-run cost of bare kernel events."""
 
     def run():
@@ -24,9 +24,10 @@ def test_sim_kernel_event_throughput(benchmark):
         return sim.events_processed
 
     assert benchmark(run) == 5_000
+    bench_json.record(events=5_000).timing(benchmark)
 
 
-def test_thread_context_switching(benchmark):
+def test_thread_context_switching(benchmark, bench_json):
     """Cost of compute-yield cycles through the CPU scheduler."""
 
     def run():
@@ -45,9 +46,10 @@ def test_thread_context_switching(benchmark):
         return len(done)
 
     assert benchmark(run) == 5
+    bench_json.record(threads=5, switches_per_thread=200).timing(benchmark)
 
 
-def test_reactor_fast_mode_throughput(benchmark):
+def test_reactor_fast_mode_throughput(benchmark, bench_json):
     """Events-per-second of the reactor scheduler in fast mode."""
 
     def run():
@@ -84,10 +86,11 @@ def test_reactor_fast_mode_throughput(benchmark):
         return env.scheduler.reactions_executed
 
     reactions = benchmark(run)
+    bench_json.record(reactions=reactions).timing(benchmark)
     assert reactions > 10_000
 
 
-def test_someip_message_roundtrip(benchmark):
+def test_someip_message_roundtrip(benchmark, bench_json):
     """Pack + unpack of a realistic SOME/IP message."""
     spec = Struct([("seq", UINT32), ("values", Array(INT32))])
     payload = spec.to_bytes({"seq": 7, "values": list(range(64))})
@@ -102,3 +105,4 @@ def test_someip_message_roundtrip(benchmark):
         return spec.from_bytes(message.payload)["seq"]
 
     assert benchmark(run) == 7
+    bench_json.record().timing(benchmark)

@@ -16,7 +16,7 @@ from repro.harness.figures import tradeoff
 from repro.time import MS
 
 
-def test_deadline_tradeoff(benchmark, show):
+def test_deadline_tradeoff(benchmark, show, bench_json):
     n_frames = env_int("REPRO_TRADEOFF_FRAMES", 300)
     runner = SweepRunner()
     result = benchmark.pedantic(
@@ -25,6 +25,18 @@ def test_deadline_tradeoff(benchmark, show):
     )
     show(result.render())
     show(runner.stats.summary_line())
+    bench_json.sweep(runner).record(
+        frames=n_frames,
+        points=[
+            {
+                "deadline_ns": point.deadline_ns,
+                "deadline_misses": point.deadline_misses,
+                "frames_lost": point.frames_lost,
+                "latency_mean_ns": point.latency_mean_ns,
+            }
+            for point in result.points
+        ],
+    )
 
     by_deadline = {point.deadline_ns: point for point in result.points}
     # Sound deadlines (>= WCET 21 ms): zero violations, zero loss.

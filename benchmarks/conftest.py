@@ -1,6 +1,10 @@
 """Shared fixtures for the benchmark suite."""
 
+import time
+
 import pytest
+
+from repro.harness.benchjson import BenchRecorder
 
 
 @pytest.fixture
@@ -12,3 +16,19 @@ def show(capsys):
             print("\n" + text + "\n")
 
     return _show
+
+
+@pytest.fixture
+def bench_json(request):
+    """Machine-readable ``BENCH_<name>.json`` writer (see benchjson).
+
+    Named after the test (``test_figure5`` -> ``BENCH_figure5.json``),
+    written on teardown with the test's wall time filled in; the test
+    body adds seed counts, error rates etc. via ``record()``/``sweep()``.
+    Target directory: ``REPRO_BENCH_DIR`` (default: CWD).
+    """
+    recorder = BenchRecorder(request.node.name.removeprefix("test_"))
+    started = time.perf_counter()
+    yield recorder
+    recorder.record(wall_time_s=round(time.perf_counter() - started, 3))
+    recorder.write()

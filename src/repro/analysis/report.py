@@ -71,6 +71,85 @@ def histogram_table(
     return "\n".join(lines)
 
 
+def _errors_line(errors: Mapping[str, int]) -> str:
+    nonzero = {name: count for name, count in errors.items() if count}
+    if not nonzero:
+        return "none"
+    return "  ".join(f"{name}={count}" for name, count in sorted(nonzero.items()))
+
+
+def exploration_report(result) -> str:
+    """Human-readable rendering of an exploration run.
+
+    *result* is an :class:`repro.explore.explorer.ExplorationResult`;
+    duck-typed so this module stays free of explore imports.
+    """
+    lines = [
+        f"explore ({result.strategy}): "
+        + (
+            f"failing schedule found at execution {result.found.index}"
+            if result.found is not None
+            else f"no failure in {len(result.executions)} executions"
+        ),
+        f"  budget: {result.executions_used}/{result.budget} executions used, "
+        f"horizon {result.horizon} dispatches",
+    ]
+    if result.found is not None:
+        schedule = result.found.schedule
+        lines.append(
+            f"  schedule: base seed {schedule.base_seed}, "
+            f"{len(schedule.preemptions)} preemption point(s)"
+        )
+        for point in schedule.preemptions:
+            lines.append(f"    {point.describe()}")
+        lines.append(f"  errors: {_errors_line(result.found.errors)}")
+    return "\n".join(lines)
+
+
+def shrink_report(result) -> str:
+    """Human-readable rendering of a ddmin shrink.
+
+    *result* is a :class:`repro.explore.shrink.ShrinkResult`.  The
+    payoff line is the diagnosis: the failure needs *exactly* the
+    remaining preemptions — removing any one of them makes it vanish.
+    """
+    kept = len(result.minimal.preemptions)
+    lines = [
+        f"shrink: {len(result.original.preemptions)} -> {kept} "
+        f"preemption(s) in {result.trials} trials "
+        f"({result.removed} removed)",
+        f"  the failure needs exactly "
+        + (f"these {kept} preemptions:" if kept != 1 else "this 1 preemption:"),
+    ]
+    for point in result.minimal.preemptions:
+        lines.append(f"    {point.describe()}")
+    lines.append(f"  errors: {_errors_line(result.errors)}")
+    return "\n".join(lines)
+
+
+def verification_report(result) -> str:
+    """Human-readable rendering of a determinism verification.
+
+    *result* is a :class:`repro.explore.verify.VerificationResult`.
+    """
+    lines = [
+        f"determinism verification: {result.schedules} schedules",
+        f"  identical: {result.identical}  flagged: {len(result.flagged)}  "
+        f"silent divergences: {len(result.silent_divergences)}",
+    ]
+    for verdict in result.silent_divergences:
+        lines.append(f"  SILENT DIVERGENCE: {verdict.label}")
+    lines.append(
+        "  verdict: "
+        + (
+            "OK - divergence only ever with a violation flagged"
+            if result.ok
+            else "FAILED - trace diverged without any violation flagged"
+        )
+    )
+    return "\n".join(lines)
+
+
 def ascii_bar_chart(
     rows: Sequence[tuple[str, Mapping[str, float]]],
     categories: Sequence[str],

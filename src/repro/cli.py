@@ -7,6 +7,8 @@ Usage::
     python -m repro fig5 --workers 8          # parallel sweep
     python -m repro fig5 --force              # ignore cached results
     python -m repro all
+    python -m repro explore --strategy pct --shrink --record trace.json
+    python -m repro explore --replay trace.json
 
 Every subcommand runs the corresponding experiment driver and prints
 the text rendering of the paper figure/table it reproduces.  Sweeps run
@@ -120,6 +122,47 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_int(distributed, "--frames", 200, "frames per configuration")
 
+    explore = commands.add_parser(
+        "explore",
+        help="search scheduler interleavings for a failure "
+             "(record/replay, shrink, verify determinism)",
+        parents=[common],
+    )
+    explore.add_argument(
+        "--strategy", choices=("random", "pct"), default="pct",
+        help="random = uniform seed sweeping; pct = bounded preemption "
+             "injection (default)",
+    )
+    _add_int(explore, "--budget", 40, "maximum executions to explore")
+    _add_int(explore, "--frames", 50, "frames per execution")
+    _add_int(explore, "--seed", 0, "base root seed")
+    _add_int(explore, "--depth", 6, "PCT: preemption points per execution")
+    explore.add_argument(
+        "--max-preempt-ms", type=float, default=25.0, metavar="MS",
+        help="PCT: delay injected at each preemption point (default: 25)",
+    )
+    explore.add_argument(
+        "--shrink", action="store_true",
+        help="delta-debug the failing schedule to a minimal preemption set",
+    )
+    explore.add_argument(
+        "--record", metavar="FILE", default=None,
+        help="write the failing run's full decision trace as JSON",
+    )
+    explore.add_argument(
+        "--replay", metavar="FILE", default=None,
+        help="replay a recorded decision trace instead of exploring; "
+             "exit 0 iff the recorded error counters reproduce",
+    )
+    explore.add_argument(
+        "--schedule-out", metavar="FILE", default=None,
+        help="write the (shrunk) failing schedule as a JSON artifact",
+    )
+    _add_int(
+        explore, "--verify", 0,
+        "also verify DEAR determinism across N in-budget schedules",
+    )
+
     run_all = commands.add_parser(
         "all", help="run every experiment (default scale)", parents=[common]
     )
@@ -213,6 +256,144 @@ def _render_distributed(frames: int, sweep) -> str:
     )
 
 
+def _replay_trace(args: argparse.Namespace) -> int:
+    """``repro explore --replay FILE``: re-execute a recorded trace."""
+    from repro.apps.brake.nondet import run_nondet_brake_assistant
+    from repro.explore import ScheduleReplayer, calibration_scenario
+    from repro.explore.decisions import DecisionTrace
+    from repro.sim.rng import stream_hooks
+
+    trace = DecisionTrace.load(args.replay)
+    frames = trace.params.get("frames", args.frames)
+    scenario = calibration_scenario(frames)
+    replayer = ScheduleReplayer(trace)
+    with stream_hooks(replayer):
+        result = run_nondet_brake_assistant(trace.base_seed, scenario)
+    errors = result.errors.as_dict()
+    print(
+        f"replay: {replayer.consumed}/{len(trace.records)} recorded "
+        f"decisions consumed (seed {trace.base_seed}, {frames} frames)"
+    )
+    expected = trace.params.get("errors")
+    if expected is not None and errors != expected:
+        print(
+            "replay: error counters DIVERGED\n"
+            f"  expected: {expected}\n  got:      {errors}"
+        )
+        return 1
+    nonzero = {name: count for name, count in errors.items() if count}
+    print(f"replay: errors reproduced: {nonzero or 'none'}")
+    return 0
+
+
+def _run_explore(args: argparse.Namespace, sweep) -> int:
+    """``repro explore``: search, then optionally shrink/record/verify."""
+    import json
+
+    from repro.analysis.report import (
+        exploration_report,
+        shrink_report,
+        verification_report,
+    )
+    from repro.explore import (
+        IN_BUDGET_PREEMPT_NS,
+        Explorer,
+        PctStrategy,
+        RandomSweepStrategy,
+        calibration_scenario,
+        shrink_schedule,
+        verify_determinism,
+    )
+    from repro.apps.brake.det import run_det_brake_assistant
+    from repro.time import MS
+
+    if args.replay:
+        return _replay_trace(args)
+
+    if args.strategy == "pct":
+        strategy = PctStrategy(
+            depth=args.depth,
+            preempt_ns=int(args.max_preempt_ms * MS),
+            seed=args.seed,
+        )
+    else:
+        strategy = RandomSweepStrategy()
+    explorer = Explorer(
+        scenario=calibration_scenario(args.frames),
+        base_seed=args.seed,
+        strategy=strategy,
+        sweep=sweep,
+    )
+    result = explorer.explore(budget=args.budget)
+    print(exploration_report(result))
+
+    schedule = result.found.schedule if result.found else None
+    errors = dict(result.found.errors) if result.found else {}
+    shrunk = None
+    if result.found is not None and args.shrink:
+        if schedule.preemptions:
+            shrunk = shrink_schedule(explorer, schedule)
+            schedule, errors = shrunk.minimal, dict(shrunk.errors)
+            print(shrink_report(shrunk))
+        else:
+            print("shrink: schedule has no preemption points, nothing to remove")
+
+    if result.found is not None and args.record:
+        run_result, trace = explorer.record(schedule)
+        trace.params["frames"] = args.frames
+        trace.params["errors"] = run_result.errors.as_dict()
+        trace.save(args.record)
+        print(
+            f"record: {len(trace.records)} decisions "
+            f"({trace.fingerprint()[:12]}) -> {args.record}"
+        )
+
+    if args.schedule_out:
+        artifact = {
+            "experiment": "run_nondet_brake_assistant",
+            "strategy": result.strategy,
+            "budget": result.budget,
+            "executions_used": result.executions_used,
+            "horizon": result.horizon,
+            "found": result.found is not None,
+            "schedule": schedule.to_dict() if schedule else None,
+            "errors": errors,
+            "shrink": (
+                {"trials": shrunk.trials, "removed": shrunk.removed}
+                if shrunk
+                else None
+            ),
+        }
+        with open(args.schedule_out, "w", encoding="utf-8") as handle:
+            json.dump(artifact, handle, indent=2)
+        print(f"schedule artifact -> {args.schedule_out}")
+
+    code = 0 if result.found is not None else 1
+    if args.verify > 0:
+        det_scenario = calibration_scenario(
+            args.frames, deterministic_camera=True
+        )
+        det_horizon = Explorer(
+            experiment=run_det_brake_assistant,
+            scenario=det_scenario,
+            base_seed=args.seed,
+        ).horizon
+        in_budget = PctStrategy(
+            depth=args.depth, preempt_ns=IN_BUDGET_PREEMPT_NS, seed=args.seed + 9
+        )
+        schedules = [
+            in_budget.schedule_for(index + 1, args.seed, det_horizon)
+            for index in range(args.verify)
+        ]
+        verification = verify_determinism(
+            schedules, det_scenario, base_seed=args.seed, sweep=sweep
+        )
+        print(verification_report(verification))
+        if not verification.ok:
+            code = 1
+    return code
+
+
 _ALL = (
     "fig1", "fig3", "fig5", "det", "tradeoff", "ablation",
     "overhead", "let", "skew", "scaling", "native", "distributed",
@@ -234,6 +415,11 @@ def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     sweep = _make_sweep(args)
+    if args.command == "explore":
+        code = _run_explore(args, sweep)
+        if sweep.stats.sweeps:
+            print(sweep.stats.summary_line(), file=sys.stderr)
+        return code
     if args.command != "all":
         print(_run_one(args.command, args, sweep))
         if sweep.stats.sweeps:

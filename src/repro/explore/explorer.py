@@ -1,0 +1,228 @@
+"""The budgeted exploration loop.
+
+An :class:`Explorer` owns one target experiment (the stock brake
+assistant by default), a base seed, a scenario and a strategy.  It
+first *calibrates* — one baseline run counting the dispatch horizon —
+then evaluates schedules ``strategy.schedule_for(0..budget-1)`` until
+the failure predicate fires or the budget is exhausted.  Executions
+are independent, so they fan out over the
+:class:`repro.harness.sweep.SweepRunner` process pool in chunks (with
+early exit between chunks) and per-execution outcomes land in the
+sweep result cache like any other seeded experiment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import partial
+from typing import Any, Callable
+
+from repro.apps.brake.nondet import run_nondet_brake_assistant
+from repro.explore.decisions import (
+    DecisionTrace,
+    InterventionSchedule,
+    PreemptionPoint,
+    ScheduleRecorder,
+)
+from repro.explore.strategies import PctStrategy
+from repro.harness.sweep import SweepRunner
+from repro.sim.rng import stream_hooks
+
+
+@dataclass
+class ExecutionOutcome:
+    """One explored schedule and what it produced."""
+
+    index: int
+    schedule: InterventionSchedule
+    errors_total: int = 0
+    errors: dict[str, int] = field(default_factory=dict)
+    #: Captured traceback if the execution itself crashed.
+    error: str | None = None
+
+
+def frame_drop(outcome: ExecutionOutcome) -> bool:
+    """Default failure predicate: the run dropped or misaligned frames."""
+    return outcome.errors_total > 0
+
+
+@dataclass
+class ExplorationResult:
+    """Everything one exploration produced."""
+
+    strategy: str
+    budget: int
+    horizon: int
+    executions: list[ExecutionOutcome]
+    #: First failing execution (``None`` if the budget ran dry).
+    found: ExecutionOutcome | None = None
+
+    @property
+    def executions_used(self) -> int:
+        """Executions evaluated up to and including the first failure."""
+        if self.found is not None:
+            return self.found.index + 1
+        return len(self.executions)
+
+
+def _run_summary(
+    execution: int,
+    experiment: Callable[..., Any],
+    scenario: Any,
+    strategy: Any,
+    base_seed: int,
+    horizon: int,
+) -> dict:
+    """Worker body: evaluate one schedule, return a compact summary."""
+    schedule = strategy.schedule_for(execution, base_seed, horizon)
+    controller = schedule.controller()
+    with stream_hooks(controller):
+        result = experiment(schedule.base_seed, scenario)
+    applied = [
+        {"site": p.site, "delay_ns": p.delay_ns, "thread": p.thread}
+        for p in controller.applied
+    ]
+    return {
+        "errors_total": result.errors.total(),
+        "errors": result.errors.as_dict(),
+        "applied": applied,
+    }
+
+
+class Explorer:
+    """Search scheduler interleavings for a failure.
+
+    ``experiment`` must be a picklable ``(seed, scenario) -> result``
+    callable whose result exposes ``errors`` counters (both brake
+    assistant variants qualify).
+    """
+
+    def __init__(
+        self,
+        experiment: Callable[..., Any] = run_nondet_brake_assistant,
+        scenario: Any = None,
+        base_seed: int = 0,
+        strategy: Any = None,
+        sweep: SweepRunner | None = None,
+        predicate: Callable[[ExecutionOutcome], bool] = frame_drop,
+    ) -> None:
+        self.experiment = experiment
+        self.scenario = scenario
+        self.base_seed = base_seed
+        self.strategy = strategy or PctStrategy()
+        self.sweep = sweep or SweepRunner()
+        self.predicate = predicate
+        self._horizon: int | None = None
+
+    # -- running one schedule ----------------------------------------------
+
+    def run_schedule(self, schedule: InterventionSchedule):
+        """Run the experiment once under *schedule* (in-process)."""
+        controller = schedule.controller()
+        with stream_hooks(controller):
+            result = self.experiment(schedule.base_seed, self.scenario)
+        return result, controller
+
+    def annotate(self, schedule: InterventionSchedule) -> InterventionSchedule:
+        """Resolve which thread each preemption point actually hit."""
+        _result, controller = self.run_schedule(schedule)
+        applied = {point.site: point for point in controller.applied}
+        return schedule.with_points(
+            applied.get(point.site, point) for point in schedule.preemptions
+        )
+
+    def record(
+        self, schedule: InterventionSchedule
+    ) -> tuple[Any, DecisionTrace]:
+        """Run *schedule* while recording the full decision trace."""
+        controller = schedule.controller()
+        recorder = ScheduleRecorder(base_seed=schedule.base_seed)
+        with stream_hooks(controller, recorder):
+            result = self.experiment(schedule.base_seed, self.scenario)
+        recorder.trace.experiment = getattr(
+            self.experiment, "__name__", repr(self.experiment)
+        )
+        recorder.trace.params = {"schedule": schedule.to_dict()}
+        return result, recorder.trace
+
+    # -- calibration --------------------------------------------------------
+
+    @property
+    def horizon(self) -> int:
+        """Dispatch count of the baseline run (preemption-site space)."""
+        if self._horizon is None:
+            baseline = InterventionSchedule(base_seed=self.base_seed)
+            _result, controller = self.run_schedule(baseline)
+            self._horizon = controller._site
+        return self._horizon
+
+    # -- the exploration loop ----------------------------------------------
+
+    def explore(self, budget: int = 40) -> ExplorationResult:
+        """Evaluate up to *budget* schedules; stop at the first failure."""
+        horizon = self.horizon
+        runner = partial(
+            _run_summary,
+            experiment=self.experiment,
+            scenario=self.scenario,
+            strategy=self.strategy,
+            base_seed=self.base_seed,
+            horizon=horizon,
+        )
+        params = {
+            "experiment": getattr(self.experiment, "__name__", repr(self.experiment)),
+            "scenario": repr(self.scenario),
+            "strategy": repr(self.strategy),
+            "base_seed": self.base_seed,
+            "horizon": horizon,
+        }
+        outcomes: list[ExecutionOutcome] = []
+        found: ExecutionOutcome | None = None
+        chunk = max(self.sweep.workers, 4)
+        for start in range(0, budget, chunk):
+            indices = list(range(start, min(start + chunk, budget)))
+            batch = self.sweep.run(
+                runner,
+                indices,
+                name=f"explore-{self.strategy.name}",
+                params=params,
+            )
+            for index, seed_outcome in zip(indices, batch.outcomes):
+                schedule = self.strategy.schedule_for(
+                    index, self.base_seed, horizon
+                )
+                if not seed_outcome.ok:
+                    outcome = ExecutionOutcome(
+                        index, schedule, error=seed_outcome.error
+                    )
+                else:
+                    summary = seed_outcome.value
+                    applied = {
+                        p["site"]: PreemptionPoint(
+                            p["site"], p["delay_ns"], p.get("thread", "")
+                        )
+                        for p in summary["applied"]
+                    }
+                    schedule = schedule.with_points(
+                        applied.get(point.site, point)
+                        for point in schedule.preemptions
+                    )
+                    outcome = ExecutionOutcome(
+                        index,
+                        schedule,
+                        errors_total=summary["errors_total"],
+                        errors=dict(summary["errors"]),
+                    )
+                outcomes.append(outcome)
+                if found is None and outcome.error is None and self.predicate(outcome):
+                    found = outcome
+                    break
+            if found is not None:
+                break
+        return ExplorationResult(
+            strategy=self.strategy.name,
+            budget=budget,
+            horizon=horizon,
+            executions=outcomes,
+            found=found,
+        )

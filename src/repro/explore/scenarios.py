@@ -1,0 +1,50 @@
+"""Reference scenarios for interleaving exploration.
+
+The default :class:`~repro.apps.brake.BrakeScenario` is deliberately
+noisy (7 ms execution-time spans, 2 % OS spike probability): roughly
+every third seed drops frames, which reproduces Figure 5's spread but
+makes a poor benchmark for *search* — random sampling finds a failure
+almost immediately.  The calibration scenario tightens the stage
+timing models to realistic-but-stable values and disables the spike
+model, leaving scheduling (phase offsets and preemptions) as the only
+mechanism that can drop a frame.  Under it, uniform-random seed
+sweeping needs dozens of executions to stumble on a dropping seed,
+while PCT-style preemption injection forces a drop within a handful —
+the gap the `repro explore` acceptance test asserts.
+"""
+
+from __future__ import annotations
+
+from repro.apps.brake.scenario import BrakeScenario, StageTiming
+from repro.time.duration import MS, US
+
+#: A preemption delay that stays inside the DEAR deadline slack of the
+#: calibration scenario: the tightest stage (Video Adapter / EBA) has a
+#: 5 ms deadline, ~2.2 ms worst-case execution and ≤0.5 ms timer
+#: lateness, leaving ≥2 ms of slack.  Schedules whose preemptions stay
+#: below this bound must be trace-fingerprint-identical under DEAR;
+#: larger preemptions may violate a deadline, which DEAR *flags*
+#: (observable deadline-miss records) rather than silently diverging.
+IN_BUDGET_PREEMPT_NS = 2 * MS
+
+
+def calibration_scenario(
+    n_frames: int = 50, deterministic_camera: bool = False
+) -> BrakeScenario:
+    """The exploration reference workload (see module docstring).
+
+    Pass ``deterministic_camera=True`` for determinism verification:
+    it fixes event tags across schedules, so DEAR trace fingerprints
+    are comparable byte-for-byte.
+    """
+    return BrakeScenario(
+        n_frames=n_frames,
+        callback_spike_probability=0.0,
+        camera_jitter_ns=500 * US,
+        adapter=StageTiming(2 * MS, 2 * MS + 200 * US),
+        preprocessing=StageTiming(17 * MS, 17 * MS + 500 * US),
+        computer_vision=StageTiming(17 * MS, 17 * MS + 500 * US),
+        eba=StageTiming(2 * MS, 2 * MS + 200 * US),
+        frame_copy_cost=StageTiming(800 * US, 1 * MS),
+        deterministic_camera=deterministic_camera,
+    )

@@ -1,0 +1,76 @@
+"""Exploration strategies: how execution *i* maps to a schedule.
+
+Two strategies, both deterministic functions of ``(strategy seed,
+execution index)`` so exploration results are reproducible and
+cache-friendly:
+
+* :class:`RandomSweepStrategy` — the status quo baseline: execution
+  *i* is simply the stock run for root seed ``base_seed + i``.  This
+  is exactly what ``SweepRunner``-based seed sweeps do, expressed as a
+  strategy so the explorer can compare against it.
+* :class:`PctStrategy` — probabilistic concurrency testing adapted to
+  a timed multicore simulator.  Classic PCT (Burckhardt et al.,
+  ASPLOS 2010) runs a deterministic priority scheduler and inserts
+  ``d`` random priority-change points; on a work-conserving multicore
+  with timed events the analogue of "demote the running thread" is a
+  *bounded preemption*: at ``depth`` uniformly chosen dispatch events
+  the dispatched thread is delayed by ``preempt_ns``.  A bug needing
+  ``d`` specific preemptions is found with probability
+  ``≥ 1/horizonᵈ`` per execution independent of the seed space, which
+  for shallow bugs (frame drops need 1-2 well-placed preemptions) is
+  orders of magnitude better than waiting for a seed whose phase
+  offsets happen to collide.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.explore.decisions import InterventionSchedule, PreemptionPoint
+from repro.time.duration import MS
+
+
+@dataclass(frozen=True)
+class RandomSweepStrategy:
+    """Uniform-random seed sweeping (the pre-explorer baseline)."""
+
+    name: str = "random"
+
+    def schedule_for(
+        self, execution: int, base_seed: int, horizon: int
+    ) -> InterventionSchedule:
+        """Execution *i* = the stock seeded run of ``base_seed + i``."""
+        return InterventionSchedule(
+            base_seed=base_seed + execution, label=f"random[{execution}]"
+        )
+
+
+@dataclass(frozen=True)
+class PctStrategy:
+    """PCT-style exploration with bounded preemption points.
+
+    ``depth`` preemption sites are drawn uniformly from the baseline
+    run's dispatch horizon; each delays the dispatched thread by
+    ``preempt_ns`` (default half a camera period — a realistic OS
+    preemption, far below the paper's 100 ms blackout scenarios).
+    Execution 0 is the unperturbed baseline (it doubles as the horizon
+    calibration run).
+    """
+
+    depth: int = 6
+    preempt_ns: int = 25 * MS
+    seed: int = 0
+    name: str = "pct"
+
+    def schedule_for(
+        self, execution: int, base_seed: int, horizon: int
+    ) -> InterventionSchedule:
+        if execution == 0 or horizon <= 0:
+            return InterventionSchedule(base_seed=base_seed, label="pct[baseline]")
+        rng = random.Random((self.seed << 24) ^ execution)
+        sites = sorted({rng.randrange(horizon) for _ in range(self.depth)})
+        points = tuple(PreemptionPoint(site, self.preempt_ns) for site in sites)
+        return InterventionSchedule(
+            base_seed=base_seed, preemptions=points, label=f"pct[{execution}]"
+        )

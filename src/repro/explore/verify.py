@@ -1,0 +1,162 @@
+"""Determinism verification: DEAR under explored schedules.
+
+The paper's claim is not "the DEAR variant usually behaves"; it is
+that for *any* scheduling the observable behaviour is either identical
+or a flagged assumption violation.  This module checks exactly that:
+run the deterministic brake assistant under every schedule the
+explorer produced (plus the shrunk counterexample) and compare the
+per-environment :meth:`~repro.reactors.telemetry.Trace.fingerprint`
+byte-for-byte against the unperturbed baseline.
+
+A schedule whose preemptions stay inside the platform assumptions
+(see :data:`repro.explore.scenarios.IN_BUDGET_PREEMPT_NS`) must be
+fingerprint-identical.  A schedule that blows a deadline shows up as
+deadline-miss / STP-violation counters — an *observable* divergence,
+which the verifier reports as flagged.  What must never happen is a
+**silent divergence**: different fingerprints with zero violations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import partial
+from typing import Any, Callable
+
+from repro.apps.brake.det import run_det_brake_assistant
+from repro.explore.decisions import InterventionSchedule
+from repro.harness.sweep import SweepRunner
+from repro.sim.rng import stream_hooks
+
+
+@dataclass
+class ScheduleVerdict:
+    """DEAR's behaviour under one schedule."""
+
+    label: str
+    identical: bool
+    deadline_misses: int
+    stp_violations: int
+    errors_total: int
+
+    @property
+    def flagged(self) -> bool:
+        """The run violated a platform assumption (observable)."""
+        return self.deadline_misses > 0 or self.stp_violations > 0
+
+    @property
+    def silent_divergence(self) -> bool:
+        """Diverged without any observable violation — must not happen."""
+        return not self.identical and not self.flagged
+
+
+@dataclass
+class VerificationResult:
+    """Aggregate determinism verdict over many schedules."""
+
+    reference: dict[str, str]
+    verdicts: list[ScheduleVerdict] = field(default_factory=list)
+
+    @property
+    def schedules(self) -> int:
+        return len(self.verdicts)
+
+    @property
+    def identical(self) -> int:
+        return sum(1 for verdict in self.verdicts if verdict.identical)
+
+    @property
+    def flagged(self) -> list[ScheduleVerdict]:
+        return [v for v in self.verdicts if not v.identical and v.flagged]
+
+    @property
+    def silent_divergences(self) -> list[ScheduleVerdict]:
+        return [v for v in self.verdicts if v.silent_divergence]
+
+    @property
+    def ok(self) -> bool:
+        """Determinism holds: divergence only ever with a flag raised."""
+        return not self.silent_divergences
+
+
+def _run_verdict(
+    schedule_data: dict,
+    experiment: Callable[..., Any],
+    scenario: Any,
+    exclude: tuple[str, ...],
+) -> dict:
+    """Worker body: one DEAR run under one schedule."""
+    schedule = InterventionSchedule.from_dict(schedule_data)
+    controller = schedule.controller(exclude=exclude)
+    with stream_hooks(controller):
+        result = experiment(schedule.base_seed, scenario)
+    return {
+        "label": schedule.label or schedule.describe(),
+        "fingerprints": dict(result.trace_fingerprints),
+        "deadline_misses": result.deadline_misses,
+        "stp_violations": result.stp_violations,
+        "errors_total": result.errors.total(),
+    }
+
+
+def verify_determinism(
+    schedules: list[InterventionSchedule],
+    scenario: Any,
+    base_seed: int = 0,
+    experiment: Callable[..., Any] = run_det_brake_assistant,
+    sweep: SweepRunner | None = None,
+    input_threads: tuple[str, ...] = ("camera",),
+) -> VerificationResult:
+    """Run DEAR under every schedule; compare trace fingerprints.
+
+    The comparison is only meaningful when the *inputs* are held
+    fixed — the determinism claim is "same inputs ⇒ same trace", so
+    the verifier must vary scheduling and nothing else.  Two
+    normalisations enforce that:
+
+    * The reference is the unperturbed run of *base_seed*.  Schedules
+      whose ``base_seed`` differs would legitimately see different
+      event tags, so all schedules are re-anchored to *base_seed*.
+    * Preemptions that land on sensor/environment threads (names
+      matching *input_threads*) are suppressed: delaying a sensor
+      driver shifts when its physical action is scheduled, i.e. it
+      changes the input timeline, not the SUT's scheduling.
+    """
+    sweep = sweep or SweepRunner()
+    reference_run = experiment(base_seed, scenario)
+    reference = dict(reference_run.trace_fingerprints)
+
+    anchored = [
+        InterventionSchedule(
+            base_seed=base_seed,
+            preemptions=schedule.preemptions,
+            label=schedule.label or f"schedule[{index}]",
+        )
+        for index, schedule in enumerate(schedules)
+    ]
+    rows = sweep.map(
+        partial(
+            _run_verdict,
+            experiment=experiment,
+            scenario=scenario,
+            exclude=tuple(input_threads),
+        ),
+        [schedule.to_dict() for schedule in anchored],
+        name="explore-verify-det",
+        params={
+            "experiment": getattr(experiment, "__name__", repr(experiment)),
+            "scenario": repr(scenario),
+            "base_seed": base_seed,
+            "input_threads": list(input_threads),
+        },
+    )
+    verdicts = [
+        ScheduleVerdict(
+            label=row["label"],
+            identical=row["fingerprints"] == reference,
+            deadline_misses=row["deadline_misses"],
+            stp_violations=row["stp_violations"],
+            errors_total=row["errors_total"],
+        )
+        for row in rows
+    ]
+    return VerificationResult(reference=reference, verdicts=verdicts)

@@ -20,6 +20,7 @@ from repro.harness.sweep import (
     SweepRunner,
     SweepStats,
     code_fingerprint,
+    driver_fingerprint,
     default_workers,
 )
 from repro.harness import figures
@@ -34,5 +35,6 @@ __all__ = [
     "SweepStats",
     "SweepError",
     "code_fingerprint",
+    "driver_fingerprint",
     "default_workers",
 ]

@@ -1,0 +1,79 @@
+"""Machine-readable benchmark outputs.
+
+Every benchmark in ``benchmarks/`` writes a ``BENCH_<name>.json``
+next to its human-readable terminal rendering, so CI and regression
+tooling can track seed counts, wall time and error rates without
+scraping pytest output.  The target directory is ``REPRO_BENCH_DIR``
+(default: the current working directory); the files are append-free
+snapshots — each run overwrites the previous one.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any
+
+__all__ = ["BenchRecorder"]
+
+
+class BenchRecorder:
+    """Collects one benchmark's machine-readable facts, then writes them.
+
+    Used through the ``bench_json`` fixture in ``benchmarks/conftest.py``:
+    the fixture creates the recorder (named after the test), the test
+    calls :meth:`record` / :meth:`sweep` with whatever it measured, and
+    the fixture writes ``BENCH_<name>.json`` on teardown — wall time
+    included — whether the assertions passed or not.
+    """
+
+    def __init__(self, name: str, directory: str | Path | None = None):
+        self.name = name
+        self.directory = Path(
+            directory or os.environ.get("REPRO_BENCH_DIR") or "."
+        )
+        self.data: dict[str, Any] = {"name": name}
+
+    def record(self, **fields: Any) -> "BenchRecorder":
+        """Merge arbitrary result fields (rates, counts, verdicts)."""
+        self.data.update(fields)
+        return self
+
+    def sweep(self, runner: Any) -> "BenchRecorder":
+        """Record a :class:`~repro.harness.sweep.SweepRunner`'s stats.
+
+        Accepts the runner or its ``stats`` object; captures seed
+        count, sweep wall time, cache hits, errors and worker count.
+        """
+        stats = getattr(runner, "stats", runner)
+        self.data["sweep"] = {
+            "seeds": stats.seeds,
+            "elapsed_s": round(stats.elapsed_s, 3),
+            "cache_hits": stats.cache_hits,
+            "errors": stats.errors,
+            "workers": stats.workers,
+        }
+        return self
+
+    def timing(self, benchmark: Any) -> "BenchRecorder":
+        """Record a pytest-benchmark fixture's mean time, if it has one.
+
+        Quietly a no-op under ``--benchmark-disable``, where the fixture
+        runs the function once and collects no statistics.
+        """
+        try:
+            self.data["mean_s"] = benchmark.stats.stats.mean
+        except (AttributeError, TypeError):
+            pass
+        return self
+
+    @property
+    def path(self) -> Path:
+        return self.directory / f"BENCH_{self.name}.json"
+
+    def write(self) -> Path:
+        self.directory.mkdir(parents=True, exist_ok=True)
+        text = json.dumps(self.data, indent=2, sort_keys=True, default=repr)
+        self.path.write_text(text + "\n", encoding="utf-8")
+        return self.path

@@ -32,11 +32,12 @@ import hashlib
 import json
 import os
 import pickle
+import sys
 import time
 import traceback
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
-from functools import lru_cache
+from functools import lru_cache, partial
 from pathlib import Path
 from typing import Any, Callable, Iterable, Sequence
 
@@ -49,6 +50,7 @@ __all__ = [
     "SweepStats",
     "SweepError",
     "code_fingerprint",
+    "driver_fingerprint",
     "default_workers",
 ]
 
@@ -77,6 +79,35 @@ def code_fingerprint() -> str:
         digest.update(b"\0")
         digest.update(path.read_bytes())
     return digest.hexdigest()[:16]
+
+
+def driver_fingerprint(experiment: Callable[..., Any]) -> str:
+    """Hash of the module file *defining* the experiment callable.
+
+    :func:`code_fingerprint` only covers the ``repro`` package, so a
+    driver defined elsewhere — a benchmark script, a test module, a
+    notebook export — could change without invalidating its cached
+    results.  This hashes the defining module's source (unwrapping
+    ``functools.partial`` layers first); drivers inside the ``repro``
+    tree return ``""`` since the code fingerprint already covers them.
+    """
+    import repro
+
+    while isinstance(experiment, partial):
+        experiment = experiment.func
+    module_name = getattr(experiment, "__module__", None)
+    module = sys.modules.get(module_name) if module_name else None
+    source = getattr(module, "__file__", None)
+    if not source:
+        return ""
+    try:
+        path = Path(source).resolve()
+        root = Path(repro.__file__).resolve().parent
+        if path.is_relative_to(root):
+            return ""
+        return hashlib.sha256(path.read_bytes()).hexdigest()[:16]
+    except OSError:
+        return ""
 
 
 # ---------------------------------------------------------------------------
@@ -314,13 +345,14 @@ class SweepRunner:
 
     # -- keying -------------------------------------------------------------
 
-    def _key(self, name: str, params: dict, seed: Any) -> str:
+    def _key(self, name: str, params: dict, seed: Any, driver: str = "") -> str:
         material = json.dumps(
             {
                 "experiment": name,
                 "params": params,
                 "seed": _jsonable_seed(seed),
                 "code": code_fingerprint(),
+                "driver": driver,
             },
             sort_keys=True,
             default=repr,
@@ -349,7 +381,8 @@ class SweepRunner:
         started = time.perf_counter()
         outcomes: list[SeedOutcome | None] = [None] * len(seeds)
 
-        keys = [self._key(name, params, seed) for seed in seeds]
+        driver = driver_fingerprint(experiment)
+        keys = [self._key(name, params, seed, driver) for seed in seeds]
         known = self.cache.load(name) if self.use_cache else {}
         pending: list[int] = []
         for index, (seed, key) in enumerate(zip(seeds, keys)):

@@ -10,25 +10,65 @@ root seed and the stream *name* via SHA-256, so:
   (unlike sharing one ``random.Random``), which keeps experiments
   comparable across code versions;
 * a run is fully determined by ``(root seed, program)``.
+
+Stream hooks
+------------
+
+:func:`stream_hooks` lets tooling intercept streams as they are created:
+a hook receives the stream's fully qualified path (e.g.
+``"platform.fusion-ecu/scheduler"``) and the seeded
+:class:`random.Random`, and may return a replacement object.  This is
+how :mod:`repro.explore` records, replays and perturbs scheduler
+decisions without the application code knowing — the hook stack active
+when a tree is *constructed* is snapshotted into it (and inherited by
+child trees), so an experiment run inside a ``with stream_hooks(...)``
+block is instrumented end to end.
 """
 
 from __future__ import annotations
 
 import hashlib
 import random
+from contextlib import contextmanager
+from typing import Any, Callable, Iterator
+
+#: A hook maps (full stream path, seeded stream) to a replacement
+#: stream-like object, or ``None`` to leave the stream untouched.
+StreamHook = Callable[[str, random.Random], Any]
+
+_active_hooks: list[StreamHook] = []
+
+
+@contextmanager
+def stream_hooks(*hooks: StreamHook) -> Iterator[None]:
+    """Install *hooks* for every :class:`RngTree` built in this block."""
+    _active_hooks.extend(hooks)
+    try:
+        yield
+    finally:
+        for hook in hooks:
+            _active_hooks.remove(hook)
 
 
 class RngTree:
     """Derives independent :class:`random.Random` streams from one seed."""
 
-    def __init__(self, seed: int) -> None:
+    def __init__(self, seed: int, _path: str = "", _hooks: tuple | None = None) -> None:
         self._seed = int(seed)
-        self._streams: dict[str, random.Random] = {}
+        self._path = _path
+        self._hooks: tuple = (
+            tuple(_active_hooks) if _hooks is None else _hooks
+        )
+        self._streams: dict[str, Any] = {}
 
     @property
     def seed(self) -> int:
         """The root seed this tree was created with."""
         return self._seed
+
+    def stream_path(self, name: str) -> str:
+        """The fully qualified path of stream *name* in this tree."""
+        return f"{self._path}/{name}" if self._path else name
 
     def stream(self, name: str) -> random.Random:
         """Return the stream for *name*, creating it on first use.
@@ -40,14 +80,49 @@ class RngTree:
         if existing is not None:
             return existing
         digest = hashlib.sha256(f"{self._seed}/{name}".encode()).digest()
-        stream = random.Random(int.from_bytes(digest[:8], "big"))
+        stream: Any = random.Random(int.from_bytes(digest[:8], "big"))
+        for hook in self._hooks:
+            replacement = hook(self.stream_path(name), stream)
+            if replacement is not None:
+                stream = replacement
         self._streams[name] = stream
         return stream
 
     def child(self, name: str) -> "RngTree":
         """Return a sub-tree whose streams are namespaced under *name*."""
         digest = hashlib.sha256(f"{self._seed}/{name}/tree".encode()).digest()
-        return RngTree(int.from_bytes(digest[:8], "big"))
+        path = f"{self._path}/{name}" if self._path else name
+        return RngTree(
+            int.from_bytes(digest[:8], "big"), _path=path, _hooks=self._hooks
+        )
 
     def __repr__(self) -> str:
         return f"RngTree(seed={self._seed})"
+
+
+class RandomDecisionSource:
+    """Adapts a plain :class:`random.Random` to the scheduler's decision
+    interface (see :class:`repro.sim.scheduler.CpuScheduler`).
+
+    The draw sequence is exactly the pre-decision-source behaviour —
+    one ``randrange`` per pick, one ``randint`` per jitter, nothing for
+    preemption queries — so wrapping a stream in this adapter leaves
+    every existing seeded experiment bit-identical.
+    """
+
+    __slots__ = ("_rng",)
+
+    def __init__(self, rng: random.Random) -> None:
+        self._rng = rng
+
+    def pick_index(self, kind: str, names: list[str]) -> int:
+        """Choose one of *names*; returns its index."""
+        return self._rng.randrange(len(names))
+
+    def jitter(self, kind: str, name: str, bound_ns: int) -> int:
+        """A random delay in ``[0, bound_ns]`` for thread *name*."""
+        return self._rng.randint(0, bound_ns)
+
+    def preempt(self, name: str) -> int:
+        """Extra preemption delay before dispatching *name* (default 0)."""
+        return 0

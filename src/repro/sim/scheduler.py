@@ -14,6 +14,17 @@ Two knobs add timing (rather than ordering) nondeterminism:
   and it actually running (context-switch / run-queue latency);
 * ``timer_jitter_ns`` — how late an OS timer may fire (timers never fire
   early).
+
+Every decision is routed through a *decision source*: any object with
+``pick_index(kind, names)``, ``jitter(kind, name, bound_ns)`` and
+``preempt(name)`` methods.  Passing a plain :class:`random.Random`
+wraps it in :class:`repro.sim.rng.RandomDecisionSource`, which
+reproduces the historical draw sequence exactly; :mod:`repro.explore`
+substitutes recording/replaying/adversarial sources to turn the
+scheduler into a systematic concurrency-testing tool.  The ``preempt``
+query (answered with 0 by the default source) models the OS preempting
+a just-dispatched thread for a bounded time — the lever PCT-style
+exploration uses to force rare interleavings.
 """
 
 from __future__ import annotations
@@ -40,6 +51,7 @@ from repro.sim.process import (
     WaitUntil,
     Yield,
 )
+from repro.sim.rng import RandomDecisionSource
 from repro.sim.sync import CondVar, Mutex
 from repro.time.clock import PhysicalClock
 
@@ -60,7 +72,12 @@ class CpuScheduler:
             raise ValueError("a platform needs at least one core")
         self._sim = sim
         self._clock = clock
-        self._rng = rng
+        # A decision source may be passed directly; a plain Random is
+        # adapted (precisely preserving the historical draw sequence).
+        if hasattr(rng, "pick_index"):
+            self._decisions = rng
+        else:
+            self._decisions = RandomDecisionSource(rng)
         self._cores: list[SimThread | None] = [None] * num_cores
         self._dispatch_jitter_ns = dispatch_jitter_ns
         self._timer_jitter_ns = timer_jitter_ns
@@ -136,14 +153,21 @@ class CpuScheduler:
             core = self._find_free_core()
             if core is None:
                 return
-            index = self._rng.randrange(len(self._ready))
+            index = self._decisions.pick_index(
+                "dispatch", [t.name for t in self._ready]
+            )
             thread = self._ready.pop(index)
             thread.state = ThreadState.RUNNING
             thread.core = core
             self._cores[core] = thread
             self.context_switches += 1
+            delay = 0
             if self._dispatch_jitter_ns > 0:
-                delay = self._rng.randint(0, self._dispatch_jitter_ns)
+                delay = self._decisions.jitter(
+                    "dispatch", thread.name, self._dispatch_jitter_ns
+                )
+            delay += self._decisions.preempt(thread.name)
+            if delay > 0:
                 self._sim.after(delay, lambda t=thread: self._step(t))
             else:
                 self._step(thread)
@@ -254,7 +278,9 @@ class CpuScheduler:
         if global_target < self._sim.now:
             global_target = self._sim.now
         if self._timer_jitter_ns > 0:
-            global_target += self._rng.randint(0, self._timer_jitter_ns)
+            global_target += self._decisions.jitter(
+                "timer", thread.name, self._timer_jitter_ns
+            )
         thread.timeout_handle = self._sim.at(
             global_target, lambda: self._wake_sleeper(thread)
         )
@@ -293,7 +319,9 @@ class CpuScheduler:
         """Hand a free mutex to one randomly chosen waiter, if any."""
         if mutex.owner is not None or not mutex.waiters:
             return
-        index = self._rng.randrange(len(mutex.waiters))
+        index = self._decisions.pick_index(
+            "mutex", [t.name for t in mutex.waiters]
+        )
         waiter = mutex.waiters.pop(index)
         mutex.owner = waiter
         waiter.reacquire = None
@@ -333,7 +361,9 @@ class CpuScheduler:
     def _notify_one(self, condvar: CondVar) -> None:
         if not condvar.waiters:
             return
-        index = self._rng.randrange(len(condvar.waiters))
+        index = self._decisions.pick_index(
+            "notify", [t.name for t in condvar.waiters]
+        )
         waiter = condvar.waiters.pop(index)
         self._resume_condvar_waiter(waiter, WaitResult.NOTIFIED)
 

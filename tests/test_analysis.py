@@ -70,6 +70,37 @@ class TestTraceComparison:
         assert divergence.left_line is None
         assert divergence.right_line is not None
 
+    def test_prefix_divergence_left_longer(self):
+        # One trace a strict prefix of the other: the divergence sits at
+        # the shorter trace's length, with the short side reported None.
+        divergence = first_divergence(self._trace([1, 2, 3]), self._trace([1, 2]))
+        assert divergence.index == 2
+        assert divergence.right_line is None
+        assert divergence.left_line is not None
+        assert "3" in divergence.left_line
+
+    def test_prefix_divergence_empty_side(self):
+        divergence = first_divergence(self._trace([]), self._trace([7]))
+        assert divergence.index == 0
+        assert divergence.left_line is None
+        assert "7" in divergence.right_line
+
+    @given(
+        st.lists(st.integers(min_value=0, max_value=9), max_size=8),
+        st.integers(min_value=1, max_value=4),
+    )
+    def test_prefix_divergence_property(self, values, extra):
+        shorter = self._trace(values)
+        longer = self._trace(values + list(range(extra)))
+        divergence = first_divergence(shorter, longer)
+        assert divergence.index == len(values)
+        assert divergence.left_line is None
+        assert divergence.right_line is not None
+        mirrored = first_divergence(longer, shorter)
+        assert mirrored.index == len(values)
+        assert mirrored.right_line is None
+        assert mirrored.left_line == divergence.right_line
+
     def test_compare_needs_one(self):
         with pytest.raises(ValueError):
             compare_traces([])

@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -40,3 +42,43 @@ class TestExecution:
     def test_scaling(self, capsys):
         assert main(["scaling"]) == 0
         assert "EXT-SCALE" in capsys.readouterr().out
+
+
+class TestExplore:
+    def test_explore_defaults(self):
+        args = build_parser().parse_args(["explore"])
+        assert args.strategy == "pct"
+        assert args.budget == 40
+        assert not args.shrink
+
+    def test_pct_finds_shrinks_records_and_replays(self, capsys, tmp_path):
+        trace_file = str(tmp_path / "trace.json")
+        artifact_file = str(tmp_path / "schedule.json")
+        assert main([
+            "explore", "--budget", "10", "--shrink",
+            "--record", trace_file, "--schedule-out", artifact_file,
+            "--no-cache",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "failing schedule found" in out
+        assert "the failure needs exactly" in out
+
+        artifact = json.loads((tmp_path / "schedule.json").read_text())
+        assert artifact["found"] is True
+        assert artifact["strategy"] == "pct"
+        assert artifact["schedule"]["preemptions"]
+        assert sum(artifact["errors"].values()) > 0
+
+        # The recorded trace replays: exit 0 means the error counters
+        # reproduced bit-exactly from the decision trace alone.
+        assert main(["explore", "--replay", trace_file, "--no-cache"]) == 0
+        out = capsys.readouterr().out
+        assert "errors reproduced" in out
+
+    def test_exhausted_budget_exits_nonzero(self, capsys):
+        # depth=0 yields baseline-only schedules: no failure to find.
+        assert main([
+            "explore", "--budget", "2", "--depth", "0",
+            "--frames", "10", "--no-cache",
+        ]) == 1
+        assert "no failure" in capsys.readouterr().out

@@ -6,7 +6,13 @@ from functools import partial
 import pytest
 
 from repro.apps.brake import BrakeScenario, run_det_brake_assistant
-from repro.harness import SweepError, SweepRunner, code_fingerprint, run_seeds
+from repro.harness import (
+    SweepError,
+    SweepRunner,
+    code_fingerprint,
+    driver_fingerprint,
+    run_seeds,
+)
 from repro.harness.sweep import _decode_value, _encode_value
 
 
@@ -146,3 +152,56 @@ class TestResultCache:
     def test_code_fingerprint_is_stable(self):
         assert code_fingerprint() == code_fingerprint()
         assert len(code_fingerprint()) == 16
+
+
+def _load_external_driver(path):
+    import importlib.util
+    import sys
+
+    spec = importlib.util.spec_from_file_location("ext_sweep_driver", path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules["ext_sweep_driver"] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestDriverFingerprint:
+    """The cache key also hashes the module defining the experiment."""
+
+    def test_repro_internal_driver_is_covered_by_code_fingerprint(self):
+        assert driver_fingerprint(run_det_brake_assistant) == ""
+        assert driver_fingerprint(partial(run_det_brake_assistant)) == ""
+
+    def test_external_driver_change_invalidates_cache(self, tmp_path):
+        driver_file = tmp_path / "ext_sweep_driver.py"
+        driver_file.write_text("def drive(seed):\n    return seed * 2\n")
+        module = _load_external_driver(driver_file)
+        first = driver_fingerprint(module.drive)
+        assert first != ""
+
+        runner = SweepRunner(workers=1, cache_dir=tmp_path / "cache")
+        runner.run(module.drive, range(3), name="ext")
+
+        # Same driver source: full cache hit.
+        rerun = SweepRunner(workers=1, cache_dir=tmp_path / "cache").run(
+            module.drive, range(3), name="ext"
+        )
+        assert rerun.cache_hits == 3
+
+        # Edited driver source: fingerprint changes, cache misses.
+        driver_file.write_text("def drive(seed):\n    return seed * 3\n")
+        module = _load_external_driver(driver_file)
+        assert driver_fingerprint(module.drive) != first
+        edited = SweepRunner(workers=1, cache_dir=tmp_path / "cache").run(
+            module.drive, range(3), name="ext"
+        )
+        assert edited.cache_hits == 0
+        assert edited.values() == [0, 3, 6]
+
+    def test_partial_layers_are_unwrapped(self, tmp_path):
+        driver_file = tmp_path / "ext_sweep_driver.py"
+        driver_file.write_text("def drive(seed, scale=1):\n    return seed * scale\n")
+        module = _load_external_driver(driver_file)
+        direct = driver_fingerprint(module.drive)
+        wrapped = driver_fingerprint(partial(partial(module.drive, scale=2)))
+        assert direct == wrapped != ""
