@@ -13,9 +13,14 @@ describes is a latency *floor* (the deadline budget), which we verify
 the DEAR latency respects from below as well.
 """
 
+import time
+
+from repro import obs
 from repro.apps.brake import BrakeScenario
+from repro.apps.brake.det import run_det_brake_assistant
 from repro.harness import SweepRunner, env_int
 from repro.harness.figures import overhead
+from repro.obs import context as obs_context
 
 
 def test_overhead(benchmark, show, bench_json):
@@ -54,3 +59,51 @@ def test_overhead(benchmark, show, bench_json):
     # Stock polling latency: around half a period per hop on average --
     # far above DEAR's deadline chain in this configuration.
     assert result.stock_latency.mean > result.dear_latency.mean
+
+
+def test_obs_disabled_overhead(show, bench_json):
+    """Observability off must cost ~nothing — and on, must change nothing.
+
+    The disabled path at every instrumented site is one module-global
+    load plus one attribute check; measured here directly, and the
+    enabled/disabled wall-time ratio of a full run is recorded to
+    ``BENCH_obs_disabled_overhead.json`` for trajectory tracking.
+    """
+    # Micro-cost of the guard idiom itself (generous bound: far below
+    # 1 µs per site even on a loaded CI runner).
+    iterations = 200_000
+    started = time.perf_counter()
+    for _ in range(iterations):
+        o = obs_context.ACTIVE
+        if o.enabled:  # pragma: no cover - disabled in this loop
+            raise AssertionError("obs unexpectedly enabled")
+    per_guard_ns = (time.perf_counter() - started) / iterations * 1e9
+
+    frames = env_int("REPRO_OBS_FRAMES", 120)
+    scenario = BrakeScenario(n_frames=frames)
+    started = time.perf_counter()
+    baseline = run_det_brake_assistant(0, scenario)
+    disabled_s = time.perf_counter() - started
+    started = time.perf_counter()
+    with obs.capture() as observation:
+        observed = run_det_brake_assistant(0, scenario)
+    enabled_s = time.perf_counter() - started
+
+    show(
+        f"obs overhead: guard {per_guard_ns:.0f} ns/site, "
+        f"disabled {disabled_s:.2f}s vs enabled {enabled_s:.2f}s "
+        f"({len(observation.bus)} events recorded)"
+    )
+    bench_json.record(
+        frames=frames,
+        guard_ns_per_site=round(per_guard_ns, 1),
+        disabled_wall_s=round(disabled_s, 3),
+        enabled_wall_s=round(enabled_s, 3),
+        enabled_over_disabled=round(enabled_s / disabled_s, 3),
+        events_recorded=len(observation.bus),
+        metrics_recorded=len(observation.metrics),
+    )
+    assert per_guard_ns < 1_000  # the disabled path costs ~nothing
+    # The headline invariant, at benchmark scale: identical fingerprints.
+    assert dict(baseline.trace_fingerprints) == dict(observed.trace_fingerprints)
+    assert len(observation.bus) > 0

@@ -1,4 +1,25 @@
-"""Shared fixtures for the benchmark suite."""
+"""Shared fixtures for the benchmark suite.
+
+Perf-trajectory convention
+--------------------------
+
+Every benchmark writes a machine-readable ``BENCH_<name>.json`` (via
+the :func:`bench_json` fixture) next to its human-readable rendering:
+wall time, sweep throughput (seeds/s, cache hits), and whatever
+domain-level numbers the test records — latency means, error rates,
+observability overhead ratios.  CI's *benchmark-smoke* job sets
+``REPRO_BENCH_DIR`` and uploads the whole directory as the
+``bench-json`` artifact on every run, pass or fail, so performance can
+be tracked **across commits** by diffing artifacts instead of scraping
+logs.  Conventions:
+
+* one JSON file per benchmark, named after the test function
+  (``test_figure5`` -> ``BENCH_figure5.json``), overwritten per run;
+* flat keys for the headline numbers (``wall_time_s``, ``frames``,
+  ``*_latency_mean_ns``), a nested ``sweep`` block for engine stats;
+* record *measurements* unconditionally, assert only stable claims —
+  a regression shows up as a trajectory change, not a flaky red build.
+"""
 
 import time
 

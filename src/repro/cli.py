@@ -9,6 +9,8 @@ Usage::
     python -m repro all
     python -m repro explore --strategy pct --shrink --record trace.json
     python -m repro explore --replay trace.json
+    python -m repro trace det --trace-out trace.json      # Perfetto timeline
+    python -m repro metrics det --seeds 20 --metrics-out metrics.json
 
 Every subcommand runs the corresponding experiment driver and prints
 the text rendering of the paper figure/table it reproduces.  Sweeps run
@@ -49,6 +51,17 @@ def _sweep_options() -> argparse.ArgumentParser:
     group.add_argument(
         "--cache-dir", default=None, metavar="DIR",
         help="result cache location (default: REPRO_CACHE_DIR or .repro_cache)",
+    )
+    obs_group = common.add_argument_group("observability")
+    obs_group.add_argument(
+        "--trace-out", default=None, metavar="FILE",
+        help="also run one observed representative brake run and write "
+             "its Perfetto/Chrome trace_event JSON to FILE",
+    )
+    obs_group.add_argument(
+        "--metrics-out", default=None, metavar="FILE",
+        help="write the observed run's (or the metrics sweep's) "
+             "metrics JSON to FILE",
     )
     return common
 
@@ -162,6 +175,31 @@ def build_parser() -> argparse.ArgumentParser:
         explore, "--verify", 0,
         "also verify DEAR determinism across N in-budget schedules",
     )
+
+    trace = commands.add_parser(
+        "trace",
+        help="run one observed brake run and export a Perfetto trace",
+        parents=[common],
+    )
+    trace.add_argument(
+        "experiment", choices=("det", "nondet"),
+        help="brake-assistant variant to observe",
+    )
+    _add_int(trace, "--seed", 0, "seed of the observed run")
+    _add_int(trace, "--frames", 200, "frames for the observed run")
+
+    metrics = commands.add_parser(
+        "metrics",
+        help="sweep observed brake runs and print cross-seed "
+             "metric aggregates (p50/p95/max)",
+        parents=[common],
+    )
+    metrics.add_argument(
+        "experiment", choices=("det", "nondet"),
+        help="brake-assistant variant to observe",
+    )
+    _add_int(metrics, "--seeds", 10, "number of observed seeds")
+    _add_int(metrics, "--frames", 200, "frames per run")
 
     run_all = commands.add_parser(
         "all", help="run every experiment (default scale)", parents=[common]
@@ -394,6 +432,123 @@ def _run_explore(args: argparse.Namespace, sweep) -> int:
     return code
 
 
+def _run_trace(args: argparse.Namespace) -> int:
+    """``repro trace det|nondet``: one observed run -> Perfetto JSON."""
+    from repro import obs
+    from repro.apps.brake import BrakeScenario
+
+    scenario = BrakeScenario(n_frames=args.frames)
+    observation, result = obs.observe_brake_run(
+        args.seed, scenario, args.experiment
+    )
+    path = obs.write_trace(observation, args.trace_out or "trace.json")
+    print(
+        f"trace: {len(observation.bus)} events on tracks "
+        f"{observation.bus.tracks()} -> {path}"
+    )
+    if args.metrics_out:
+        obs.write_metrics(observation, args.metrics_out)
+        print(f"metrics -> {args.metrics_out}")
+    errors = {k: v for k, v in result.errors.as_dict().items() if v}
+    print(
+        f"run: {args.experiment}, seed {args.seed}, {args.frames} frames, "
+        f"errors: {errors or 'none'}"
+    )
+    return 0
+
+
+def _run_metrics(args: argparse.Namespace, sweep) -> int:
+    """``repro metrics det|nondet``: cross-seed metric aggregates."""
+    import json
+    from functools import partial
+
+    from repro import obs
+    from repro.analysis.report import render_table
+    from repro.apps.brake import BrakeScenario
+    from repro.harness.sweep import merge_metric_snapshots
+    from repro.obs.drivers import run_brake_with_obs
+
+    scenario = BrakeScenario(n_frames=args.frames)
+    runs = sweep.map(
+        partial(run_brake_with_obs, scenario=scenario, variant=args.experiment),
+        range(args.seeds),
+        name=f"obs-{args.experiment}",
+        params={"frames": args.frames},
+    )
+    aggregate = merge_metric_snapshots(runs)
+
+    rows = [
+        [name, str(entry["total"]), str(entry["p50"]), str(entry["max"])]
+        for name, entry in aggregate["counters"].items()
+    ]
+    print(render_table(
+        ["counter", "total", "p50/seed", "max/seed"], rows,
+        title=f"OBS - {args.experiment} counters over {args.seeds} seeds:",
+    ))
+    rows = [
+        [
+            name,
+            str(entry["count"]),
+            f"{entry['mean']:.0f}",
+            str(entry["p50"]),
+            str(entry["p95"]),
+            str(entry["max"]),
+        ]
+        for name, entry in aggregate["histograms"].items()
+    ]
+    print(render_table(
+        ["histogram", "samples", "mean", "p50", "p95", "max"], rows,
+        title="OBS - merged histograms (ns):",
+    ))
+    if args.metrics_out:
+        document = {
+            "format": "repro-metrics-aggregate/v1",
+            "experiment": args.experiment,
+            "frames": args.frames,
+            "seeds": args.seeds,
+            "aggregate": aggregate,
+        }
+        with open(args.metrics_out, "w", encoding="utf-8") as handle:
+            json.dump(document, handle, indent=2, sort_keys=True)
+        print(f"metrics aggregate -> {args.metrics_out}")
+    if args.trace_out:
+        observation, _ = obs.observe_brake_run(0, scenario, args.experiment)
+        obs.write_trace(observation, args.trace_out)
+        print(f"representative trace (seed 0) -> {args.trace_out}")
+    return 0
+
+
+def _export_observability(args: argparse.Namespace) -> None:
+    """Honour ``--trace-out``/``--metrics-out`` on regular subcommands.
+
+    Runs one observed representative brake run (nondet for the stock-AP
+    figures, det otherwise) and writes the requested artifacts, without
+    touching the experiment results themselves.
+    """
+    if not (getattr(args, "trace_out", None) or getattr(args, "metrics_out", None)):
+        return
+    from repro import obs
+    from repro.apps.brake import BrakeScenario
+
+    variant = "nondet" if args.command in ("fig1", "fig5") else "det"
+    frames = min(getattr(args, "frames", 200) or 200, 500)
+    seed = getattr(args, "seed", 0) or 0
+    scenario = BrakeScenario(n_frames=frames)
+    observation, _ = obs.observe_brake_run(seed, scenario, variant)
+    if args.trace_out:
+        obs.write_trace(observation, args.trace_out)
+        print(
+            f"observability: representative {variant} trace -> {args.trace_out}",
+            file=sys.stderr,
+        )
+    if args.metrics_out:
+        obs.write_metrics(observation, args.metrics_out)
+        print(
+            f"observability: representative {variant} metrics -> {args.metrics_out}",
+            file=sys.stderr,
+        )
+
+
 _ALL = (
     "fig1", "fig3", "fig5", "det", "tradeoff", "ablation",
     "overhead", "let", "skew", "scaling", "native", "distributed",
@@ -415,13 +570,22 @@ def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     sweep = _make_sweep(args)
+    if args.command == "trace":
+        return _run_trace(args)
+    if args.command == "metrics":
+        code = _run_metrics(args, sweep)
+        if sweep.stats.sweeps:
+            print(sweep.stats.summary_line(), file=sys.stderr)
+        return code
     if args.command == "explore":
         code = _run_explore(args, sweep)
+        _export_observability(args)
         if sweep.stats.sweeps:
             print(sweep.stats.summary_line(), file=sys.stderr)
         return code
     if args.command != "all":
         print(_run_one(args.command, args, sweep))
+        _export_observability(args)
         if sweep.stats.sweeps:
             print(sweep.stats.summary_line(), file=sys.stderr)
         return 0
@@ -434,6 +598,7 @@ def main(argv: list[str] | None = None) -> int:
         print(f"==== {name} " + "=" * (60 - len(name)))
         print(_run_one(name, sub_args, sweep))
         print(f"---- {name} done in {time.time() - started:.1f}s\n")
+    _export_observability(args)
     if sweep.stats.sweeps:
         print(sweep.stats.summary_line(), file=sys.stderr)
     return 0

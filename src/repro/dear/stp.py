@@ -52,6 +52,16 @@ class StpConfig:
         """``L + E``: added to a received tag before processing."""
         return self.latency_bound_ns + self.clock_error_ns
 
+    def stp_wait_ns(self, release_time_ns: int, physical_now_ns: int) -> int:
+        """How long a message released at *release_time_ns* must still wait.
+
+        The safe-to-process wait is the gap between the receiver's
+        physical clock and the release time ``t + L + E``; a message
+        already past its release time waits zero (it is processed at the
+        next opportunity — possibly as a counted STP violation).
+        """
+        return max(release_time_ns - physical_now_ns, 0)
+
 
 @dataclass(frozen=True, slots=True)
 class TransactorConfig:

@@ -20,6 +20,8 @@ from typing import Any
 
 from repro.errors import DearError, UntaggedMessageError
 from repro.ara.process import AraProcess
+from repro.obs import context as obs_context
+from repro.obs.bus import TRACK_DEAR
 from repro.reactors.action import PhysicalAction
 from repro.reactors.base import Reactor
 from repro.reactors.environment import Environment
@@ -76,20 +78,49 @@ class Transactor(Reactor):
         input (the paper's backward-compatibility mode).
         """
         arrival = self._arrival_tag(tag)
+        o = obs_context.ACTIVE
         if arrival is None:
             if self.config.untagged is UntaggedPolicy.FAIL:
                 self.untagged_rejected += 1
+                if o.enabled:
+                    o.metrics.counter("dear.untagged_rejected").inc()
                 raise UntaggedMessageError(
                     f"transactor {self.fqn} received an untagged message"
                 )
+            if o.enabled:
+                o.metrics.counter("dear.untagged_fallback").inc()
             action.schedule(value)
             return
+        if o.enabled:
+            scheduler = self.environment.scheduler
+            now = scheduler._obs_now()
+            wait = self.config.stp.stp_wait_ns(
+                arrival.time, scheduler.physical_time()
+            )
+            o.metrics.counter("dear.messages_delivered").inc()
+            o.metrics.histogram("dear.stp_wait_ns").observe(wait)
+            o.bus.span(
+                TRACK_DEAR,
+                f"stp-wait {self.fqn}",
+                now,
+                now + wait,
+                o.wall_ns(),
+                release_time=arrival.time,
+            )
         _tag, late = self.environment.scheduler.schedule_at_tag(action, value, arrival)
         if late:
             self.stp_violations += 1
             self.environment.trace.record(
                 self.environment.scheduler.current_tag, "stp-violation", self.fqn
             )
+            if o.enabled:
+                o.metrics.counter("dear.stp_violations").inc()
+                o.bus.instant(
+                    TRACK_DEAR,
+                    f"stp-violation {self.fqn}",
+                    self.environment.scheduler._obs_now(),
+                    o.wall_ns(),
+                )
 
     # -- departure path ------------------------------------------------------------
 
@@ -108,6 +139,16 @@ class Transactor(Reactor):
     def _on_deadline_miss(self, ctx) -> None:
         self.deadline_misses += 1
         self.environment.trace.record(ctx.tag, "send-deadline-miss", self.fqn)
+        o = obs_context.ACTIVE
+        if o.enabled:
+            o.metrics.counter("dear.send_deadline_misses").inc()
+            o.bus.instant(
+                TRACK_DEAR,
+                f"send-deadline-miss {self.fqn}",
+                self.environment.scheduler._obs_now(),
+                o.wall_ns(),
+                dropped=self.config.drop_on_deadline_miss,
+            )
         if not self.config.drop_on_deadline_miss:
             self._send_body(ctx, late=True)
 

@@ -22,6 +22,7 @@ from repro.harness.sweep import (
     code_fingerprint,
     driver_fingerprint,
     default_workers,
+    merge_metric_snapshots,
 )
 from repro.harness import figures
 
@@ -37,4 +38,5 @@ __all__ = [
     "code_fingerprint",
     "driver_fingerprint",
     "default_workers",
+    "merge_metric_snapshots",
 ]

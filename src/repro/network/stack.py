@@ -14,6 +14,8 @@ from typing import Any, Callable
 
 from repro.errors import NetworkError
 from repro.network.switch import Frame, Switch
+from repro.obs import context as obs_context
+from repro.obs.bus import TRACK_NETWORK
 from repro.sim.platform import Platform
 from repro.sim.sync import MessageQueue
 
@@ -41,6 +43,8 @@ class Socket:
         self.on_receive: Callable[[Frame], None] | None = None
         self.received = 0
         self.sent = 0
+        #: Frames the rx queue's drop-new overflow policy discarded.
+        self.rx_dropped = 0
 
     @property
     def host(self) -> str:
@@ -72,8 +76,17 @@ class Socket:
         self.received += 1
         if self.on_receive is not None:
             self.on_receive(frame)
-        else:
-            self.rx.post(frame)
+        elif not self.rx.post(frame):
+            self.rx_dropped += 1
+            o = obs_context.ACTIVE
+            if o.enabled:
+                o.metrics.counter("net.socket_rx_dropped").inc()
+                o.bus.instant(
+                    TRACK_NETWORK,
+                    f"rx-overflow {self.host}:{self.port}",
+                    self._interface.platform.sim.now,
+                    o.wall_ns(),
+                )
 
     def close(self) -> None:
         """Unbind the socket from its interface."""

@@ -15,6 +15,8 @@ from typing import TYPE_CHECKING, Any
 
 from repro.errors import NetworkError
 from repro.network.latency import GammaLatency, LatencyModel, UniformLatency
+from repro.obs import context as obs_context
+from repro.obs.bus import TRACK_NETWORK
 from repro.sim.core import Simulator
 from repro.time.duration import US
 
@@ -95,11 +97,24 @@ class Switch:
             raise NetworkError(f"unknown destination host {frame.dst_host!r}")
         self.frames_sent += 1
         self.total_bytes += frame.size_bytes
+        o = obs_context.ACTIVE
+        if o.enabled:
+            o.metrics.counter("net.frames_sent").inc()
         if (
             self.config.drop_probability > 0.0
             and self._rng.random() < self.config.drop_probability
         ):
             self.frames_dropped += 1
+            if o.enabled:
+                o.metrics.counter("net.frames_dropped").inc()
+                o.bus.instant(
+                    TRACK_NETWORK,
+                    f"drop {frame.src_host}->{frame.dst_host}",
+                    self._sim.now,
+                    o.wall_ns(),
+                    dst_port=frame.dst_port,
+                    bytes=frame.size_bytes,
+                )
             return
         if frame.src_host == frame.dst_host:
             model = self.config.loopback_latency
@@ -114,6 +129,17 @@ class Switch:
             if arrival <= horizon:
                 arrival = horizon + 1
             self._flow_horizon[flow] = arrival
+        if o.enabled:
+            o.metrics.histogram("net.latency_ns").observe(arrival - self._sim.now)
+            o.bus.span(
+                TRACK_NETWORK,
+                f"{frame.src_host}->{frame.dst_host}",
+                self._sim.now,
+                arrival,
+                o.wall_ns(),
+                bytes=frame.size_bytes,
+                dst_port=frame.dst_port,
+            )
         self._sim.at(arrival, lambda: destination.deliver(frame))
 
     def __repr__(self) -> str:

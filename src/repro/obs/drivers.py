@@ -1,0 +1,73 @@
+"""Picklable, obs-enabled experiment drivers.
+
+The sweep engine fans experiments out over worker *processes*, and the
+active observation is process-global — so the obs context must be
+entered inside the worker, not around the sweep.  These module-level
+functions do exactly that: run one brake-assistant seed under
+:func:`repro.obs.capture` and return a JSON-able summary containing the
+metrics snapshot (cacheable by the sweep's result cache like any other
+per-seed value).
+
+``repro metrics`` maps :func:`run_brake_with_obs` over a seed range and
+merges the snapshots with
+:func:`repro.harness.sweep.merge_metric_snapshots`; ``repro trace``
+uses :func:`observe_brake_run` inline for a single fully-traced run.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.obs.context import Observation, capture
+
+__all__ = ["BRAKE_VARIANTS", "observe_brake_run", "run_brake_with_obs"]
+
+#: Experiment variants exposed to the ``repro trace``/``metrics`` CLI.
+BRAKE_VARIANTS = ("det", "nondet")
+
+
+def _experiment(variant: str):
+    # Imported lazily: drivers must stay importable in worker processes
+    # without paying for the full application stack at module import.
+    if variant == "det":
+        from repro.apps.brake.det import run_det_brake_assistant
+
+        return run_det_brake_assistant
+    if variant == "nondet":
+        from repro.apps.brake.nondet import run_nondet_brake_assistant
+
+        return run_nondet_brake_assistant
+    raise ValueError(f"unknown brake variant {variant!r}; use one of {BRAKE_VARIANTS}")
+
+
+def observe_brake_run(
+    seed: int, scenario: Any = None, variant: str = "det"
+) -> tuple[Observation, Any]:
+    """Run one brake-assistant seed with full observability.
+
+    Returns ``(observation, run_result)`` — the observation holds the
+    event bus (for the trace export) and the metrics registry.
+    """
+    experiment = _experiment(variant)
+    with capture() as observation:
+        result = experiment(seed, scenario)
+    return observation, result
+
+
+def run_brake_with_obs(
+    seed: int, scenario: Any = None, variant: str = "det"
+) -> dict[str, Any]:
+    """Sweep-worker body: one observed seed, summarized as plain data."""
+    observation, result = observe_brake_run(seed, scenario, variant)
+    return {
+        "seed": seed,
+        "variant": variant,
+        "errors": result.errors.as_dict(),
+        "deadline_misses": result.deadline_misses,
+        "stp_violations": result.stp_violations,
+        "frames_answered": len(result.commands),
+        "trace_fingerprints": dict(result.trace_fingerprints),
+        "events": len(observation.bus),
+        "tracks": observation.bus.tracks(),
+        "metrics": observation.metrics.snapshot(),
+    }

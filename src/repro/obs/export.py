@@ -1,0 +1,174 @@
+"""Exporters: Chrome/Perfetto ``trace_event`` JSON and ``metrics.json``.
+
+The timeline export targets the Chrome ``trace_event`` format (the JSON
+flavour both ``chrome://tracing`` and https://ui.perfetto.dev load
+directly): one pseudo-process ``repro``, one pseudo-thread per event-bus
+track, complete spans as ``"ph": "X"`` and instants as ``"ph": "i"``.
+Timestamps are simulation time converted to the format's microsecond
+unit; the wall-clock stamp and any structured arguments ride along in
+``args``.
+
+:func:`validate_trace_data` is the shape check CI's obs-smoke job and
+the unit tests share: phases from the supported vocabulary,
+non-negative durations, and per-track monotonically non-decreasing
+timestamps.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:
+    from repro.obs.context import Observation
+
+__all__ = [
+    "trace_events",
+    "write_trace",
+    "metrics_document",
+    "write_metrics",
+    "validate_trace_data",
+]
+
+#: The pid every exported event carries (one simulated system = one process).
+TRACE_PID = 1
+
+#: Event phases the exporter emits / the validator accepts.
+_PHASES = {"M", "X", "i"}
+
+
+def trace_events(observation: "Observation") -> list[dict[str, Any]]:
+    """Render an observation's event bus as ``trace_event`` dicts.
+
+    Events are ordered by ``(track, ts)`` so each pseudo-thread's
+    timeline is monotonic regardless of the interleaved record order
+    (different platforms' clocks may skew against global time).
+    """
+    tracks = observation.bus.tracks()
+    tids = {track: index + 1 for index, track in enumerate(tracks)}
+    events: list[dict[str, Any]] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": TRACE_PID,
+            "tid": 0,
+            "args": {"name": "repro"},
+        }
+    ]
+    for track in tracks:
+        events.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": TRACE_PID,
+                "tid": tids[track],
+                "args": {"name": track},
+            }
+        )
+    ordered = sorted(
+        observation.bus.events, key=lambda event: (event.track, event.ts)
+    )
+    for event in ordered:
+        record: dict[str, Any] = {
+            "name": event.name,
+            "cat": event.track,
+            "ph": event.phase,
+            "pid": TRACE_PID,
+            "tid": tids[event.track],
+            "ts": event.ts / 1_000.0,  # ns -> us, the format's unit
+        }
+        if event.phase == "X":
+            record["dur"] = event.dur / 1_000.0
+        if event.phase == "i":
+            record["s"] = "t"  # thread-scoped instant
+        args = dict(event.args) if event.args else {}
+        args["wall_ns"] = event.wall_ns
+        record["args"] = args
+        events.append(record)
+    return events
+
+
+def write_trace(observation: "Observation", path: str | Path) -> Path:
+    """Write the observation's timeline as a ``trace_event`` JSON file."""
+    path = Path(path)
+    document = {
+        "traceEvents": trace_events(observation),
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "generator": "repro.obs",
+            "tracks": observation.bus.tracks(),
+        },
+    }
+    path.write_text(json.dumps(document, indent=2) + "\n", encoding="utf-8")
+    return path
+
+
+def metrics_document(observation: "Observation") -> dict[str, Any]:
+    """The machine-readable ``metrics.json`` payload for one run."""
+    return {
+        "format": "repro-metrics/v1",
+        "events": len(observation.bus),
+        "tracks": observation.bus.tracks(),
+        "metrics": observation.metrics.snapshot(),
+    }
+
+
+def write_metrics(observation: "Observation", path: str | Path) -> Path:
+    """Write one run's metrics snapshot as JSON."""
+    path = Path(path)
+    path.write_text(
+        json.dumps(metrics_document(observation), indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+    return path
+
+
+def validate_trace_data(data: Any) -> list[str]:
+    """Check *data* against the ``trace_event`` shape; returns problems.
+
+    Accepts either the object form (``{"traceEvents": [...]}``) or the
+    bare event array.  An empty list means the trace is well-formed:
+    known phases, required fields, non-negative durations, and
+    non-decreasing timestamps per ``(pid, tid)`` lane.
+    """
+    problems: list[str] = []
+    if isinstance(data, dict):
+        events = data.get("traceEvents")
+        if not isinstance(events, list):
+            return ["top-level object has no 'traceEvents' array"]
+    elif isinstance(data, list):
+        events = data
+    else:
+        return ["trace must be a JSON object or array"]
+
+    last_ts: dict[tuple[Any, Any], float] = {}
+    for index, event in enumerate(events):
+        if not isinstance(event, dict):
+            problems.append(f"event[{index}] is not an object")
+            continue
+        phase = event.get("ph")
+        if phase not in _PHASES:
+            problems.append(f"event[{index}] has unsupported phase {phase!r}")
+            continue
+        if not event.get("name"):
+            problems.append(f"event[{index}] has no name")
+        if phase == "M":
+            continue
+        ts = event.get("ts")
+        if not isinstance(ts, (int, float)):
+            problems.append(f"event[{index}] has no numeric ts")
+            continue
+        if phase == "X":
+            dur = event.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                problems.append(f"event[{index}] has invalid dur {dur!r}")
+        lane = (event.get("pid"), event.get("tid"))
+        previous = last_ts.get(lane)
+        if previous is not None and ts < previous:
+            problems.append(
+                f"event[{index}] ts {ts} goes backwards on lane {lane} "
+                f"(previous {previous})"
+            )
+        last_ts[lane] = ts
+    return problems

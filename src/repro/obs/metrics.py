@@ -1,0 +1,344 @@
+"""The metrics registry: counters, gauges and fixed-bucket histograms.
+
+Metrics capture the *physical-time* quantities the paper's evaluation
+is about — reaction lag, deadline slack, safe-to-process waits, mutex
+hold times, queue depths, drop counts — which the logical
+:class:`~repro.reactors.telemetry.Trace` deliberately excludes from its
+fingerprint.  Everything here is observation-only: recording a sample
+draws no randomness and changes no state the simulation reads back.
+
+Histograms use *fixed* bucket bounds (shared across seeds and runs), so
+per-seed snapshots merge exactly: :func:`aggregate_snapshots` sums the
+bucket counts of N seeds and estimates p50/p95 from the merged
+distribution, which is how ``harness/sweep.py`` turns per-seed
+``metrics.json`` snapshots into cross-seed aggregates.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Any, Sequence
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_TIME_BUCKETS_NS",
+    "DEPTH_BUCKETS",
+    "aggregate_snapshots",
+    "percentile",
+]
+
+#: Default histogram bounds for durations: 1 µs .. 1 s, roughly
+#: quarter-decade spacing.  An implicit overflow bucket catches the rest.
+DEFAULT_TIME_BUCKETS_NS: tuple[int, ...] = (
+    1_000,
+    2_500,
+    5_000,
+    10_000,
+    25_000,
+    50_000,
+    100_000,
+    250_000,
+    500_000,
+    1_000_000,
+    2_500_000,
+    5_000_000,
+    10_000_000,
+    25_000_000,
+    50_000_000,
+    100_000_000,
+    250_000_000,
+    1_000_000_000,
+)
+
+#: Default bounds for small cardinalities (queue depths, retries).
+DEPTH_BUCKETS: tuple[int, ...] = (0, 1, 2, 4, 8, 16, 32, 64, 128, 256)
+
+
+class Counter:
+    """A monotonically increasing event count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        """Add *amount* (default 1)."""
+        self.value += amount
+
+    def __repr__(self) -> str:
+        return f"Counter({self.name!r}, value={self.value})"
+
+
+class Gauge:
+    """A sampled level; remembers the last and the peak value."""
+
+    __slots__ = ("name", "value", "peak", "samples")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+        self.peak = 0
+        self.samples = 0
+
+    def set(self, value: int | float) -> None:
+        """Record the current level."""
+        self.value = value
+        if value > self.peak:
+            self.peak = value
+        self.samples += 1
+
+    def __repr__(self) -> str:
+        return f"Gauge({self.name!r}, value={self.value}, peak={self.peak})"
+
+
+class Histogram:
+    """A fixed-bucket histogram over non-negative samples.
+
+    ``bounds`` are inclusive upper bucket edges; one extra overflow
+    bucket counts samples above the last edge.  Keeping the edges fixed
+    (never adapted to the data) is what makes snapshots of different
+    seeds exactly mergeable.
+    """
+
+    __slots__ = ("name", "bounds", "counts", "count", "total", "min", "max")
+
+    def __init__(self, name: str, bounds: Sequence[int] | None = None) -> None:
+        self.name = name
+        self.bounds: tuple[int, ...] = tuple(bounds or DEFAULT_TIME_BUCKETS_NS)
+        if list(self.bounds) != sorted(self.bounds):
+            raise ValueError(f"histogram {name!r} bounds must be sorted")
+        self.counts = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.total = 0
+        self.min: int | float | None = None
+        self.max: int | float | None = None
+
+    def observe(self, value: int | float) -> None:
+        """Record one sample."""
+        index = _bucket_index(self.bounds, value)
+        self.counts[index] += 1
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        """Arithmetic mean of all samples (0.0 when empty)."""
+        return self.total / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> int | float:
+        """Estimate the *q*-quantile from the bucket counts.
+
+        Returns the upper edge of the bucket holding the quantile rank
+        (the exact maximum for the overflow bucket), which is the usual
+        conservative fixed-bucket estimate.
+        """
+        return _bucket_quantile(self.bounds, self.counts, self.count, self.max, q)
+
+    def __repr__(self) -> str:
+        return f"Histogram({self.name!r}, count={self.count}, mean={self.mean:.0f})"
+
+
+def _bucket_index(bounds: Sequence[int], value: int | float) -> int:
+    return bisect_left(bounds, value)
+
+
+def _bucket_quantile(
+    bounds: Sequence[int],
+    counts: Sequence[int],
+    count: int,
+    maximum: int | float | None,
+    q: float,
+) -> int | float:
+    if count == 0:
+        return 0
+    if not 0.0 <= q <= 1.0:
+        raise ValueError("quantile must be in [0, 1]")
+    rank = q * count
+    seen = 0
+    for index, bucket_count in enumerate(counts):
+        seen += bucket_count
+        if seen >= rank and bucket_count:
+            if index < len(bounds):
+                edge = bounds[index]
+                # The bucket edge is an upper estimate; never report a
+                # quantile beyond the actually observed maximum.
+                return min(edge, maximum) if maximum is not None else edge
+            return maximum if maximum is not None else bounds[-1]
+    return maximum if maximum is not None else bounds[-1]
+
+
+class MetricsRegistry:
+    """Name-keyed store of counters, gauges and histograms.
+
+    Accessors are get-or-create, so instrumentation sites never need a
+    registration step; asking for an existing name with a different
+    type raises, catching accidental collisions early.
+    """
+
+    __slots__ = ("_metrics",)
+
+    def __init__(self) -> None:
+        self._metrics: dict[str, Any] = {}
+
+    def _get(self, name: str, kind: type, factory) -> Any:
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = factory()
+            self._metrics[name] = metric
+        elif not isinstance(metric, kind):
+            raise TypeError(
+                f"metric {name!r} is a {type(metric).__name__}, "
+                f"not a {kind.__name__}"
+            )
+        return metric
+
+    def counter(self, name: str) -> Counter:
+        """Get or create the counter *name*."""
+        return self._get(name, Counter, lambda: Counter(name))
+
+    def gauge(self, name: str) -> Gauge:
+        """Get or create the gauge *name*."""
+        return self._get(name, Gauge, lambda: Gauge(name))
+
+    def histogram(self, name: str, bounds: Sequence[int] | None = None) -> Histogram:
+        """Get or create the histogram *name* (bounds fixed on creation)."""
+        return self._get(name, Histogram, lambda: Histogram(name, bounds))
+
+    def names(self) -> list[str]:
+        """Sorted names of all registered metrics."""
+        return sorted(self._metrics)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def snapshot(self) -> dict[str, Any]:
+        """A JSON-able snapshot of every metric, grouped by type."""
+        counters: dict[str, int] = {}
+        gauges: dict[str, dict[str, Any]] = {}
+        histograms: dict[str, dict[str, Any]] = {}
+        for name in self.names():
+            metric = self._metrics[name]
+            if isinstance(metric, Counter):
+                counters[name] = metric.value
+            elif isinstance(metric, Gauge):
+                gauges[name] = {
+                    "value": metric.value,
+                    "peak": metric.peak,
+                    "samples": metric.samples,
+                }
+            else:
+                histograms[name] = {
+                    "bounds": list(metric.bounds),
+                    "counts": list(metric.counts),
+                    "count": metric.count,
+                    "sum": metric.total,
+                    "min": metric.min,
+                    "max": metric.max,
+                    "p50": metric.quantile(0.50),
+                    "p95": metric.quantile(0.95),
+                }
+        return {"counters": counters, "gauges": gauges, "histograms": histograms}
+
+
+def percentile(values: Sequence[int | float], q: float) -> int | float:
+    """Nearest-rank percentile of *values* (0 for an empty sequence)."""
+    if not values:
+        return 0
+    if not 0.0 <= q <= 1.0:
+        raise ValueError("quantile must be in [0, 1]")
+    ordered = sorted(values)
+    rank = max(0, min(len(ordered) - 1, round(q * (len(ordered) - 1))))
+    return ordered[rank]
+
+
+def aggregate_snapshots(snapshots: Sequence[dict[str, Any]]) -> dict[str, Any]:
+    """Merge per-seed :meth:`MetricsRegistry.snapshot` dicts.
+
+    Counters and gauge peaks aggregate across seeds as distributions
+    (p50/p95/max plus total/mean); histograms with identical bounds
+    merge bucket-by-bucket, with p50/p95 re-estimated from the merged
+    counts.  Seeds missing a metric contribute zero — a seed in which an
+    error counter never fired still counts as an observation of 0.
+    """
+    snapshots = list(snapshots)
+    result: dict[str, Any] = {
+        "seeds": len(snapshots),
+        "counters": {},
+        "gauges": {},
+        "histograms": {},
+    }
+    if not snapshots:
+        return result
+
+    counter_names = sorted({n for s in snapshots for n in s.get("counters", {})})
+    for name in counter_names:
+        values = [s.get("counters", {}).get(name, 0) for s in snapshots]
+        result["counters"][name] = {
+            "total": sum(values),
+            "mean": sum(values) / len(values),
+            "p50": percentile(values, 0.50),
+            "p95": percentile(values, 0.95),
+            "max": max(values),
+        }
+
+    gauge_names = sorted({n for s in snapshots for n in s.get("gauges", {})})
+    for name in gauge_names:
+        peaks = [s.get("gauges", {}).get(name, {}).get("peak", 0) for s in snapshots]
+        result["gauges"][name] = {
+            "peak_p50": percentile(peaks, 0.50),
+            "peak_p95": percentile(peaks, 0.95),
+            "peak_max": max(peaks),
+        }
+
+    histogram_names = sorted({n for s in snapshots for n in s.get("histograms", {})})
+    for name in histogram_names:
+        merged = _merge_histograms(
+            [s.get("histograms", {}).get(name) for s in snapshots]
+        )
+        if merged is not None:
+            result["histograms"][name] = merged
+    return result
+
+
+def _merge_histograms(entries: Sequence[dict[str, Any] | None]) -> dict[str, Any] | None:
+    present = [entry for entry in entries if entry]
+    if not present:
+        return None
+    bounds = present[0]["bounds"]
+    if any(entry["bounds"] != bounds for entry in present):
+        # Incompatible bucket layouts cannot merge exactly; refuse
+        # loudly rather than fabricate a distribution.
+        raise ValueError("cannot merge histograms with different bounds")
+    counts = [0] * (len(bounds) + 1)
+    for entry in present:
+        for index, bucket_count in enumerate(entry["counts"]):
+            counts[index] += bucket_count
+    count = sum(entry["count"] for entry in present)
+    total = sum(entry["sum"] for entry in present)
+    minima = [entry["min"] for entry in present if entry["min"] is not None]
+    maxima = [entry["max"] for entry in present if entry["max"] is not None]
+    maximum = max(maxima) if maxima else None
+    return {
+        "bounds": list(bounds),
+        "counts": counts,
+        "count": count,
+        "sum": total,
+        "mean": total / count if count else 0.0,
+        "min": min(minima) if minima else None,
+        "max": maximum,
+        "p50": _bucket_quantile(bounds, counts, count, maximum, 0.50),
+        "p95": _bucket_quantile(bounds, counts, count, maximum, 0.95),
+        "seeds_observed": len(present),
+    }

@@ -27,6 +27,8 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any
 
 from repro.errors import DeadlineViolation, ReactorError, SchedulingError
+from repro.obs import context as obs_context
+from repro.obs.bus import TRACK_REACTORS
 from repro.reactors.action import LogicalAction, PhysicalAction, Timer
 from repro.reactors.ports import Port
 from repro.reactors.reaction import Reaction, ReactionContext
@@ -280,6 +282,12 @@ class ReactorScheduler:
             element._clear()
         self._to_clear.clear()
 
+    def _obs_now(self) -> int:
+        """Global simulation time for event stamps (tag time in fast mode)."""
+        if self._platform is not None:
+            return self._platform.sim.now
+        return self._physical_fast
+
     def _next_ready_reaction(self) -> Reaction | None:
         if not self._ready:
             return None
@@ -298,16 +306,36 @@ class ReactorScheduler:
         context = ReactionContext(self, reaction, tag)
         reaction.invocations += 1
         self.reactions_executed += 1
+        o = obs_context.ACTIVE
+        if o.enabled:
+            o.metrics.counter("reactor.reactions").inc()
+            o.metrics.histogram("reactor.lag_ns").observe(
+                max(self.physical_time() - tag.time, 0)
+            )
         deadline = reaction.deadline
         if deadline is not None:
             lag = self.physical_time() - tag.time
             if lag > deadline.duration_ns:
                 reaction.deadline_violations += 1
                 self._env.trace.deadline_miss(tag, reaction.fqn, lag)
+                if o.enabled:
+                    o.metrics.counter("reactor.deadline_misses").inc()
+                    o.bus.instant(
+                        TRACK_REACTORS,
+                        f"deadline-miss {reaction.fqn}",
+                        self._obs_now(),
+                        o.wall_ns(),
+                        lag_ns=lag,
+                        deadline_ns=deadline.duration_ns,
+                    )
                 if deadline.handler is None:
                     raise DeadlineViolation(reaction.fqn, lag)
                 deadline.handler(context)
                 return False
+            if o.enabled:
+                o.metrics.histogram("reactor.deadline_slack_ns").observe(
+                    deadline.duration_ns - lag
+                )
         if record_trace:
             self._env.trace.reaction(tag, reaction.fqn)
         reaction.body(context)
@@ -398,6 +426,18 @@ class ReactorScheduler:
                     if cost > 0:
                         yield Compute(cost)
                     self._invoke(reaction, tag)
+                    o = obs_context.ACTIVE
+                    if o.enabled:
+                        now = platform.sim.now
+                        o.bus.span(
+                            TRACK_REACTORS,
+                            reaction.fqn,
+                            now - cost,
+                            now,
+                            o.wall_ns(),
+                            tag_time=tag.time,
+                            cost_ns=cost,
+                        )
             else:
                 yield from self._run_tag_parallel(pool, tag, exec_rng)
             self._finish_tag()
@@ -506,6 +546,18 @@ class _WorkerPool:
                 body_ran = scheduler._invoke(reaction, tag, record_trace=False)
             finally:
                 scheduler._active_buffer = None
+            o = obs_context.ACTIVE
+            if o.enabled:
+                now = self._platform.sim.now
+                o.bus.span(
+                    TRACK_REACTORS,
+                    reaction.fqn,
+                    now - cost,
+                    now,
+                    o.wall_ns(),
+                    tag_time=tag.time,
+                    cost_ns=cost,
+                )
             yield Acquire(self._mutex)
             self._results.append((reaction, buffer, body_ran))
             self._outstanding -= 1

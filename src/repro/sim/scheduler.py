@@ -33,6 +33,8 @@ import random
 from typing import Any, Callable, Generator
 
 from repro.errors import SimulationError
+from repro.obs import context as obs_context
+from repro.obs.bus import TRACK_SCHEDULER
 from repro.sim.core import Simulator
 from repro.sim.process import (
     Acquire,
@@ -166,7 +168,31 @@ class CpuScheduler:
                 delay = self._decisions.jitter(
                     "dispatch", thread.name, self._dispatch_jitter_ns
                 )
-            delay += self._decisions.preempt(thread.name)
+            preempt_ns = self._decisions.preempt(thread.name)
+            o = obs_context.ACTIVE
+            if o.enabled:
+                now = self._sim.now
+                o.metrics.counter("sched.dispatches").inc()
+                o.metrics.histogram("sched.dispatch_delay_ns").observe(delay)
+                o.bus.instant(
+                    TRACK_SCHEDULER,
+                    f"dispatch {thread.name}",
+                    now,
+                    o.wall_ns(),
+                    core=core,
+                    delay_ns=delay,
+                )
+                if preempt_ns > 0:
+                    o.metrics.counter("sched.preemptions").inc()
+                    o.metrics.histogram("sched.preempt_ns").observe(preempt_ns)
+                    o.bus.instant(
+                        TRACK_SCHEDULER,
+                        f"preempt {thread.name}",
+                        now,
+                        o.wall_ns(),
+                        preempt_ns=preempt_ns,
+                    )
+            delay += preempt_ns
             if delay > 0:
                 self._sim.after(delay, lambda t=thread: self._step(t))
             else:
@@ -298,12 +324,18 @@ class CpuScheduler:
             raise SimulationError(
                 f"thread {thread.name!r} re-acquired non-reentrant {mutex!r}"
             )
+        o = obs_context.ACTIVE
         if mutex.owner is None:
             mutex.owner = thread
+            if o.enabled:
+                o.scratch[("mutex_hold", id(mutex))] = self._sim.now
             return True
         mutex.waiters.append(thread)
         thread.state = ThreadState.BLOCKED
         thread.resume_value = None
+        if o.enabled:
+            o.metrics.counter("sched.mutex_contended").inc()
+            o.scratch[("mutex_wait", id(thread))] = self._sim.now
         self._release_core(thread)
         return False
 
@@ -313,6 +345,13 @@ class CpuScheduler:
                 f"thread {thread.name!r} released {mutex!r} it does not hold"
             )
         mutex.owner = None
+        o = obs_context.ACTIVE
+        if o.enabled:
+            acquired = o.scratch.pop(("mutex_hold", id(mutex)), None)
+            if acquired is not None:
+                o.metrics.histogram("sched.mutex_hold_ns").observe(
+                    self._sim.now - acquired
+                )
         self._grant_mutex(mutex)
 
     def _grant_mutex(self, mutex: Mutex) -> None:
@@ -326,6 +365,21 @@ class CpuScheduler:
         mutex.owner = waiter
         waiter.reacquire = None
         waiter.state = ThreadState.READY
+        o = obs_context.ACTIVE
+        if o.enabled:
+            now = self._sim.now
+            started = o.scratch.pop(("mutex_wait", id(waiter)), None)
+            if started is not None:
+                o.metrics.histogram("sched.mutex_wait_ns").observe(now - started)
+            o.scratch[("mutex_hold", id(mutex))] = now
+            o.metrics.counter("sched.mutex_grants").inc()
+            o.bus.instant(
+                TRACK_SCHEDULER,
+                f"mutex-grant {waiter.name}",
+                now,
+                o.wall_ns(),
+                waiters_left=len(mutex.waiters),
+            )
         self._ready.append(waiter)
         self._request_dispatch()
 
@@ -344,6 +398,13 @@ class CpuScheduler:
                 f"without holding {mutex!r}"
             )
         mutex.owner = None
+        o = obs_context.ACTIVE
+        if o.enabled:
+            acquired = o.scratch.pop(("mutex_hold", id(mutex)), None)
+            if acquired is not None:
+                o.metrics.histogram("sched.mutex_hold_ns").observe(
+                    self._sim.now - acquired
+                )
         thread.state = ThreadState.BLOCKED
         thread.reacquire = mutex
         condvar.waiters.append(thread)
@@ -381,14 +442,19 @@ class CpuScheduler:
         mutex = waiter.reacquire
         if mutex is None:
             raise SimulationError("condvar waiter lost its reacquire mutex")
+        o = obs_context.ACTIVE
         if mutex.owner is None:
             mutex.owner = waiter
             waiter.reacquire = None
             waiter.state = ThreadState.READY
+            if o.enabled:
+                o.scratch[("mutex_hold", id(mutex))] = self._sim.now
             self._ready.append(waiter)
             self._request_dispatch()
         else:
             mutex.waiters.append(waiter)
+            if o.enabled:
+                o.scratch[("mutex_wait", id(waiter))] = self._sim.now
 
 
 def run_generator(generator_or_none: Generator | None) -> Generator:

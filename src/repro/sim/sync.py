@@ -16,6 +16,9 @@ from __future__ import annotations
 from collections import deque
 from typing import TYPE_CHECKING, Any, Generator
 
+from repro.obs import context as obs_context
+from repro.obs.bus import TRACK_NETWORK
+from repro.obs.metrics import DEPTH_BUCKETS
 from repro.sim.process import Acquire, Notify, Release, SimThread, Wait, WaitUntil, WaitResult
 
 if TYPE_CHECKING:
@@ -180,17 +183,38 @@ class MessageQueue:
         atomically, so no lock is needed here; readers blocked in
         :meth:`get` are woken through the scheduler.
         """
+        o = obs_context.ACTIVE
         if self._full():
             if self._overflow == "error":
                 raise OverflowError(f"queue {self.name!r} is full")
             if self._overflow == "drop-new":
                 self.dropped += 1
+                if o.enabled:
+                    self._record_drop(o)
                 return False
             self._items.popleft()
             self.dropped += 1
+            if o.enabled:
+                self._record_drop(o)
         self._items.append(item)
+        if o.enabled:
+            o.metrics.histogram("queue.depth", DEPTH_BUCKETS).observe(
+                len(self._items)
+            )
+            o.metrics.gauge(f"queue.depth.{self.name}").set(len(self._items))
         self._scheduler.external_notify(self._not_empty)
         return True
+
+    def _record_drop(self, o: Any) -> None:
+        o.metrics.counter("queue.dropped").inc()
+        o.bus.instant(
+            TRACK_NETWORK,
+            f"queue-drop {self.name}",
+            self._scheduler._sim.now,
+            o.wall_ns(),
+            policy=self._overflow,
+            depth=len(self._items),
+        )
 
     def peek_all(self) -> list[Any]:
         """Snapshot of queued items (diagnostics only)."""

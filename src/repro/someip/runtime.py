@@ -24,6 +24,8 @@ from typing import Any, Callable
 
 from repro.errors import SomeIpError
 from repro.network.stack import NetworkInterface, Socket
+from repro.obs import context as obs_context
+from repro.obs.bus import TRACK_NETWORK
 from repro.network.switch import Frame
 from repro.sim.platform import Platform
 from repro.someip.sd import SdDaemon, ServiceEntry
@@ -284,14 +286,30 @@ class SomeIpEndpoint:
             else:
                 payload = attach_tag(payload, tag)
         data = SomeIpMessage(header, payload, native_tag).pack()
+        o = obs_context.ACTIVE
+        if o.enabled:
+            o.metrics.counter("someip.tx_messages").inc()
+            if tag is not None:
+                o.metrics.counter("someip.tx_tagged").inc()
         self.socket.send(host, port, data, len(data))
 
     def _on_frame(self, frame: Frame) -> None:
+        o = obs_context.ACTIVE
         try:
             message = SomeIpMessage.unpack(frame.payload)
         except Exception:
             self.malformed_count += 1
+            if o.enabled:
+                o.metrics.counter("someip.malformed").inc()
+                o.bus.instant(
+                    TRACK_NETWORK,
+                    f"malformed {self.name}",
+                    self.platform.sim.now,
+                    o.wall_ns(),
+                )
             return
+        if o.enabled:
+            o.metrics.counter("someip.rx_messages").inc()
         payload, tag = extract_tag(message.payload)
         if message.native_tag is not None:
             tag = message.native_tag

@@ -25,6 +25,7 @@ from __future__ import annotations
 import struct
 from collections import deque
 
+from repro.obs import context as obs_context
 from repro.time.tag import Tag
 
 #: Trailer magic; chosen so an accidental payload collision is negligible.
@@ -75,11 +76,19 @@ class TimestampBypass:
     def deposit(self, tag: Tag) -> None:
         """Store *tag* for the next binding operation."""
         self._tags.append(tag)
+        o = obs_context.ACTIVE
+        if o.enabled:
+            o.metrics.counter("someip.bypass_deposits").inc()
 
     def collect(self) -> Tag | None:
         """Retrieve the oldest deposited tag, or ``None`` if empty."""
+        o = obs_context.ACTIVE
         if self._tags:
+            if o.enabled:
+                o.metrics.counter("someip.bypass_hits").inc()
             return self._tags.popleft()
+        if o.enabled:
+            o.metrics.counter("someip.bypass_misses").inc()
         return None
 
     def __len__(self) -> int:
