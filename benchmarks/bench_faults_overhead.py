@@ -1,0 +1,79 @@
+"""FAULTS-OVERHEAD — the no-faults fast path must cost ~nothing.
+
+The injector sits behind a single attribute load on ``Switch.send``
+(``self._faults`` is ``None`` unless a plan is installed), so a
+fault-capable build must not tax fault-free experiments.  Measured
+three ways and recorded to ``BENCH_faults_overhead.json``:
+
+* the guard idiom itself, micro-benchmarked per frame;
+* a full det brake run with no plan vs. one with an installed plan
+  whose probabilities are all zero (the injector is consulted per
+  frame but never fires);
+* the same run with an actively firing plan, for the trajectory.
+
+Only the stable claims are asserted (guard cost, unperturbed results);
+wall-time ratios are recorded, not gated — a regression shows up as a
+trajectory change across commits, not a flaky red build.
+"""
+
+import time
+
+from repro.apps.brake import BrakeScenario
+from repro.apps.brake.det import run_det_brake_assistant
+from repro.faults import FaultPlan, LinkFault
+from repro.harness import env_int
+
+
+def test_faults_overhead(show, bench_json):
+    # Micro-cost of the seam: one attribute load + None check per frame.
+    class _Seam:
+        _faults = None
+
+    seam = _Seam()
+    iterations = 200_000
+    started = time.perf_counter()
+    for _ in range(iterations):
+        if seam._faults is not None:  # pragma: no cover - no plan installed
+            raise AssertionError("unexpected injector")
+    per_frame_ns = (time.perf_counter() - started) / iterations * 1e9
+
+    frames = env_int("REPRO_FAULTS_FRAMES", 120)
+    scenario = BrakeScenario(n_frames=frames, deterministic_camera=True)
+    inert_plan = FaultPlan(
+        seed=5, link_faults=(LinkFault(dst_port=15000, drop_probability=0.0),)
+    )
+    active_plan = FaultPlan.camera_faults(seed=7, drop=0.1, label="bench")
+
+    started = time.perf_counter()
+    baseline = run_det_brake_assistant(0, scenario)
+    baseline_s = time.perf_counter() - started
+    started = time.perf_counter()
+    inert = run_det_brake_assistant(0, scenario, fault_plan=inert_plan)
+    inert_s = time.perf_counter() - started
+    started = time.perf_counter()
+    active = run_det_brake_assistant(0, scenario, fault_plan=active_plan)
+    active_s = time.perf_counter() - started
+
+    show(
+        f"faults overhead: seam {per_frame_ns:.0f} ns/frame, "
+        f"no plan {baseline_s:.2f}s, inert plan {inert_s:.2f}s, "
+        f"active plan {active_s:.2f}s ({active.fault_summary['fired']} fired)"
+    )
+    bench_json.record(
+        frames=frames,
+        seam_ns_per_frame=round(per_frame_ns, 1),
+        no_plan_wall_s=round(baseline_s, 3),
+        inert_plan_wall_s=round(inert_s, 3),
+        active_plan_wall_s=round(active_s, 3),
+        inert_over_no_plan=round(inert_s / baseline_s, 3),
+        active_over_no_plan=round(active_s / baseline_s, 3),
+        faults_fired=active.fault_summary["fired"],
+    )
+    # Stable claims only: the fast path is a None check...
+    assert per_frame_ns < 1_000
+    # ...and a never-firing injector perturbs nothing at all.
+    assert inert.fault_summary["fired"] == 0
+    assert inert.trace_fingerprints == baseline.trace_fingerprints
+    assert inert.commands == baseline.commands
+    assert inert.latencies_ns == baseline.latencies_ns
+    assert baseline.fault_summary is None

@@ -50,6 +50,7 @@ from repro.apps.brake.nondet import (
 from repro.apps.brake.scenario import BrakeScenario
 from repro.dear import (
     ClientEventTransactor,
+    LatePolicy,
     ServerEventTransactor,
     StpConfig,
     TransactorConfig,
@@ -66,6 +67,7 @@ def _transactor_config(scenario: BrakeScenario, deadline_ns: int) -> TransactorC
             latency_bound_ns=scenario.latency_bound_ns,
             clock_error_ns=scenario.clock_error_ns,
         ),
+        late_policy=LatePolicy(scenario.late_policy),
     )
 
 
@@ -175,11 +177,21 @@ class _EbaLogic(Reactor):
 
 
 def run_det_brake_assistant(
-    seed: int, scenario: BrakeScenario | None = None
+    seed: int,
+    scenario: BrakeScenario | None = None,
+    switch_config=None,
+    fault_plan=None,
+    fault_replay=None,
 ) -> BrakeRunResult:
     """Run the DEAR brake assistant once; returns measurements."""
     scenario = scenario or BrakeScenario()
-    world = build_brake_world(scenario, seed)
+    world = build_brake_world(
+        scenario,
+        seed,
+        switch_config=switch_config,
+        fault_plan=fault_plan,
+        fault_replay=fault_replay,
+    )
     fusion = world.platform(FUSION_ECU)
     # Distributed extension: the back half of the pipeline runs on a
     # second (possibly clock-skewed) processing board.
@@ -312,5 +324,8 @@ def run_det_brake_assistant(
         },
         deadline_misses=sum(t.deadline_misses for t in transactors),
         stp_violations=sum(t.stp_violations for t in transactors),
+        fault_summary=(
+            None if world.fault_injector is None else world.fault_injector.summary()
+        ),
     )
     return result

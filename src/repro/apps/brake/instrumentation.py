@@ -64,6 +64,9 @@ class BrakeRunResult:
     #: DEAR observable assumption violations (deadline misses, STP).
     deadline_misses: int = 0
     stp_violations: int = 0
+    #: Fired-fault digest when a fault plan was installed (counters,
+    #: fired count, fault-trace fingerprint); ``None`` otherwise.
+    fault_summary: dict | None = None
 
     @property
     def prevalence(self) -> float:

@@ -78,18 +78,32 @@ FUSION_ECU = "fusion-ecu"
 FUSION2_ECU = "fusion2-ecu"
 
 
-def build_brake_world(scenario: BrakeScenario, seed: int) -> World:
-    """The networked platforms matching (or extending) the paper's testbed."""
+def build_brake_world(
+    scenario: BrakeScenario,
+    seed: int,
+    switch_config: SwitchConfig | None = None,
+    fault_plan=None,
+    fault_replay=None,
+) -> World:
+    """The networked platforms matching (or extending) the paper's testbed.
+
+    *switch_config* overrides the scenario-derived network (any
+    :class:`~repro.network.latency.LatencyModel` via
+    :class:`~repro.harness.config.ScenarioSpec`); *fault_plan* installs a
+    :class:`~repro.faults.FaultPlan` (optionally replaying a recorded
+    fault *fault_replay* trace) before any traffic flows.
+    """
     from repro.time.clock import ClockModel
 
     world = World(seed)
-    if scenario.deterministic_camera:
-        switch_config = SwitchConfig(
-            latency=ConstantLatency(300 * US),
-            loopback_latency=ConstantLatency(50 * US),
-        )
-    else:
-        switch_config = SwitchConfig()
+    if switch_config is None:
+        if scenario.deterministic_camera:
+            switch_config = SwitchConfig(
+                latency=ConstantLatency(300 * US),
+                loopback_latency=ConstantLatency(50 * US),
+            )
+        else:
+            switch_config = SwitchConfig()
     switch = Switch(world.sim, world.rng.stream("net"), switch_config)
     world.attach_network(switch)
     vision_config = CALM if scenario.deterministic_camera else MINNOWBOARD
@@ -106,6 +120,10 @@ def build_brake_world(scenario: BrakeScenario, seed: int) -> World:
         platform = world.add_platform(host, config)
         nic = NetworkInterface(platform, switch)
         SdDaemon(platform, nic)
+    if fault_plan is not None and not fault_plan.is_empty:
+        from repro.faults import install_fault_plan
+
+        install_fault_plan(world, fault_plan, replay=fault_replay)
     return world
 
 
@@ -163,11 +181,21 @@ def _spike(world: World, name: str, scenario: BrakeScenario):
 
 
 def run_nondet_brake_assistant(
-    seed: int, scenario: BrakeScenario | None = None
+    seed: int,
+    scenario: BrakeScenario | None = None,
+    switch_config: SwitchConfig | None = None,
+    fault_plan=None,
+    fault_replay=None,
 ) -> BrakeRunResult:
     """Run the stock brake assistant once; returns measurements."""
     scenario = scenario or BrakeScenario()
-    world = build_brake_world(scenario, seed)
+    world = build_brake_world(
+        scenario,
+        seed,
+        switch_config=switch_config,
+        fault_plan=fault_plan,
+        fault_replay=fault_replay,
+    )
     fusion: Platform = world.platform(FUSION_ECU)
     errors = ErrorCounters()
     commands: dict[int, Any] = {}
@@ -346,4 +374,7 @@ def run_nondet_brake_assistant(
         errors=errors,
         commands=commands,
         latencies_ns=latencies,
+        fault_summary=(
+            None if world.fault_injector is None else world.fault_injector.summary()
+        ),
     )

@@ -63,6 +63,10 @@ class BrakeScenario:
     latency_bound_ns: int = 5 * MS
     #: Assumed clock synchronization error E.
     clock_error_ns: int = 0
+    #: DEAR late-message policy when STP detects an L-bound violation
+    #: (a :class:`repro.dear.LatePolicy` value; kept as a string so the
+    #: scenario stays trivially JSON-serializable).
+    late_policy: str = "process"
     #: Deterministic camera: no send jitter and a constant network
     #: latency, so even event *tags* are reproducible across seeds.
     deterministic_camera: bool = False

@@ -11,6 +11,9 @@ Usage::
     python -m repro explore --replay trace.json
     python -m repro trace det --trace-out trace.json      # Perfetto timeline
     python -m repro metrics det --seeds 20 --metrics-out metrics.json
+    python -m repro faults --drop 0.05 --partition 800:1200 --seeds 10
+    python -m repro faults --plan plan.json --out report.json
+    python -m repro det --spec spec.json      # any subcommand from a spec
 
 Every subcommand runs the corresponding experiment driver and prints
 the text rendering of the paper figure/table it reproduces.  Sweeps run
@@ -51,6 +54,11 @@ def _sweep_options() -> argparse.ArgumentParser:
     group.add_argument(
         "--cache-dir", default=None, metavar="DIR",
         help="result cache location (default: REPRO_CACHE_DIR or .repro_cache)",
+    )
+    group.add_argument(
+        "--spec", default=None, metavar="FILE",
+        help="load a scenario-spec/v1 JSON file (seeds, scenario, network, "
+             "STP bounds, fault plan) and run the experiment from it",
     )
     obs_group = common.add_argument_group("observability")
     obs_group.add_argument(
@@ -176,6 +184,67 @@ def build_parser() -> argparse.ArgumentParser:
         "also verify DEAR determinism across N in-budget schedules",
     )
 
+    faults = commands.add_parser(
+        "faults",
+        help="deterministic fault-injection sweep: run the DEAR and stock "
+             "variants under a seeded fault plan and check that in-bound "
+             "faults keep DEAR's logical traces bit-identical",
+        parents=[common],
+    )
+    faults.add_argument(
+        "--plan", metavar="FILE", default=None,
+        help="load a fault-plan/v1 JSON file (otherwise built from the "
+             "quick flags below)",
+    )
+    faults.add_argument(
+        "--drop", type=float, default=0.05, metavar="P",
+        help="camera-flow frame drop probability (default: 0.05)",
+    )
+    faults.add_argument(
+        "--duplicate", type=float, default=0.0, metavar="P",
+        help="camera-flow duplication probability",
+    )
+    faults.add_argument(
+        "--reorder", type=float, default=0.0, metavar="P",
+        help="camera-flow reordering probability",
+    )
+    faults.add_argument(
+        "--corrupt", type=float, default=0.0, metavar="P",
+        help="camera-flow corruption (FCS drop) probability",
+    )
+    faults.add_argument(
+        "--spike", type=float, default=0.0, metavar="P",
+        help="camera-flow latency-spike probability",
+    )
+    faults.add_argument(
+        "--spike-ms", type=float, default=2.0, metavar="MS",
+        help="latency-spike magnitude in ms (default: 2)",
+    )
+    faults.add_argument(
+        "--partition", action="append", metavar="START_MS:END_MS",
+        default=None,
+        help="sever all inter-host links over [START, END) ms; "
+             "repeatable; deferred frames arrive after the heal",
+    )
+    _add_int(faults, "--fault-seed", 1, "fault-plan PRF seed")
+    _add_int(faults, "--seeds", 5, "world seeds to sweep per variant")
+    _add_int(faults, "--frames", 150, "frames per run")
+    faults.add_argument(
+        "--late-policy",
+        choices=("process", "drop", "last-known", "fault-signal"),
+        default="process",
+        help="DEAR policy for L-bound-violating messages (default: process)",
+    )
+    faults.add_argument(
+        "--out", metavar="FILE", default=None,
+        help="write the full fault-sweep report JSON to FILE",
+    )
+    faults.add_argument(
+        "--counterexample-out", metavar="FILE", default="fault-counterexample.json",
+        help="where to write the divergence artifact if DEAR silently "
+             "diverges (default: fault-counterexample.json)",
+    )
+
     trace = commands.add_parser(
         "trace",
         help="run one observed brake run and export a Perfetto trace",
@@ -222,33 +291,47 @@ def _make_sweep(args: argparse.Namespace):
     )
 
 
+def _load_spec(args: argparse.Namespace):
+    """The :class:`ScenarioSpec` named by ``--spec``, or ``None``."""
+    if not getattr(args, "spec", None):
+        return None
+    from repro.harness.config import ScenarioSpec
+
+    return ScenarioSpec.load(args.spec)
+
+
 def _run_one(name: str, args: argparse.Namespace, sweep) -> str:
     from repro.harness import extensions, figures
 
+    spec = _load_spec(args)
     if name == "fig1":
         return figures.figure1(nondet_seeds=args.seeds, sweep=sweep).render()
     if name == "fig3":
         return figures.figure3_sequence().render()
     if name == "fig5":
         return figures.figure5(
-            n_runs=args.runs, n_frames=args.frames, sweep=sweep
+            n_runs=args.runs, n_frames=args.frames, sweep=sweep, spec=spec
         ).render()
     if name == "det":
         return figures.det_case_study(
-            n_seeds=args.seeds, n_frames=args.frames, sweep=sweep
+            n_seeds=args.seeds, n_frames=args.frames, sweep=sweep, spec=spec
         ).render()
     if name == "tradeoff":
-        return figures.tradeoff(n_frames=args.frames, sweep=sweep).render()
+        return figures.tradeoff(
+            n_frames=args.frames, sweep=sweep, spec=spec
+        ).render()
     if name == "ablation":
         return figures.ablation_sources(n_seeds=args.seeds, sweep=sweep).render()
     if name == "overhead":
-        return figures.overhead(n_frames=args.frames, sweep=sweep).render()
+        return figures.overhead(
+            n_frames=args.frames, sweep=sweep, spec=spec
+        ).render()
     if name == "let":
         return figures.let_baseline(n_frames=args.frames, sweep=sweep).render()
     if name == "skew":
-        return extensions.clock_skew_sweep(sweep=sweep).render()
+        return extensions.clock_skew_sweep(sweep=sweep, spec=spec).render()
     if name == "scaling":
-        return extensions.pipeline_scaling(sweep=sweep).render()
+        return extensions.pipeline_scaling(sweep=sweep, spec=spec).render()
     if name == "native":
         return extensions.native_transport_comparison(sweep=sweep).render()
     if name == "distributed":
@@ -432,6 +515,155 @@ def _run_explore(args: argparse.Namespace, sweep) -> int:
     return code
 
 
+def _faults_plan(args: argparse.Namespace):
+    """The :class:`FaultPlan` from ``--plan`` or the quick flags."""
+    from repro.faults import FaultPlan, Partition
+    from repro.time import MS
+
+    if args.plan:
+        return FaultPlan.load(args.plan)
+    partitions = []
+    for window in args.partition or ():
+        start_text, _, end_text = window.partition(":")
+        try:
+            start_ms, end_ms = float(start_text), float(end_text)
+        except ValueError:
+            raise SystemExit(
+                f"--partition expects START_MS:END_MS, got {window!r}"
+            ) from None
+        partitions.append(
+            Partition(start_ns=int(start_ms * MS), end_ns=int(end_ms * MS))
+        )
+    return FaultPlan.camera_faults(
+        seed=args.fault_seed,
+        drop=args.drop,
+        duplicate=args.duplicate,
+        reorder=args.reorder,
+        corrupt=args.corrupt,
+        spike=args.spike,
+        spike_ns=int(args.spike_ms * MS),
+        partitions=tuple(partitions),
+        label="cli-faults",
+    )
+
+
+def _run_faults(args: argparse.Namespace, sweep) -> int:
+    """``repro faults``: seeded fault sweep + DEAR determinism check.
+
+    Runs both variants under the same fault plan with the deterministic
+    camera.  In-bound faults must leave DEAR's logical traces identical
+    across world seeds; divergence is acceptable only when flagged by
+    the runtime (STP violations / deadline faults).  Silent divergence
+    writes a counterexample artifact and exits nonzero.
+    """
+    import json
+    from dataclasses import replace
+
+    from repro.analysis.report import render_table
+    from repro.apps.brake import BrakeScenario
+    from repro.harness.config import ScenarioSpec
+
+    plan = _faults_plan(args)
+    spec = _load_spec(args)
+    if spec is not None:
+        spec = replace(spec, faults=plan, variant="det")
+    else:
+        scenario = BrakeScenario(
+            n_frames=args.frames,
+            deterministic_camera=True,
+            late_policy=args.late_policy,
+        )
+        spec = ScenarioSpec(
+            variant="det",
+            seeds=tuple(range(args.seeds)),
+            scenario=scenario,
+            faults=plan,
+            label="faults-det",
+        )
+    print(plan.describe())
+    det_runs = sweep.run_spec(spec).values()
+    nondet_spec = replace(spec, variant="nondet", label="faults-nondet")
+    nondet_runs = sweep.run_spec(nondet_spec).values()
+
+    rows = []
+    for run in det_runs:
+        summary = run.fault_summary or {}
+        counters = summary.get("counters", {})
+        rows.append([
+            str(run.seed),
+            str(summary.get("fired", 0)),
+            str(counters.get("drop", 0) + counters.get("partition", 0)),
+            str(run.errors.total()),
+            str(run.stp_violations),
+            str(run.deadline_misses),
+        ])
+    print(render_table(
+        ["seed", "faults fired", "drops", "errors", "STP violations",
+         "deadline misses"],
+        rows,
+        title="FAULTS - DEAR under the fault plan:",
+    ))
+
+    fingerprints = {
+        tuple(sorted(run.trace_fingerprints.items())) for run in det_runs
+    }
+    det_deterministic = len(fingerprints) == 1
+    flagged = sum(
+        run.stp_violations + run.deadline_misses for run in det_runs
+    )
+    stock_outcomes = {
+        tuple(sorted(run.commands.items())) for run in nondet_runs
+    }
+    print(
+        f"DEAR logical traces identical across {len(det_runs)} seeds: "
+        f"{det_deterministic} (flagged violations: {flagged})"
+    )
+    print(
+        f"stock outcomes across {len(nondet_runs)} seeds: "
+        f"{len(stock_outcomes)} distinct"
+    )
+
+    silent_divergence = not det_deterministic and flagged == 0
+    report = {
+        "format": "fault-sweep-report/v1",
+        "plan": plan.to_dict(),
+        "spec": spec.to_dict(),
+        "det": {
+            "deterministic": det_deterministic,
+            "distinct_fingerprints": len(fingerprints),
+            "flagged_violations": flagged,
+            "fingerprints": {
+                str(run.seed): dict(run.trace_fingerprints)
+                for run in det_runs
+            },
+            "fault_summaries": {
+                str(run.seed): run.fault_summary for run in det_runs
+            },
+        },
+        "stock": {
+            "distinct_outcomes": len(stock_outcomes),
+            "errors": {
+                str(run.seed): run.errors.as_dict() for run in nondet_runs
+            },
+        },
+        "silent_divergence": silent_divergence,
+    }
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=2, sort_keys=True)
+        print(f"fault-sweep report -> {args.out}")
+    if silent_divergence:
+        with open(args.counterexample_out, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=2, sort_keys=True)
+        print(
+            "FAULTS: silent DEAR divergence under in-bound faults; "
+            f"counterexample -> {args.counterexample_out}",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 def _run_trace(args: argparse.Namespace) -> int:
     """``repro trace det|nondet``: one observed run -> Perfetto JSON."""
     from repro import obs
@@ -574,6 +806,11 @@ def main(argv: list[str] | None = None) -> int:
         return _run_trace(args)
     if args.command == "metrics":
         code = _run_metrics(args, sweep)
+        if sweep.stats.sweeps:
+            print(sweep.stats.summary_line(), file=sys.stderr)
+        return code
+    if args.command == "faults":
+        code = _run_faults(args, sweep)
         if sweep.stats.sweeps:
             print(sweep.stats.summary_line(), file=sys.stderr)
         return code

@@ -21,7 +21,13 @@ full transactor set for a service interface — the paper's "can be
 automatically generated" claim.
 """
 
-from repro.dear.stp import StpConfig, TransactorConfig, UntaggedPolicy
+from repro.dear.stp import (
+    DeadlineFault,
+    LatePolicy,
+    StpConfig,
+    TransactorConfig,
+    UntaggedPolicy,
+)
 from repro.dear.transactor import Transactor
 from repro.dear.method_client import ClientMethodTransactor, MethodReply
 from repro.dear.method_server import MethodCall, MethodReturn, ServerMethodTransactor
@@ -31,6 +37,8 @@ from repro.dear.fields import ClientFieldTransactors, ServerFieldTransactors
 from repro.dear.codegen import generate_client_transactors, generate_server_transactors
 
 __all__ = [
+    "DeadlineFault",
+    "LatePolicy",
     "StpConfig",
     "TransactorConfig",
     "UntaggedPolicy",

@@ -19,8 +19,10 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
+from typing import Any
 
 from repro.time.duration import MS
+from repro.time.tag import Tag
 
 
 class UntaggedPolicy(enum.Enum):
@@ -34,6 +36,42 @@ class UntaggedPolicy(enum.Enum):
 
     FAIL = "fail"
     PHYSICAL_TIME = "physical-time"
+
+
+class LatePolicy(enum.Enum):
+    """Graceful degradation when STP detects an ``L``-bound violation.
+
+    A message whose release tag ``t + L + E`` is already in the past
+    violated the network assumptions (e.g. an injected partition longer
+    than ``L``).  The violation is always counted and trace-recorded;
+    the policy selects what happens to the message itself:
+
+    * ``PROCESS`` — the paper's behaviour (and the default): re-tag to
+      the current tag and process anyway.  Deterministic ordering is
+      lost, but the loss is *flagged*, never silent;
+    * ``DROP`` — discard the late message; downstream sees a gap;
+    * ``LAST_KNOWN`` — deliver the last in-bound value again in its
+      place (sensor-style freshness fallback); drops if none arrived yet;
+    * ``FAULT_SIGNAL`` — deliver a :class:`DeadlineFault` wrapping the
+      late value, so the consumer can run an explicit degraded mode.
+    """
+
+    PROCESS = "process"
+    DROP = "drop"
+    LAST_KNOWN = "last-known"
+    FAULT_SIGNAL = "fault-signal"
+
+
+@dataclass(frozen=True, slots=True)
+class DeadlineFault:
+    """In-band signal of an ``L``-bound violation (``FAULT_SIGNAL`` policy).
+
+    Delivered *instead of* the late payload; ``value`` carries the
+    original payload and ``tag`` its original (violated) tag.
+    """
+
+    tag: Tag | None
+    value: Any
 
 
 @dataclass(frozen=True, slots=True)
@@ -76,12 +114,15 @@ class TransactorConfig:
             error).  With ``False`` the message is still sent, tagged
             from physical time — deliberately trading determinism for
             liveness, as Section IV.B discusses.
+        late_policy: what to do with a message whose safe-to-process
+            release time already passed (see :class:`LatePolicy`).
     """
 
     deadline_ns: int = 5 * MS
     stp: StpConfig = StpConfig()
     untagged: UntaggedPolicy = UntaggedPolicy.FAIL
     drop_on_deadline_miss: bool = True
+    late_policy: LatePolicy = LatePolicy.PROCESS
 
     def __post_init__(self) -> None:
         if self.deadline_ns < 0:

@@ -26,8 +26,11 @@ from repro.reactors.action import PhysicalAction
 from repro.reactors.base import Reactor
 from repro.reactors.environment import Environment
 from repro.reactors.reaction import Deadline
-from repro.dear.stp import TransactorConfig, UntaggedPolicy
+from repro.dear.stp import DeadlineFault, LatePolicy, TransactorConfig, UntaggedPolicy
 from repro.time.tag import Tag
+
+#: Sentinel: no in-bound value received yet (LAST_KNOWN policy).
+_NO_VALUE = object()
 
 
 class Transactor(Reactor):
@@ -55,6 +58,9 @@ class Transactor(Reactor):
         self.deadline_misses = 0
         #: Untagged messages rejected under the FAIL policy.
         self.untagged_rejected = 0
+        #: Late messages discarded / replaced under a non-PROCESS policy.
+        self.late_handled = 0
+        self._last_in_bound: Any = _NO_VALUE
 
     # -- arrival path -----------------------------------------------------------
 
@@ -107,7 +113,14 @@ class Transactor(Reactor):
                 o.wall_ns(),
                 release_time=arrival.time,
             )
-        _tag, late = self.environment.scheduler.schedule_at_tag(action, value, arrival)
+        scheduler = self.environment.scheduler
+        policy = self.config.late_policy
+        if policy is not LatePolicy.PROCESS and arrival <= scheduler.current_tag:
+            # Same lateness condition schedule_at_tag would apply; the
+            # graceful-degradation policies intercept before scheduling.
+            self._handle_late(action, value, tag, arrival)
+            return
+        _tag, late = scheduler.schedule_at_tag(action, value, arrival)
         if late:
             self.stp_violations += 1
             self.environment.trace.record(
@@ -121,6 +134,50 @@ class Transactor(Reactor):
                     self.environment.scheduler._obs_now(),
                     o.wall_ns(),
                 )
+        elif policy is LatePolicy.LAST_KNOWN:
+            self._last_in_bound = value
+
+    def _handle_late(
+        self, action: PhysicalAction, value: Any, tag: Tag | None, arrival: Tag
+    ) -> None:
+        """Apply the configured non-PROCESS late-message policy.
+
+        Always counts the STP violation (the bound *was* broken); what
+        changes per policy is the fate of the payload.  Every branch
+        leaves a policy-specific record in the environment trace, so a
+        degradation decision is part of the run's fingerprint — explicit
+        fault handling, never silent nondeterminism.
+        """
+        scheduler = self.environment.scheduler
+        current = scheduler.current_tag
+        self.stp_violations += 1
+        self.late_handled += 1
+        self.environment.trace.record(current, "stp-violation", self.fqn)
+        policy = self.config.late_policy
+        o = obs_context.ACTIVE
+        if o.enabled:
+            o.metrics.counter("dear.stp_violations").inc()
+            o.metrics.counter(f"dear.late_{policy.value}").inc()
+            o.bus.instant(
+                TRACK_DEAR,
+                f"stp-violation {self.fqn} ({policy.value})",
+                scheduler._obs_now(),
+                o.wall_ns(),
+            )
+        if policy is LatePolicy.DROP:
+            self.environment.trace.record(current, "late-dropped", self.fqn)
+            return
+        if policy is LatePolicy.LAST_KNOWN:
+            if self._last_in_bound is _NO_VALUE:
+                self.environment.trace.record(current, "late-dropped", self.fqn)
+                return
+            self.environment.trace.record(current, "late-substituted", self.fqn)
+            scheduler.schedule_at_tag(action, self._last_in_bound, arrival)
+            return
+        self.environment.trace.record(current, "deadline-fault", self.fqn)
+        scheduler.schedule_at_tag(
+            action, DeadlineFault(tag=tag, value=value), arrival
+        )
 
     # -- departure path ------------------------------------------------------------
 

@@ -36,7 +36,7 @@ from repro.explore.scenarios import (
     IN_BUDGET_PREEMPT_NS,
     calibration_scenario,
 )
-from repro.explore.shrink import ShrinkResult, shrink_schedule
+from repro.explore.shrink import ShrinkResult, ddmin, shrink_schedule
 from repro.explore.strategies import PctStrategy, RandomSweepStrategy
 from repro.explore.verify import VerificationResult, verify_determinism
 
@@ -55,6 +55,7 @@ __all__ = [
     "PctStrategy",
     "RandomSweepStrategy",
     "ShrinkResult",
+    "ddmin",
     "shrink_schedule",
     "VerificationResult",
     "verify_determinism",

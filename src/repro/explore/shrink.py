@@ -14,10 +14,12 @@ needs exactly these 2 preemptions".
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Sequence
+from typing import TYPE_CHECKING, Callable, Sequence
 
 from repro.explore.decisions import InterventionSchedule, PreemptionPoint
-from repro.explore.explorer import ExecutionOutcome, Explorer, frame_drop
+
+if TYPE_CHECKING:  # deferred: explorer pulls in app code that imports us back
+    from repro.explore.explorer import ExecutionOutcome, Explorer
 
 
 @dataclass
@@ -38,7 +40,7 @@ class ShrinkResult:
         return len(self.original.preemptions) - len(self.minimal.preemptions)
 
 
-def _split(points: Sequence[PreemptionPoint], n: int) -> list[list[PreemptionPoint]]:
+def _split(points: Sequence, n: int) -> list[list]:
     """*points* in n contiguous chunks (first chunks get the remainder)."""
     chunks = []
     start = 0
@@ -50,16 +52,54 @@ def _split(points: Sequence[PreemptionPoint], n: int) -> list[list[PreemptionPoi
     return chunks
 
 
+def ddmin(items: Sequence, reproduces: Callable[[Sequence], bool]) -> list:
+    """Classic ddmin over any subset-closed failure representation.
+
+    *items* must already reproduce (callers check; this function does
+    not re-run the full set).  Returns a 1-minimal sublist: removing any
+    single remaining item makes ``reproduces`` return ``False``.  Used
+    for preemption points (scheduler schedules) and fired-fault records
+    (fault traces) alike — both are valid for every subset.
+    """
+    points = list(items)
+    granularity = 2
+    while len(points) >= 2:
+        chunks = _split(points, granularity)
+        reduced = False
+        for chunk in chunks:
+            if len(chunk) < len(points) and reproduces(chunk):
+                points, granularity, reduced = chunk, 2, True
+                break
+        if not reduced:
+            for chunk in chunks:
+                complement = [p for p in points if p not in chunk]
+                if complement and reproduces(complement):
+                    points = complement
+                    granularity = max(granularity - 1, 2)
+                    reduced = True
+                    break
+        if not reduced:
+            if granularity >= len(points):
+                break
+            granularity = min(len(points), granularity * 2)
+    return points
+
+
 def shrink_schedule(
     explorer: Explorer,
     schedule: InterventionSchedule,
-    predicate: Callable[[ExecutionOutcome], bool] = frame_drop,
+    predicate: Callable[[ExecutionOutcome], bool] | None = None,
 ) -> ShrinkResult:
     """ddmin *schedule*'s preemption points under *explorer*'s experiment.
 
+    *predicate* defaults to :func:`repro.explore.explorer.frame_drop`.
     Raises :class:`ValueError` if the full schedule does not reproduce
     the failure (nothing to shrink from).
     """
+    from repro.explore.explorer import ExecutionOutcome, frame_drop
+
+    if predicate is None:
+        predicate = frame_drop
     history: list[tuple[int, bool]] = []
     last_errors: dict[str, dict[str, int]] = {}
 
@@ -84,26 +124,7 @@ def shrink_schedule(
             f"schedule does not reproduce the failure: {schedule.describe()}"
         )
 
-    granularity = 2
-    while len(points) >= 2:
-        chunks = _split(points, granularity)
-        reduced = False
-        for chunk in chunks:
-            if len(chunk) < len(points) and reproduces(chunk):
-                points, granularity, reduced = chunk, 2, True
-                break
-        if not reduced:
-            for chunk in chunks:
-                complement = [p for p in points if p not in chunk]
-                if complement and reproduces(complement):
-                    points = complement
-                    granularity = max(granularity - 1, 2)
-                    reduced = True
-                    break
-        if not reduced:
-            if granularity >= len(points):
-                break
-            granularity = min(len(points), granularity * 2)
+    points = ddmin(points, reproduces)
 
     minimal = explorer.annotate(schedule.with_points(points, label="shrunk"))
     return ShrinkResult(

@@ -1,0 +1,343 @@
+"""Seeded, fully deterministic fault plans.
+
+A :class:`FaultPlan` describes *what can go wrong* in one experiment
+run: probabilistic link faults (frame drop / duplicate / reorder /
+corrupt / latency spike) scoped to flows and time windows, link
+partitions, node crash/restart windows, and clock step/drift faults.
+
+Determinism is the whole point, and it is achieved without consuming
+any randomness from the experiment's own RNG tree:
+
+* every probabilistic decision is a pure function of
+  ``(plan.seed, fault kind, flow, per-flow frame index)`` — a dedicated
+  SHA-256 counter-mode stream.  Installing a plan therefore perturbs
+  **no** existing draw order (the ``net``/``scheduler``/``exec.*``
+  streams see exactly the sequence they would without faults), and the
+  same plan hits the *same frames* regardless of the world seed or of
+  how unrelated traffic interleaves;
+* partitions, node outages and clock faults are pure time windows — no
+  randomness at all.
+
+Plans serialize as ``fault-plan/v1`` JSON and round-trip exactly, so a
+fault schedule is a portable artifact just like an intervention
+schedule from :mod:`repro.explore`.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, replace
+from pathlib import Path
+from typing import Iterable
+
+__all__ = [
+    "LinkFault",
+    "Partition",
+    "NodeOutage",
+    "ClockFault",
+    "FaultPlan",
+]
+
+
+def _check_probability(name: str, value: float) -> None:
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(f"{name} must be in [0, 1], got {value!r}")
+
+
+@dataclass(frozen=True, slots=True)
+class LinkFault:
+    """Probabilistic per-frame faults on matching traffic.
+
+    ``src_host`` / ``dst_host`` / ``dst_port`` select the flows the
+    fault applies to (``None`` matches anything); ``start_ns`` /
+    ``end_ns`` bound the active window (``end_ns=None`` means forever).
+    Each probability is evaluated independently per matching frame from
+    the plan's dedicated stream.  Delays are fixed magnitudes so a fired
+    fault is fully described by (kind, flow, frame index).
+    """
+
+    src_host: str | None = None
+    dst_host: str | None = None
+    dst_port: int | None = None
+    start_ns: int = 0
+    end_ns: int | None = None
+    drop_probability: float = 0.0
+    duplicate_probability: float = 0.0
+    #: Extra delivery delay of the duplicate copy.
+    duplicate_delay_ns: int = 100_000
+    reorder_probability: float = 0.0
+    #: Extra delay of a reordered frame; it is exempted from per-flow
+    #: FIFO, so a later frame can overtake it.
+    reorder_delay_ns: int = 1_000_000
+    corrupt_probability: float = 0.0
+    spike_probability: float = 0.0
+    #: Extra latency of a spiked frame (still subject to FIFO ordering).
+    spike_ns: int = 0
+
+    def __post_init__(self) -> None:
+        for name in (
+            "drop_probability",
+            "duplicate_probability",
+            "reorder_probability",
+            "corrupt_probability",
+            "spike_probability",
+        ):
+            _check_probability(name, getattr(self, name))
+        if self.end_ns is not None and self.end_ns < self.start_ns:
+            raise ValueError("end_ns must be >= start_ns")
+
+    def matches(self, src_host: str, dst_host: str, dst_port: int, now: int) -> bool:
+        """Whether this fault applies to a frame sent *now* on the flow."""
+        if now < self.start_ns:
+            return False
+        if self.end_ns is not None and now >= self.end_ns:
+            return False
+        if self.src_host is not None and self.src_host != src_host:
+            return False
+        if self.dst_host is not None and self.dst_host != dst_host:
+            return False
+        if self.dst_port is not None and self.dst_port != dst_port:
+            return False
+        return True
+
+
+@dataclass(frozen=True, slots=True)
+class Partition:
+    """A link partition over ``[start_ns, end_ns)``.
+
+    ``hosts`` names one side of the cut: traffic between a named host
+    and an unnamed one is affected (an empty tuple cuts every
+    inter-host link).  ``mode`` selects the physical interpretation:
+
+    * ``"defer"`` (default): the fabric holds affected frames and
+      releases them when the partition heals — a link flap with
+      store-and-forward retransmission.  A partition longer than the
+      assumed latency bound ``L`` then *must* surface as an STP
+      violation on the DEAR side;
+    * ``"drop"``: affected frames are lost outright.
+    """
+
+    start_ns: int
+    end_ns: int
+    hosts: tuple[str, ...] = ()
+    mode: str = "defer"
+
+    def __post_init__(self) -> None:
+        if self.end_ns < self.start_ns:
+            raise ValueError("end_ns must be >= start_ns")
+        if self.mode not in ("defer", "drop"):
+            raise ValueError(f"mode must be 'defer' or 'drop', got {self.mode!r}")
+        object.__setattr__(self, "hosts", tuple(self.hosts))
+
+    def severs(self, src_host: str, dst_host: str, now: int) -> bool:
+        """Whether a frame sent *now* crosses the cut."""
+        if not self.start_ns <= now < self.end_ns:
+            return False
+        if src_host == dst_host:
+            return False  # loopback never crosses a link
+        if not self.hosts:
+            return True
+        return (src_host in self.hosts) != (dst_host in self.hosts)
+
+
+@dataclass(frozen=True, slots=True)
+class NodeOutage:
+    """A node crash/restart window: the host halts over ``[start, end)``.
+
+    The platform's scheduler is frozen (nothing executes, threads keep
+    their state — a fail-stop crash with warm restart) and its NIC is
+    dead: frames to or from the host during the window are lost.  On
+    restart the node resumes where it stopped and SOME/IP SD's TTL
+    expiry + cyclic re-offer re-establish discovery state.
+    """
+
+    host: str
+    start_ns: int
+    end_ns: int
+
+    def __post_init__(self) -> None:
+        if self.end_ns < self.start_ns:
+            raise ValueError("end_ns must be >= start_ns")
+
+    def down(self, host: str, now: int) -> bool:
+        """Whether *host* is dead at *now*."""
+        return host == self.host and self.start_ns <= now < self.end_ns
+
+
+@dataclass(frozen=True, slots=True)
+class ClockFault:
+    """A clock step and/or drift change applied to one host at ``at_ns``.
+
+    Models a misbehaving time sync: the host's clock jumps by
+    ``step_ns`` and its rate changes by ``drift_ppb`` from that moment
+    on.  Steps larger than the assumed sync error ``E`` break the
+    safe-to-process analysis — observably, as STP violations.
+    """
+
+    host: str
+    at_ns: int
+    step_ns: int = 0
+    drift_ppb: int = 0
+
+
+@dataclass(frozen=True, slots=True)
+class FaultPlan:
+    """One run's complete, seeded fault configuration."""
+
+    seed: int = 0
+    link_faults: tuple[LinkFault, ...] = ()
+    partitions: tuple[Partition, ...] = ()
+    outages: tuple[NodeOutage, ...] = ()
+    clock_faults: tuple[ClockFault, ...] = ()
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "link_faults", tuple(self.link_faults))
+        object.__setattr__(self, "partitions", tuple(self.partitions))
+        object.__setattr__(self, "outages", tuple(self.outages))
+        object.__setattr__(self, "clock_faults", tuple(self.clock_faults))
+
+    @property
+    def is_empty(self) -> bool:
+        """Whether the plan injects nothing at all."""
+        return not (
+            self.link_faults or self.partitions or self.outages or self.clock_faults
+        )
+
+    def with_seed(self, seed: int) -> "FaultPlan":
+        """The same fault configuration under a different fault seed."""
+        return replace(self, seed=seed)
+
+    def describe(self) -> str:
+        parts = []
+        if self.link_faults:
+            parts.append(f"{len(self.link_faults)} link fault(s)")
+        if self.partitions:
+            parts.append(f"{len(self.partitions)} partition(s)")
+        if self.outages:
+            parts.append(f"{len(self.outages)} outage(s)")
+        if self.clock_faults:
+            parts.append(f"{len(self.clock_faults)} clock fault(s)")
+        body = ", ".join(parts) or "no faults"
+        label = f" [{self.label}]" if self.label else ""
+        return f"fault plan seed {self.seed}{label}: {body}"
+
+    # -- serialization ------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "format": "fault-plan/v1",
+            "seed": self.seed,
+            "label": self.label,
+            "link_faults": [
+                {
+                    "src_host": f.src_host,
+                    "dst_host": f.dst_host,
+                    "dst_port": f.dst_port,
+                    "start_ns": f.start_ns,
+                    "end_ns": f.end_ns,
+                    "drop_probability": f.drop_probability,
+                    "duplicate_probability": f.duplicate_probability,
+                    "duplicate_delay_ns": f.duplicate_delay_ns,
+                    "reorder_probability": f.reorder_probability,
+                    "reorder_delay_ns": f.reorder_delay_ns,
+                    "corrupt_probability": f.corrupt_probability,
+                    "spike_probability": f.spike_probability,
+                    "spike_ns": f.spike_ns,
+                }
+                for f in self.link_faults
+            ],
+            "partitions": [
+                {
+                    "start_ns": p.start_ns,
+                    "end_ns": p.end_ns,
+                    "hosts": list(p.hosts),
+                    "mode": p.mode,
+                }
+                for p in self.partitions
+            ],
+            "outages": [
+                {"host": o.host, "start_ns": o.start_ns, "end_ns": o.end_ns}
+                for o in self.outages
+            ],
+            "clock_faults": [
+                {
+                    "host": c.host,
+                    "at_ns": c.at_ns,
+                    "step_ns": c.step_ns,
+                    "drift_ppb": c.drift_ppb,
+                }
+                for c in self.clock_faults
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultPlan":
+        if data.get("format") != "fault-plan/v1":
+            raise ValueError(f"not a fault plan: {data.get('format')!r}")
+        return cls(
+            seed=data.get("seed", 0),
+            label=data.get("label", ""),
+            link_faults=tuple(
+                LinkFault(**entry) for entry in data.get("link_faults", [])
+            ),
+            partitions=tuple(
+                Partition(
+                    start_ns=entry["start_ns"],
+                    end_ns=entry["end_ns"],
+                    hosts=tuple(entry.get("hosts", [])),
+                    mode=entry.get("mode", "defer"),
+                )
+                for entry in data.get("partitions", [])
+            ),
+            outages=tuple(
+                NodeOutage(**entry) for entry in data.get("outages", [])
+            ),
+            clock_faults=tuple(
+                ClockFault(**entry) for entry in data.get("clock_faults", [])
+            ),
+        )
+
+    def save(self, path: str | Path) -> None:
+        Path(path).write_text(json.dumps(self.to_dict(), indent=2))
+
+    @classmethod
+    def load(cls, path: str | Path) -> "FaultPlan":
+        return cls.from_dict(json.loads(Path(path).read_text()))
+
+    # -- convenience constructors ------------------------------------------
+
+    @classmethod
+    def camera_faults(
+        cls,
+        seed: int = 0,
+        drop: float = 0.0,
+        duplicate: float = 0.0,
+        reorder: float = 0.0,
+        corrupt: float = 0.0,
+        spike: float = 0.0,
+        spike_ns: int = 0,
+        dst_port: int = 15000,
+        partitions: Iterable[Partition] = (),
+        label: str = "",
+    ) -> "FaultPlan":
+        """A plan targeting the camera's raw-frame flow (the usual SUT)."""
+        fault = LinkFault(
+            dst_port=dst_port,
+            drop_probability=drop,
+            duplicate_probability=duplicate,
+            reorder_probability=reorder,
+            corrupt_probability=corrupt,
+            spike_probability=spike,
+            spike_ns=spike_ns,
+        )
+        link_faults = () if all(
+            p == 0.0 for p in (drop, duplicate, reorder, corrupt, spike)
+        ) else (fault,)
+        return cls(
+            seed=seed,
+            link_faults=link_faults,
+            partitions=tuple(partitions),
+            label=label,
+        )
+

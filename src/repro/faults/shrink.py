@@ -1,0 +1,84 @@
+"""Delta-debugging a failing fault trace to a minimal fault set.
+
+A fault sweep that breaks an invariant ("DEAR fingerprints diverged",
+"a frame was dropped end-to-end") usually fires far more faults than
+the failure needs.  Because replaying a fault trace answers every
+decision from a ``(stream, kind, flow, index)`` table — and the PRF
+decisions of non-replayed sites never shift — **any subset** of the
+fired records is itself a valid fault schedule.  That is exactly the
+subset-closure classic ddmin requires, so the same
+:func:`repro.explore.shrink.ddmin` that minimizes preemption schedules
+minimizes fault traces: the result reads "the divergence needs exactly
+these 2 dropped frames".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Callable, Sequence
+
+from repro.explore.decisions import DecisionRecord, DecisionTrace
+from repro.explore.shrink import ddmin
+from repro.faults.plan import FaultPlan
+
+__all__ = ["FaultShrinkResult", "shrink_fault_trace"]
+
+
+@dataclass
+class FaultShrinkResult:
+    """Outcome of minimizing one failing fault trace."""
+
+    original: DecisionTrace
+    minimal: DecisionTrace
+    #: Experiment executions spent shrinking.
+    trials: int
+    #: (faults tried, reproduced?) per trial, in order.
+    history: list[tuple[int, bool]] = field(default_factory=list)
+
+    @property
+    def removed(self) -> int:
+        return len(self.original.records) - len(self.minimal.records)
+
+    def describe(self) -> str:
+        kept = ", ".join(
+            f"{r.kind} {r.name}#{r.bound}" for r in self.minimal.records
+        ) or "nothing"
+        return (
+            f"shrunk {len(self.original.records)} fired fault(s) to "
+            f"{len(self.minimal.records)} in {self.trials} trial(s): {kept}"
+        )
+
+
+def shrink_fault_trace(
+    plan: FaultPlan,
+    trace: DecisionTrace,
+    failure: Callable[[DecisionTrace], bool],
+) -> FaultShrinkResult:
+    """ddmin *trace*'s fired faults under *failure*.
+
+    *failure* runs the experiment with ``install_fault_plan(world, plan,
+    replay=<candidate trace>)`` and reports whether the observed problem
+    still reproduces.  Raises :class:`ValueError` if the full trace does
+    not (nothing to shrink from).
+    """
+    history: list[tuple[int, bool]] = []
+
+    def as_trace(records: Sequence[DecisionRecord]) -> DecisionTrace:
+        return replace(trace, records=list(records))
+
+    def reproduces(records: Sequence[DecisionRecord]) -> bool:
+        ok = failure(as_trace(records))
+        history.append((len(records), ok))
+        return ok
+
+    records = list(trace.records)
+    if not reproduces(records):
+        raise ValueError("fault trace does not reproduce the failure")
+
+    minimal = ddmin(records, reproduces)
+    return FaultShrinkResult(
+        original=trace,
+        minimal=as_trace(minimal),
+        trials=len(history),
+        history=history,
+    )

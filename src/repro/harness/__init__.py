@@ -12,6 +12,7 @@ merge, on-disk result cache) that the drivers, the CLI and the
 benchmarks all share.
 """
 
+from repro.harness.config import ScenarioSpec, run_scenario_spec
 from repro.harness.runner import env_int, run_seeds
 from repro.harness.sweep import (
     SeedOutcome,
@@ -27,6 +28,8 @@ from repro.harness.sweep import (
 from repro.harness import figures
 
 __all__ = [
+    "ScenarioSpec",
+    "run_scenario_spec",
     "run_seeds",
     "env_int",
     "figures",

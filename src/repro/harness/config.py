@@ -1,0 +1,351 @@
+"""One frozen spec for one experiment: :class:`ScenarioSpec`.
+
+Historically every driver took its own loose kwargs — a seed here, an
+``n_frames`` there, a hand-built :class:`SwitchConfig` somewhere else.
+``ScenarioSpec`` bundles *everything* that parameterizes a brake-
+assistant experiment — variant, seeds, workload scenario, network
+topology/latency, STP bounds, observability, and a
+:class:`~repro.faults.FaultPlan` — into a single frozen, JSON-round-
+trippable value consumed uniformly by :class:`SweepRunner`, the
+figure/extension drivers and every CLI subcommand.
+
+The module-level :func:`run_scenario_spec` is the picklable worker the
+sweep engine fans out: ``SweepRunner().run_spec(spec)`` is the single
+execution path for seeded experiments.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field, fields, replace
+from pathlib import Path
+from typing import Any
+
+from repro.apps.brake.scenario import BrakeScenario, StageTiming
+from repro.dear.stp import StpConfig
+from repro.faults.plan import FaultPlan
+from repro.network.latency import (
+    ConstantLatency,
+    GammaLatency,
+    LatencyModel,
+    SpikyLatency,
+    UniformLatency,
+)
+from repro.network.switch import SwitchConfig
+from repro.time.duration import US
+
+__all__ = [
+    "ScenarioSpec",
+    "latency_model_to_dict",
+    "latency_model_from_dict",
+    "run_scenario_spec",
+]
+
+_LATENCY_MODELS: dict[str, type] = {
+    cls.__name__: cls
+    for cls in (ConstantLatency, UniformLatency, GammaLatency, SpikyLatency)
+}
+
+
+def latency_model_to_dict(model: LatencyModel) -> dict:
+    """JSON form of any of the built-in latency models."""
+    name = type(model).__name__
+    if name not in _LATENCY_MODELS:
+        raise ValueError(
+            f"cannot serialize latency model {name!r}; "
+            f"known: {sorted(_LATENCY_MODELS)}"
+        )
+    out: dict[str, Any] = {"model": name}
+    for f in fields(model):
+        value = getattr(model, f.name)
+        out[f.name] = (
+            latency_model_to_dict(value) if f.name == "base" else value
+        )
+    return out
+
+
+def latency_model_from_dict(data: dict) -> LatencyModel:
+    """Inverse of :func:`latency_model_to_dict`."""
+    kwargs = dict(data)
+    name = kwargs.pop("model")
+    cls = _LATENCY_MODELS.get(name)
+    if cls is None:
+        raise ValueError(f"unknown latency model {name!r}")
+    if "base" in kwargs:
+        kwargs["base"] = latency_model_from_dict(kwargs["base"])
+    return cls(**kwargs)
+
+
+def _scenario_to_dict(scenario: BrakeScenario) -> dict:
+    out: dict[str, Any] = {}
+    for f in fields(scenario):
+        value = getattr(scenario, f.name)
+        if isinstance(value, StageTiming):
+            value = {"min_ns": value.min_ns, "max_ns": value.max_ns}
+        out[f.name] = value
+    return out
+
+
+def _scenario_from_dict(data: dict) -> BrakeScenario:
+    kwargs: dict[str, Any] = {}
+    for f in fields(BrakeScenario):
+        if f.name not in data:
+            continue
+        value = data[f.name]
+        if isinstance(value, dict):
+            value = StageTiming(**value)
+        kwargs[f.name] = value
+    return BrakeScenario(**kwargs)
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """Everything one experiment needs, as one frozen value.
+
+    Attributes:
+        variant: which stack runs — ``"det"`` (DEAR) or ``"nondet"``.
+        seeds: the seeds to sweep, in order.
+        scenario: the workload/timing configuration.
+        latency: inter-host latency model override (any
+            :class:`LatencyModel`); ``None`` keeps the scenario-derived
+            default (constant under ``deterministic_camera``).
+        loopback_latency: same-host latency model override.
+        in_order / drop_probability / ns_per_byte: remaining
+            :class:`SwitchConfig` knobs.
+        stp: overrides the scenario's ``L``/``E`` bounds when set.
+        observe: run each seed under :func:`repro.obs.capture` and
+            attach the metrics snapshot to the result's
+            ``fault_summary``-style digest.
+        faults: the :class:`FaultPlan` to install (``None`` = fault-free).
+        label: free-form experiment label (cache/report naming).
+    """
+
+    variant: str = "det"
+    seeds: tuple[int, ...] = (0,)
+    scenario: BrakeScenario = field(default_factory=BrakeScenario)
+    latency: LatencyModel | None = None
+    loopback_latency: LatencyModel | None = None
+    in_order: bool = True
+    drop_probability: float = 0.0
+    ns_per_byte: int = 8
+    stp: StpConfig | None = None
+    observe: bool = False
+    faults: FaultPlan | None = None
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if self.variant not in ("det", "nondet"):
+            raise ValueError(
+                f"variant must be 'det' or 'nondet', got {self.variant!r}"
+            )
+        object.__setattr__(self, "seeds", tuple(self.seeds))
+        if not self.seeds:
+            raise ValueError("a spec needs at least one seed")
+
+    # -- derived configuration ---------------------------------------------
+
+    def effective_scenario(self) -> BrakeScenario:
+        """The scenario with the spec's STP bounds applied."""
+        if self.stp is None:
+            return self.scenario
+        return replace(
+            self.scenario,
+            latency_bound_ns=self.stp.latency_bound_ns,
+            clock_error_ns=self.stp.clock_error_ns,
+        )
+
+    def switch_config(self) -> SwitchConfig | None:
+        """The network configuration, or ``None`` for the stock default.
+
+        Any :class:`LatencyModel` plugs in here — this replaces the old
+        pattern of drivers hand-building :class:`SwitchConfig` objects.
+        """
+        if (
+            self.latency is None
+            and self.loopback_latency is None
+            and self.in_order
+            and self.drop_probability == 0.0
+            and self.ns_per_byte == 8
+        ):
+            return None
+        if self.effective_scenario().deterministic_camera:
+            default_latency: LatencyModel = ConstantLatency(300 * US)
+            default_loopback: LatencyModel = ConstantLatency(50 * US)
+        else:
+            stock = SwitchConfig()
+            default_latency = stock.latency
+            default_loopback = stock.loopback_latency
+        return SwitchConfig(
+            latency=self.latency or default_latency,
+            loopback_latency=self.loopback_latency or default_loopback,
+            in_order=self.in_order,
+            drop_probability=self.drop_probability,
+            ns_per_byte=self.ns_per_byte,
+        )
+
+    def sweep_name(self) -> str:
+        """Cache/report identity of this spec's sweep."""
+        return self.label or f"spec-{self.variant}"
+
+    def with_seeds(self, seeds) -> "ScenarioSpec":
+        return replace(self, seeds=tuple(seeds))
+
+    # -- execution ----------------------------------------------------------
+
+    def run_one(self, seed: int, fault_replay=None):
+        """Run a single seed of this spec (inline, no sweep engine)."""
+        return run_scenario_spec(seed, self, fault_replay=fault_replay)
+
+    # -- serialization ------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "format": "scenario-spec/v1",
+            "variant": self.variant,
+            "seeds": list(self.seeds),
+            "scenario": _scenario_to_dict(self.scenario),
+            "latency": (
+                None if self.latency is None else latency_model_to_dict(self.latency)
+            ),
+            "loopback_latency": (
+                None
+                if self.loopback_latency is None
+                else latency_model_to_dict(self.loopback_latency)
+            ),
+            "in_order": self.in_order,
+            "drop_probability": self.drop_probability,
+            "ns_per_byte": self.ns_per_byte,
+            "stp": (
+                None
+                if self.stp is None
+                else {
+                    "latency_bound_ns": self.stp.latency_bound_ns,
+                    "clock_error_ns": self.stp.clock_error_ns,
+                }
+            ),
+            "observe": self.observe,
+            "faults": None if self.faults is None else self.faults.to_dict(),
+            "label": self.label,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ScenarioSpec":
+        if data.get("format") != "scenario-spec/v1":
+            raise ValueError(f"not a scenario spec: {data.get('format')!r}")
+        return cls(
+            variant=data.get("variant", "det"),
+            seeds=tuple(data.get("seeds", (0,))),
+            scenario=_scenario_from_dict(data.get("scenario", {})),
+            latency=(
+                None
+                if data.get("latency") is None
+                else latency_model_from_dict(data["latency"])
+            ),
+            loopback_latency=(
+                None
+                if data.get("loopback_latency") is None
+                else latency_model_from_dict(data["loopback_latency"])
+            ),
+            in_order=data.get("in_order", True),
+            drop_probability=data.get("drop_probability", 0.0),
+            ns_per_byte=data.get("ns_per_byte", 8),
+            stp=None if data.get("stp") is None else StpConfig(**data["stp"]),
+            observe=data.get("observe", False),
+            faults=(
+                None
+                if data.get("faults") is None
+                else FaultPlan.from_dict(data["faults"])
+            ),
+            label=data.get("label", ""),
+        )
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ScenarioSpec":
+        return cls.from_dict(json.loads(text))
+
+    def save(self, path: str | Path) -> None:
+        Path(path).write_text(self.to_json())
+
+    @classmethod
+    def load(cls, path: str | Path) -> "ScenarioSpec":
+        return cls.from_json(Path(path).read_text())
+
+    # -- CLI bridge ---------------------------------------------------------
+
+    @classmethod
+    def from_args(cls, args, variant: str | None = None) -> "ScenarioSpec":
+        """Build a spec from an ``argparse`` namespace.
+
+        ``--spec FILE`` (when present and set) wins outright; otherwise
+        the recognised loose flags — ``seed``/``seeds``, ``frames``,
+        ``drop``, ``plan`` — are folded into a fresh spec.  Unknown
+        attributes are ignored, so every subcommand can share this.
+        """
+        spec_path = getattr(args, "spec", None)
+        if spec_path:
+            spec = cls.load(spec_path)
+            if variant is not None and spec.variant != variant:
+                spec = replace(spec, variant=variant)
+            return spec
+        seeds: tuple[int, ...]
+        n_seeds = getattr(args, "seeds", None)
+        if n_seeds is not None:
+            seeds = tuple(range(int(n_seeds)))
+        else:
+            seeds = (int(getattr(args, "seed", 0) or 0),)
+        scenario_kwargs: dict[str, Any] = {}
+        frames = getattr(args, "frames", None)
+        if frames is not None:
+            scenario_kwargs["n_frames"] = int(frames)
+        scenario = (
+            replace(BrakeScenario(), **scenario_kwargs)
+            if scenario_kwargs
+            else BrakeScenario()
+        )
+        plan_path = getattr(args, "plan", None)
+        faults = FaultPlan.load(plan_path) if plan_path else None
+        return cls(
+            variant=variant or "det",
+            seeds=seeds,
+            scenario=scenario,
+            drop_probability=float(getattr(args, "drop_probability", 0.0) or 0.0),
+            faults=faults,
+        )
+
+
+def run_scenario_spec(seed: int, spec: ScenarioSpec, fault_replay=None):
+    """Picklable sweep worker: one seed of *spec*.
+
+    Returns the variant's :class:`BrakeRunResult`; with ``spec.observe``
+    the run executes under :func:`repro.obs.capture` and the metrics
+    snapshot is merged into ``result.fault_summary`` (the per-run digest
+    channel that survives pickling).
+    """
+    scenario = spec.effective_scenario()
+    switch_config = spec.switch_config()
+    if spec.variant == "det":
+        from repro.apps.brake.det import run_det_brake_assistant as experiment
+    else:
+        from repro.apps.brake.nondet import run_nondet_brake_assistant as experiment
+
+    def execute():
+        return experiment(
+            seed,
+            scenario,
+            switch_config=switch_config,
+            fault_plan=spec.faults,
+            fault_replay=fault_replay,
+        )
+
+    if not spec.observe:
+        return execute()
+    from repro.obs.context import capture
+
+    with capture() as observation:
+        result = execute()
+    digest = dict(result.fault_summary or {})
+    digest["metrics"] = observation.metrics.snapshot()
+    return replace(result, fault_summary=digest)

@@ -25,6 +25,7 @@ from dataclasses import dataclass
 from functools import partial
 
 from repro.analysis.report import render_table
+from repro.harness.config import ScenarioSpec
 from repro.harness.sweep import SweepRunner
 from repro.ara import AraProcess, Event, Method, ServiceInterface
 from repro.dear import (
@@ -120,7 +121,9 @@ class ClockSkewResult:
         )
 
 
-def _skew_point(configuration, count: int) -> SkewPoint:
+def _skew_point(
+    configuration, count: int, latency_bound_ns: int = 2 * MS
+) -> SkewPoint:
     """One (actual skew, assumed E) configuration (runs in a worker)."""
     actual_skew, assumed_error = configuration
     interface = _pulse_interface(0x5200)
@@ -144,7 +147,9 @@ def _skew_point(configuration, count: int) -> SkewPoint:
         SdDaemon(platform, NetworkInterface(platform, switch))
     config = TransactorConfig(
         deadline_ns=5 * MS,
-        stp=StpConfig(latency_bound_ns=2 * MS, clock_error_ns=assumed_error),
+        stp=StpConfig(
+            latency_bound_ns=latency_bound_ns, clock_error_ns=assumed_error
+        ),
     )
     server_process = AraProcess(pub_platform, "pub", tag_aware=True)
     server_env = Environment(name="pub", timeout=2 * SEC)
@@ -188,8 +193,23 @@ def clock_skew_sweep(
     configurations: list[tuple[int, int]] | None = None,
     count: int = 12,
     sweep: SweepRunner | None = None,
+    spec: ScenarioSpec | None = None,
 ) -> ClockSkewResult:
-    """Sweep (actual skew, assumed E) pairs over a two-ECU event chain."""
+    """Sweep (actual skew, assumed E) pairs over a two-ECU event chain.
+
+    With *spec* carrying an :class:`StpConfig`, its ``L`` bound applies
+    to every point and its ``E`` seeds the default configuration list.
+    """
+    latency_bound_ns = 2 * MS
+    if spec is not None and spec.stp is not None:
+        latency_bound_ns = spec.stp.latency_bound_ns
+        if configurations is None:
+            assumed = spec.stp.clock_error_ns
+            configurations = [
+                (0, assumed),
+                (assumed, assumed),
+                (2 * assumed + 10 * MS, assumed),
+            ]
     if configurations is None:
         configurations = [
             (0, 0),
@@ -200,10 +220,10 @@ def clock_skew_sweep(
         ]
     sweep = sweep or SweepRunner()
     points = sweep.map(
-        partial(_skew_point, count=count),
+        partial(_skew_point, count=count, latency_bound_ns=latency_bound_ns),
         configurations,
         name="ext-skew",
-        params={"count": count},
+        params={"count": count, "latency_bound_ns": latency_bound_ns},
     )
     return ClockSkewResult(points, count)
 
@@ -366,13 +386,18 @@ def pipeline_scaling(
     deadline_ns: int = 5 * MS,
     latency_bound_ns: int = 5 * MS,
     sweep: SweepRunner | None = None,
+    spec: ScenarioSpec | None = None,
 ) -> PipelineScalingResult:
     """Measure logical end-to-end latency of DEAR chains of varying depth.
 
     Every hop is a full SWC boundary: its own AP process, service,
     server event transactor and (downstream) client event transactor,
     alternating between two ECUs so half the hops cross the network.
+    With *spec* carrying an :class:`StpConfig`, its ``L`` bound is the
+    per-hop latency bound.
     """
+    if spec is not None and spec.stp is not None:
+        latency_bound_ns = spec.stp.latency_bound_ns
     if depths is None:
         depths = [1, 2, 4, 6]
     sweep = sweep or SweepRunner()
@@ -429,7 +454,9 @@ def _run_encoding_chain(transport: str) -> str:
     for host in ("pub-ecu", "sub-ecu"):
         platform = world.add_platform(host, CALM)
         SdDaemon(platform, NetworkInterface(platform, switch))
-    config = TransactorConfig(deadline_ns=5 * MS, stp=StpConfig(latency_bound_ns=5 * MS))
+    config = TransactorConfig(
+        deadline_ns=5 * MS, stp=StpConfig(latency_bound_ns=5 * MS)
+    )
     server_process = AraProcess(
         world.platform("pub-ecu"), "pub", tag_aware=True, tag_transport=transport
     )

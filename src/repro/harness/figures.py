@@ -16,7 +16,7 @@ so output is bit-identical to a sequential run.
 from __future__ import annotations
 
 from collections import Counter
-from dataclasses import asdict, dataclass
+from dataclasses import asdict, dataclass, replace
 from functools import partial
 
 from repro.analysis.report import ascii_bar_chart, histogram_table, render_table
@@ -36,6 +36,7 @@ from repro.apps.brake.logic import (
 )
 from repro.apps.brake.vision import SceneGenerator
 from repro.ara import MethodCallProcessingMode
+from repro.harness.config import ScenarioSpec, run_scenario_spec
 from repro.harness.sweep import SweepRunner
 from repro.let import LetChannel, LetExecutor, LetTask
 from repro.sim import World
@@ -329,9 +330,19 @@ def figure5(
     n_runs: int = 20,
     n_frames: int = 2_000,
     sweep: SweepRunner | None = None,
+    spec: ScenarioSpec | None = None,
 ) -> Figure5Result:
-    """Reproduce Figure 5: 20 stock runs, counting the four error types."""
+    """Reproduce Figure 5: 20 stock runs, counting the four error types.
+
+    With *spec*, the spec's seeds, scenario, network and fault plan
+    define the sweep (``n_runs``/``n_frames`` are ignored) and the runs
+    go through :meth:`SweepRunner.run_spec`.
+    """
     sweep = sweep or SweepRunner()
+    if spec is not None:
+        spec = replace(spec, variant="nondet")
+        runs = sweep.run_spec(spec).values()
+        return Figure5Result(runs, spec.effective_scenario().n_frames)
     scenario = BrakeScenario(n_frames=n_frames)
     runs = sweep.map(
         partial(run_nondet_brake_assistant, scenario=scenario),
@@ -385,19 +396,30 @@ def det_case_study(
     n_seeds: int = 5,
     n_frames: int = 500,
     sweep: SweepRunner | None = None,
+    spec: ScenarioSpec | None = None,
 ) -> DetCaseStudyResult:
-    """Reproduce Section IV.B: zero errors, determinism, bounded latency."""
+    """Reproduce Section IV.B: zero errors, determinism, bounded latency.
+
+    With *spec*, the spec's seeds, scenario, network and fault plan
+    define the sweep (``n_seeds``/``n_frames`` are ignored).
+    """
     sweep = sweep or SweepRunner()
-    scenario = BrakeScenario(n_frames=n_frames)
-    runs = sweep.map(
-        partial(run_det_brake_assistant, scenario=scenario),
-        range(n_seeds),
-        name="det",
-        params=asdict(scenario),
-    )
+    if spec is not None:
+        spec = replace(spec, variant="det")
+        scenario = spec.effective_scenario()
+        n_frames = scenario.n_frames
+        runs = sweep.run_spec(spec).values()
+    else:
+        scenario = BrakeScenario(n_frames=n_frames)
+        runs = sweep.map(
+            partial(run_det_brake_assistant, scenario=scenario),
+            range(n_seeds),
+            name="det",
+            params=asdict(scenario),
+        )
     command_sets = {tuple(sorted(run.commands.items())) for run in runs}
-    det_scenario = BrakeScenario(
-        n_frames=min(n_frames, 200), deterministic_camera=True
+    det_scenario = replace(
+        scenario, n_frames=min(n_frames, 200), deterministic_camera=True
     )
     trace_runs = sweep.map(
         partial(run_det_brake_assistant, scenario=det_scenario),
@@ -469,9 +491,15 @@ class TradeoffResult:
         )
 
 
-def _tradeoff_point(deadline_ns: int, n_frames: int, seed: int) -> TradeoffPoint:
+def _tradeoff_point(
+    deadline_ns: int,
+    n_frames: int,
+    seed: int,
+    base: BrakeScenario | None = None,
+) -> TradeoffPoint:
     """One deadline setting of the trade-off sweep (runs in a worker)."""
-    scenario = BrakeScenario(
+    scenario = replace(
+        base or BrakeScenario(),
         n_frames=n_frames,
         preprocessing_deadline_ns=deadline_ns,
         computer_vision_deadline_ns=deadline_ns,
@@ -492,16 +520,30 @@ def tradeoff(
     n_frames: int = 300,
     seed: int = 0,
     sweep: SweepRunner | None = None,
+    spec: ScenarioSpec | None = None,
 ) -> TradeoffResult:
-    """Sweep the heavy stages' deadlines below and above their WCET."""
+    """Sweep the heavy stages' deadlines below and above their WCET.
+
+    With *spec*, its scenario is the base every deadline point is
+    derived from and its first seed drives the runs.
+    """
     if deadlines_ns is None:
         deadlines_ns = [10 * MS, 15 * MS, 18 * MS, 22 * MS, 25 * MS, 35 * MS]
     sweep = sweep or SweepRunner()
+    base = None
+    if spec is not None:
+        base = spec.effective_scenario()
+        n_frames = base.n_frames
+        seed = spec.seeds[0]
     points = sweep.map(
-        partial(_tradeoff_point, n_frames=n_frames, seed=seed),
+        partial(_tradeoff_point, n_frames=n_frames, seed=seed, base=base),
         deadlines_ns,
         name="tradeoff",
-        params={"n_frames": n_frames, "seed": seed},
+        params={
+            "n_frames": n_frames,
+            "seed": seed,
+            "base": asdict(base) if base else None,
+        },
     )
     return TradeoffResult(points, n_frames)
 
@@ -611,16 +653,38 @@ def _overhead_variant(variant: str, n_frames: int, seed: int) -> BrakeRunResult:
 
 
 def overhead(
-    n_frames: int = 400, seed: int = 0, sweep: SweepRunner | None = None
+    n_frames: int = 400,
+    seed: int = 0,
+    sweep: SweepRunner | None = None,
+    spec: ScenarioSpec | None = None,
 ) -> OverheadResult:
-    """Compare end-to-end latency and completeness of the two variants."""
+    """Compare end-to-end latency and completeness of the two variants.
+
+    With *spec*, both variants run the spec's scenario/network/faults
+    on its first seed through :func:`run_scenario_spec`.
+    """
     sweep = sweep or SweepRunner()
-    stock, dear = sweep.map(
-        partial(_overhead_variant, n_frames=n_frames, seed=seed),
-        ["stock", "dear"],
-        name="overhead",
-        params={"n_frames": n_frames, "seed": seed},
-    )
+    if spec is not None:
+        seed = spec.seeds[0]
+        n_frames = spec.effective_scenario().n_frames
+        stock, dear = sweep.map(
+            partial(run_scenario_spec, spec=replace(spec, variant="nondet")),
+            [seed],
+            name="overhead-stock",
+            params={"spec": spec.to_dict()},
+        ) + sweep.map(
+            partial(run_scenario_spec, spec=replace(spec, variant="det")),
+            [seed],
+            name="overhead-dear",
+            params={"spec": spec.to_dict()},
+        )
+    else:
+        stock, dear = sweep.map(
+            partial(_overhead_variant, n_frames=n_frames, seed=seed),
+            ["stock", "dear"],
+            name="overhead",
+            params={"n_frames": n_frames, "seed": seed},
+        )
     return OverheadResult(
         stock_latency=summarize(list(stock.latencies_ns.values())),
         dear_latency=summarize(list(dear.latencies_ns.values())),

@@ -467,6 +467,23 @@ class SweepRunner:
         """Shorthand: :meth:`run` then :meth:`SweepResult.values`."""
         return self.run(experiment, seeds, name=name, params=params).values()
 
+    def run_spec(self, spec) -> SweepResult:
+        """Sweep a :class:`repro.harness.ScenarioSpec` over its seeds.
+
+        The spec's full JSON form is the cache parameter set, so any
+        change to the scenario, network, STP bounds or fault plan is a
+        distinct cache entry.
+        """
+        from repro.harness.config import run_scenario_spec
+
+        experiment = partial(run_scenario_spec, spec=spec)
+        return self.run(
+            experiment,
+            spec.seeds,
+            name=spec.sweep_name(),
+            params={"spec": spec.to_dict()},
+        )
+
 
 def merge_metric_snapshots(snapshots: Iterable[dict]) -> dict:
     """Merge per-seed observability metric snapshots into one aggregate.

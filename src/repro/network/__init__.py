@@ -21,7 +21,7 @@ from repro.network.latency import (
     SpikyLatency,
     UniformLatency,
 )
-from repro.network.switch import Switch, SwitchConfig
+from repro.network.switch import CorruptedPayload, Frame, Switch, SwitchConfig
 from repro.network.stack import NetworkInterface, Socket
 
 __all__ = [
@@ -30,6 +30,8 @@ __all__ = [
     "UniformLatency",
     "GammaLatency",
     "SpikyLatency",
+    "CorruptedPayload",
+    "Frame",
     "Switch",
     "SwitchConfig",
     "NetworkInterface",

@@ -13,7 +13,7 @@ from __future__ import annotations
 from typing import Any, Callable
 
 from repro.errors import NetworkError
-from repro.network.switch import Frame, Switch
+from repro.network.switch import CorruptedPayload, Frame, Switch
 from repro.obs import context as obs_context
 from repro.obs.bus import TRACK_NETWORK
 from repro.sim.platform import Platform
@@ -101,6 +101,9 @@ class NetworkInterface:
         self._switch = switch
         self._sockets: dict[int, Socket] = {}
         self._next_ephemeral = 49152
+        #: Frames discarded on arrival because their payload was
+        #: corrupted in flight (an FCS/checksum failure).
+        self.fcs_dropped = 0
         switch.register(self)
         platform.attachments["nic"] = self
 
@@ -128,6 +131,20 @@ class NetworkInterface:
 
     def deliver(self, frame: Frame) -> None:
         """Called by the switch when a frame arrives for this host."""
+        if isinstance(frame.payload, CorruptedPayload):
+            # A corrupted frame fails the FCS check and never reaches
+            # a socket — corruption manifests as (counted) loss.
+            self.fcs_dropped += 1
+            o = obs_context.ACTIVE
+            if o.enabled:
+                o.metrics.counter("net.fcs_dropped").inc()
+                o.bus.instant(
+                    TRACK_NETWORK,
+                    f"fcs-drop {self.host}:{frame.dst_port}",
+                    self.platform.sim.now,
+                    o.wall_ns(),
+                )
+            return
         socket = self._sockets.get(frame.dst_port)
         if socket is None:
             # Real stacks drop datagrams for unbound ports.

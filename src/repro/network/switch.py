@@ -10,7 +10,7 @@ it does through a real loopback interface.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import TYPE_CHECKING, Any
 
 from repro.errors import NetworkError
@@ -34,6 +34,18 @@ class Frame:
     dst_port: int
     payload: Any
     size_bytes: int
+
+
+@dataclass(frozen=True, slots=True)
+class CorruptedPayload:
+    """A payload mangled in flight by an injected corruption fault.
+
+    Real NICs drop frames whose checksum fails; the receiving
+    :class:`NetworkInterface` does the same (and counts it), so a
+    corruption is observable loss — never silently delivered data.
+    """
+
+    original: Any
 
 
 @dataclass(frozen=True, slots=True)
@@ -67,9 +79,20 @@ class Switch:
         self._interfaces: dict[str, "NetworkInterface"] = {}
         #: Last scheduled arrival per (src_host, dst_host) flow, for FIFO.
         self._flow_horizon: dict[tuple[str, str], int] = {}
+        #: Installed fault injector (``repro.faults``), or ``None``.
+        self._faults = None
         self.frames_sent = 0
         self.frames_dropped = 0
         self.total_bytes = 0
+
+    def attach_faults(self, injector) -> None:
+        """Install a fault injector consulted once per frame.
+
+        The injector is asked *after* the latency draw, so installing a
+        plan never perturbs the ``net`` stream's draw order — a dropped
+        frame still consumes exactly the delay sample it would have used.
+        """
+        self._faults = injector
 
     def register(self, interface: "NetworkInterface") -> None:
         """Attach a platform's network interface to the switch."""
@@ -122,8 +145,33 @@ class Switch:
             model = self.config.latency
         delay = model.sample(self._rng)
         delay += frame.size_bytes * self.config.ns_per_byte
+        # Faults are consulted after the latency draw so the ``net``
+        # stream's sequence is identical with and without a plan.
+        verdict = None if self._faults is None else self._faults.on_send(
+            frame, self._sim.now
+        )
+        if verdict is not None:
+            if verdict.drop is not None:
+                self.frames_dropped += 1
+                if o.enabled:
+                    o.metrics.counter("net.frames_dropped").inc()
+                    o.bus.instant(
+                        TRACK_NETWORK,
+                        f"{verdict.drop} {frame.src_host}->{frame.dst_host}",
+                        self._sim.now,
+                        o.wall_ns(),
+                        dst_port=frame.dst_port,
+                        bytes=frame.size_bytes,
+                    )
+                return
+            if verdict.corrupt:
+                frame = replace(frame, payload=CorruptedPayload(frame.payload))
+            delay += verdict.extra_delay_ns
         arrival = self._sim.now + delay
-        if self.config.in_order:
+        in_order = self.config.in_order and not (
+            verdict is not None and verdict.bypass_fifo
+        )
+        if in_order:
             flow = (frame.src_host, frame.dst_host)
             horizon = self._flow_horizon.get(flow, 0)
             if arrival <= horizon:
@@ -141,6 +189,11 @@ class Switch:
                 dst_port=frame.dst_port,
             )
         self._sim.at(arrival, lambda: destination.deliver(frame))
+        if verdict is not None and verdict.duplicate_delay_ns is not None:
+            self._sim.at(
+                arrival + verdict.duplicate_delay_ns,
+                lambda: destination.deliver(frame),
+            )
 
     def __repr__(self) -> str:
         return (

@@ -24,6 +24,7 @@ __all__ = [
     "TRACK_REACTORS",
     "TRACK_DEAR",
     "TRACK_NETWORK",
+    "TRACK_FAULTS",
 ]
 
 #: OS-level scheduling: dispatches, preemptions, mutex grants.
@@ -34,6 +35,8 @@ TRACK_REACTORS = "reactors"
 TRACK_DEAR = "dear"
 #: SOME/IP + switch: frames in flight, drops, queue overflows.
 TRACK_NETWORK = "network"
+#: Injected faults (``repro.faults``): drops, partitions, crashes, clock steps.
+TRACK_FAULTS = "faults"
 
 
 @dataclass(frozen=True, slots=True)

@@ -86,6 +86,9 @@ class CpuScheduler:
         self._ready: list[SimThread] = []
         self._threads: list[SimThread] = []
         self._dispatch_pending = False
+        self._frozen = False
+        #: Threads whose continuation arrived while frozen (crash window).
+        self._parked: list[SimThread] = []
         self.context_switches = 0
 
     # -- public API --------------------------------------------------------
@@ -133,6 +136,37 @@ class CpuScheduler:
         while condvar.waiters:
             self._notify_one(condvar)
 
+    @property
+    def frozen(self) -> bool:
+        """Whether the platform is halted (fault-injected crash window)."""
+        return self._frozen
+
+    def freeze(self) -> None:
+        """Halt the platform: nothing executes until :meth:`thaw`.
+
+        Models a fail-stop node crash with warm restart (``repro.faults``
+        node outages): thread state is preserved, but no thread runs and
+        no dispatch decision is drawn — so a crash window consumes zero
+        draws from the scheduler's RNG stream.  Timers that expire while
+        frozen park their threads on the ready queue; they run, late, on
+        thaw.
+        """
+        self._frozen = True
+
+    def thaw(self) -> None:
+        """Resume the platform after :meth:`freeze`.
+
+        Continuations that arrived during the freeze (compute phases
+        completing, timer wakeups) resume in their original event order.
+        """
+        if not self._frozen:
+            return
+        self._frozen = False
+        parked, self._parked = self._parked, []
+        for thread in parked:
+            self._sim.after(0, lambda t=thread: self._step(t))
+        self._request_dispatch()
+
     def blocked_threads(self) -> list[SimThread]:
         """Threads currently blocked on a mutex/condvar/join."""
         return [t for t in self._threads if t.state is ThreadState.BLOCKED]
@@ -151,6 +185,8 @@ class CpuScheduler:
 
     def _dispatch(self) -> None:
         self._dispatch_pending = False
+        if self._frozen:
+            return
         while self._ready:
             core = self._find_free_core()
             if core is None:
@@ -214,6 +250,11 @@ class CpuScheduler:
 
     def _step(self, thread: SimThread) -> None:
         if thread.done:
+            return
+        if self._frozen:
+            # The node is down: park the continuation (the thread keeps
+            # its core and resume value) and replay it on thaw.
+            self._parked.append(thread)
             return
         value = thread.resume_value
         thread.resume_value = None

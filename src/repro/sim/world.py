@@ -29,6 +29,8 @@ class World:
         self.rng = RngTree(seed)
         self.platforms: dict[str, Platform] = {}
         self._network: "Switch | None" = None
+        #: Installed fault injector (``repro.faults``), if any.
+        self.fault_injector = None
 
     @property
     def seed(self) -> int:

@@ -20,8 +20,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 from repro.network.stack import NetworkInterface, Socket
 from repro.network.switch import Frame
+from repro.obs import context as obs_context
 from repro.sim.platform import Platform
-from repro.sim.process import Sleep, WaitResult
+from repro.sim.process import Sleep
 from repro.someip.serialization import Array, STRING, Struct, UINT8, UINT16, UINT32
 from repro.someip.wire import MessageType, SomeIpHeader, SomeIpMessage
 from repro.time.duration import MS, SEC
@@ -62,6 +63,12 @@ class SdConfig:
     ttl_ns: int = 3 * SEC
     #: Delay before the first offer burst after startup.
     initial_delay_ns: int = 10 * MS
+    #: FIND retransmission under loss: first retry after this backoff...
+    find_retry_backoff_ns: int = 500 * MS
+    #: ...then multiplied by this factor per attempt (exponential backoff).
+    find_retry_factor: int = 2
+    #: Maximum FIND retransmissions within one ``find_blocking`` call.
+    find_max_retries: int = 3
 
 
 @dataclass(frozen=True, slots=True)
@@ -102,6 +109,8 @@ class SdDaemon:
         self._find_mutex = platform.mutex("sd.find")
         self._find_cv = platform.condvar("sd.find")
         self._session = 0
+        #: FIND retransmissions sent by ``find_blocking`` (loss recovery).
+        self.find_retries = 0
         platform.attachments["sd"] = self
         platform.spawn("sd.cyclic", self._cyclic_loop(), self.config.initial_delay_ns)
 
@@ -119,10 +128,21 @@ class SdDaemon:
         return entry
 
     def stop_offer(self, service_id: int, instance_id: int) -> None:
-        """Withdraw an offer (broadcast with TTL 0)."""
+        """Withdraw an offer (broadcast with TTL 0).
+
+        Also forgets the instance's event subscribers: a withdrawn
+        service must not keep notifying stale endpoints, and a later
+        re-offer starts from a clean subscriber table.
+        """
         entry = self._offered.pop((service_id, instance_id), None)
         if entry is not None:
             self._broadcast_offers([entry], ttl_ms=0)
+        for key in [
+            k
+            for k in self._subscribers
+            if k[0] == service_id and k[1] == instance_id
+        ]:
+            del self._subscribers[key]
 
     def subscribers(
         self, service_id: int, instance_id: int, eventgroup_id: int
@@ -157,6 +177,14 @@ class SdDaemon:
 
         Sends FIND to all peers and blocks until an offer arrives or the
         timeout passes.  Returns the :class:`ServiceEntry` or ``None``.
+
+        FIND messages are datagrams and can be lost; within the overall
+        timeout the daemon retransmits with exponential backoff
+        (``find_retry_backoff_ns`` × ``find_retry_factor`` per attempt,
+        at most ``find_max_retries`` times) — the graceful-degradation
+        path that keeps discovery alive under injected frame loss.  With
+        the default 500 ms first backoff, a lossless discovery never
+        retransmits.
         """
         from repro.sim.process import Acquire, Release, WaitUntil
 
@@ -165,17 +193,34 @@ class SdDaemon:
         if entry is not None:
             return entry
         self._send_find(service_id, instance_id)
+        backoff = self.config.find_retry_backoff_ns
+        retries = 0
+        next_find = self.platform.local_now() + backoff
         yield Acquire(self._find_mutex)
         while True:
             entry = self.find(service_id, instance_id)
             if entry is not None:
                 yield Release(self._find_mutex)
                 return entry
-            result = yield WaitUntil(self._find_cv, self._find_mutex, deadline)
-            if result is WaitResult.TIMEOUT:
-                entry = self.find(service_id, instance_id)
+            now = self.platform.local_now()
+            if now >= deadline:
                 yield Release(self._find_mutex)
-                return entry
+                return None
+            if now >= next_find and retries < self.config.find_max_retries:
+                retries += 1
+                self.find_retries += 1
+                backoff *= self.config.find_retry_factor
+                next_find = now + backoff
+                self._send_find(service_id, instance_id)
+                o = obs_context.ACTIVE
+                if o.enabled:
+                    o.metrics.counter("sd.find_retries").inc()
+            if retries >= self.config.find_max_retries:
+                wait_deadline = deadline
+            else:
+                wait_deadline = min(deadline, next_find)
+            # Loop re-checks cache and clocks whether notified or timed out.
+            yield WaitUntil(self._find_cv, self._find_mutex, wait_deadline)
 
     def subscribe(
         self,

@@ -16,7 +16,7 @@ the safe-to-process rule.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 from repro.time.duration import Duration
 
@@ -72,6 +72,28 @@ class PhysicalClock:
     def model(self) -> ClockModel:
         """The clock's parameter set."""
         return self._model
+
+    def apply_fault(
+        self, global_time: int, step_ns: int = 0, drift_ppb: int = 0
+    ) -> None:
+        """Step the clock and/or change its rate at *global_time*.
+
+        Models a time-sync fault (``repro.faults`` clock faults): local
+        time jumps by exactly *step_ns* at the fault instant, and from
+        then on the rate deviates by an additional *drift_ppb*.  The
+        offset is rebased so the drift change is not retroactive — the
+        only discontinuity is the requested step.  Backwards steps are
+        visible to :meth:`local_time` (and the STP analysis) while
+        :meth:`read` keeps its monotonic-clock guarantee.
+        """
+        # local(t) gains drift_ppb*t/1e9 from the rate change; cancel the
+        # accumulated part at the fault instant so only step_ns jumps.
+        rebase = drift_ppb * global_time // 1_000_000_000
+        self._model = replace(
+            self._model,
+            offset_ns=self._model.offset_ns + step_ns - rebase,
+            drift_ppb=self._model.drift_ppb + drift_ppb,
+        )
 
     def local_time(self, global_time: int) -> int:
         """Convert *global_time* to local time, without jitter.

@@ -1,0 +1,134 @@
+"""Fault-plan model: matching/severing semantics and serialization."""
+
+import pytest
+
+from repro.faults import (
+    ClockFault,
+    FaultPlan,
+    LinkFault,
+    NodeOutage,
+    Partition,
+)
+from repro.time import MS
+
+
+class TestLinkFault:
+    def test_wildcards_match_everything(self):
+        fault = LinkFault(drop_probability=0.5)
+        assert fault.matches("a", "b", 1, 0)
+        assert fault.matches("x", "y", 30490, 10**12)
+
+    def test_selective_fields(self):
+        fault = LinkFault(src_host="cam", dst_host="ecu", dst_port=15000)
+        assert fault.matches("cam", "ecu", 15000, 0)
+        assert not fault.matches("cam", "ecu", 15001, 0)
+        assert not fault.matches("cam", "other", 15000, 0)
+        assert not fault.matches("other", "ecu", 15000, 0)
+
+    def test_time_window(self):
+        fault = LinkFault(start_ns=100, end_ns=200)
+        assert not fault.matches("a", "b", 1, 99)
+        assert fault.matches("a", "b", 1, 100)
+        assert fault.matches("a", "b", 1, 199)
+        assert not fault.matches("a", "b", 1, 200)
+
+    def test_open_ended_window(self):
+        fault = LinkFault(start_ns=100)
+        assert fault.matches("a", "b", 1, 10**15)
+
+
+class TestPartition:
+    def test_severs_all_inter_host_by_default(self):
+        part = Partition(start_ns=0, end_ns=100)
+        assert part.severs("a", "b", 50)
+        assert not part.severs("a", "a", 50), "loopback is never severed"
+        assert not part.severs("a", "b", 100), "window is half-open"
+
+    def test_severs_across_host_group_only(self):
+        part = Partition(start_ns=0, end_ns=100, hosts=("a",))
+        assert part.severs("a", "b", 0)
+        assert part.severs("b", "a", 0)
+        assert not part.severs("b", "c", 0), "both outside the group"
+
+    def test_rejects_bad_mode(self):
+        with pytest.raises(ValueError):
+            Partition(start_ns=0, end_ns=1, mode="teleport")
+
+    def test_rejects_inverted_window(self):
+        with pytest.raises(ValueError):
+            Partition(start_ns=5, end_ns=4)
+
+
+class TestNodeOutage:
+    def test_down_window(self):
+        outage = NodeOutage(host="ecu", start_ns=10, end_ns=20)
+        assert not outage.down("ecu", 9)
+        assert outage.down("ecu", 10)
+        assert outage.down("ecu", 19)
+        assert not outage.down("ecu", 20)
+        assert not outage.down("other", 15)
+
+
+class TestFaultPlan:
+    def test_empty_plan(self):
+        assert FaultPlan().is_empty
+        assert not FaultPlan(partitions=(Partition(0, 1),)).is_empty
+
+    def test_round_trip(self):
+        plan = FaultPlan(
+            seed=42,
+            label="everything",
+            link_faults=(
+                LinkFault(
+                    src_host="cam",
+                    dst_port=15000,
+                    drop_probability=0.1,
+                    duplicate_probability=0.05,
+                    reorder_probability=0.02,
+                    corrupt_probability=0.01,
+                    spike_probability=0.03,
+                    spike_ns=2 * MS,
+                ),
+            ),
+            partitions=(Partition(start_ns=1 * MS, end_ns=3 * MS, mode="drop"),),
+            outages=(NodeOutage(host="ecu", start_ns=5 * MS, end_ns=6 * MS),),
+            clock_faults=(ClockFault(host="ecu", at_ns=7 * MS, step_ns=100),),
+        )
+        assert FaultPlan.from_dict(plan.to_dict()) == plan
+
+    def test_save_load(self, tmp_path):
+        plan = FaultPlan.camera_faults(seed=3, drop=0.2, label="cam")
+        path = tmp_path / "plan.json"
+        plan.save(path)
+        assert FaultPlan.load(path) == plan
+
+    def test_load_rejects_wrong_format(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"format": "something-else"}')
+        with pytest.raises(ValueError):
+            FaultPlan.load(path)
+
+    def test_with_seed_keeps_configuration(self):
+        plan = FaultPlan.camera_faults(seed=1, drop=0.25)
+        reseeded = plan.with_seed(9)
+        assert reseeded.seed == 9
+        assert reseeded.link_faults == plan.link_faults
+
+    def test_camera_faults_targets_frame_port(self):
+        plan = FaultPlan.camera_faults(drop=0.5)
+        (fault,) = plan.link_faults
+        assert fault.dst_port == 15000
+        assert fault.drop_probability == 0.5
+
+    def test_describe_mentions_contents(self):
+        plan = FaultPlan.camera_faults(
+            seed=2, drop=0.1, partitions=(Partition(0, 1),), label="x"
+        )
+        text = plan.describe()
+        assert "link fault" in text and "partition" in text and "[x]" in text
+
+    def test_rejects_bad_probability(self):
+        with pytest.raises(ValueError):
+            LinkFault(drop_probability=1.5)
+        with pytest.raises(ValueError):
+            LinkFault(corrupt_probability=-0.1)

@@ -1,0 +1,203 @@
+"""The unified experiment API: ScenarioSpec round-trips and execution."""
+
+import argparse
+from dataclasses import replace
+
+import pytest
+
+from repro.apps.brake import BrakeScenario
+from repro.apps.brake.det import run_det_brake_assistant
+from repro.dear import StpConfig
+from repro.faults import FaultPlan
+from repro.harness import ScenarioSpec, SweepRunner, run_seeds
+from repro.harness.config import latency_model_from_dict, latency_model_to_dict
+from repro.network import (
+    ConstantLatency,
+    GammaLatency,
+    SpikyLatency,
+    UniformLatency,
+)
+from repro.time import MS
+
+SMALL = BrakeScenario(n_frames=12, deterministic_camera=True)
+
+
+class TestSerialization:
+    def test_default_spec_round_trips(self):
+        spec = ScenarioSpec()
+        assert ScenarioSpec.from_dict(spec.to_dict()) == spec
+
+    def test_fully_loaded_spec_round_trips(self):
+        spec = ScenarioSpec(
+            variant="nondet",
+            seeds=(0, 1, 2),
+            scenario=BrakeScenario(n_frames=17),
+            latency=SpikyLatency(
+                base=GammaLatency(base_ns=200_000), spike_probability=0.01,
+                spike_ns=2 * MS,
+            ),
+            loopback_latency=ConstantLatency(40_000),
+            in_order=False,
+            drop_probability=0.02,
+            ns_per_byte=4,
+            stp=StpConfig(latency_bound_ns=3 * MS, clock_error_ns=1 * MS),
+            observe=True,
+            faults=FaultPlan.camera_faults(seed=9, drop=0.1, label="rt"),
+            label="everything",
+        )
+        assert ScenarioSpec.from_json(spec.to_json()) == spec
+
+    def test_save_load(self, tmp_path):
+        spec = ScenarioSpec(seeds=(3, 4), label="disk")
+        path = tmp_path / "spec.json"
+        spec.save(path)
+        assert ScenarioSpec.load(path) == spec
+
+    def test_rejects_wrong_format(self):
+        with pytest.raises(ValueError):
+            ScenarioSpec.from_dict({"format": "something-else"})
+
+    @pytest.mark.parametrize(
+        "model",
+        [
+            ConstantLatency(300_000),
+            UniformLatency(low_ns=100_000, high_ns=500_000),
+            GammaLatency(base_ns=200_000, shape=1.5),
+            SpikyLatency(
+                base=UniformLatency(low_ns=1, high_ns=2),
+                spike_probability=0.5,
+                spike_ns=7,
+            ),
+        ],
+    )
+    def test_every_latency_model_round_trips(self, model):
+        assert latency_model_from_dict(latency_model_to_dict(model)) == model
+
+    def test_unknown_latency_model_rejected(self):
+        with pytest.raises(ValueError):
+            latency_model_from_dict({"model": "QuantumLatency"})
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ScenarioSpec(variant="maybe")
+        with pytest.raises(ValueError):
+            ScenarioSpec(seeds=())
+
+
+class TestDerivedConfiguration:
+    def test_default_spec_uses_stock_network(self):
+        assert ScenarioSpec().switch_config() is None
+
+    def test_any_override_builds_a_switch_config(self):
+        spec = ScenarioSpec(scenario=SMALL, drop_probability=0.05)
+        config = spec.switch_config()
+        assert config is not None
+        assert config.drop_probability == 0.05
+        # Deterministic-camera runs keep their constant-latency default.
+        assert isinstance(config.latency, ConstantLatency)
+
+    def test_latency_model_plugs_in(self):
+        model = UniformLatency(low_ns=100_000, high_ns=200_000)
+        config = ScenarioSpec(latency=model).switch_config()
+        assert config.latency == model
+
+    def test_stp_overrides_scenario_bounds(self):
+        spec = ScenarioSpec(
+            scenario=SMALL,
+            stp=StpConfig(latency_bound_ns=7 * MS, clock_error_ns=2 * MS),
+        )
+        effective = spec.effective_scenario()
+        assert effective.latency_bound_ns == 7 * MS
+        assert effective.clock_error_ns == 2 * MS
+        assert spec.scenario.latency_bound_ns != 7 * MS
+
+
+class TestFromArgs:
+    def test_spec_file_wins(self, tmp_path):
+        saved = ScenarioSpec(seeds=(5, 6), label="from-disk")
+        path = tmp_path / "spec.json"
+        saved.save(path)
+        args = argparse.Namespace(spec=str(path), seeds=99, frames=1)
+        assert ScenarioSpec.from_args(args) == saved
+
+    def test_spec_file_variant_override(self, tmp_path):
+        saved = ScenarioSpec(variant="det")
+        path = tmp_path / "spec.json"
+        saved.save(path)
+        args = argparse.Namespace(spec=str(path))
+        assert ScenarioSpec.from_args(args, variant="nondet").variant == "nondet"
+
+    def test_loose_flags_fold_in(self, tmp_path):
+        plan = FaultPlan.camera_faults(seed=2, drop=0.3)
+        plan_path = tmp_path / "plan.json"
+        plan.save(plan_path)
+        args = argparse.Namespace(
+            spec=None,
+            seeds=3,
+            frames=20,
+            drop_probability=0.01,
+            plan=str(plan_path),
+        )
+        spec = ScenarioSpec.from_args(args, variant="nondet")
+        assert spec.seeds == (0, 1, 2)
+        assert spec.scenario.n_frames == 20
+        assert spec.drop_probability == 0.01
+        assert spec.faults == plan
+        assert spec.variant == "nondet"
+
+    def test_single_seed_fallback(self):
+        spec = ScenarioSpec.from_args(argparse.Namespace(seed=7))
+        assert spec.seeds == (7,)
+
+
+class TestExecution:
+    def test_run_spec_matches_direct_run(self):
+        spec = ScenarioSpec(scenario=SMALL, seeds=(0, 1), label="exec")
+        sweep = SweepRunner(workers=1, use_cache=False)
+        results = sweep.run_spec(spec).values()
+        direct = run_det_brake_assistant(0, SMALL)
+        assert results[0].commands == direct.commands
+        assert results[0].trace_fingerprints == direct.trace_fingerprints
+
+    def test_observe_attaches_metrics(self):
+        spec = ScenarioSpec(scenario=SMALL, observe=True)
+        result = spec.run_one(0)
+        assert "metrics" in result.fault_summary
+        assert isinstance(result.fault_summary["metrics"], dict)
+
+    def test_faulty_spec_carries_its_plan(self):
+        plan = FaultPlan.camera_faults(seed=7, drop=0.15)
+        spec = ScenarioSpec(scenario=SMALL, faults=plan)
+        result = spec.run_one(0)
+        assert result.fault_summary["fault_seed"] == 7
+
+    def test_run_seeds_shim_warns_and_delegates(self):
+        spec = ScenarioSpec(scenario=SMALL)
+
+        def experiment(seed):
+            return run_det_brake_assistant(seed, SMALL)
+
+        with pytest.warns(DeprecationWarning):
+            legacy = run_seeds(experiment, [0])
+        assert legacy[0].commands == spec.run_one(0).commands
+
+
+class TestDriverIntegration:
+    def test_figure5_accepts_a_spec(self):
+        from repro.harness.figures import figure5
+
+        spec = ScenarioSpec(
+            variant="nondet", seeds=(0, 1), scenario=BrakeScenario(n_frames=12)
+        )
+        result = figure5(sweep=SweepRunner(workers=1, use_cache=False), spec=spec)
+        assert len(result.runs) == 2
+
+    def test_det_case_study_accepts_a_spec(self):
+        from repro.harness.figures import det_case_study
+
+        spec = ScenarioSpec(seeds=(0, 1), scenario=replace(SMALL, n_frames=10))
+        result = det_case_study(
+            sweep=SweepRunner(workers=1, use_cache=False), spec=spec
+        )
+        assert result.commands_identical
+        assert result.traces_identical

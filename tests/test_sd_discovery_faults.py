@@ -1,0 +1,112 @@
+"""SOME/IP SD under loss: find_blocking timeout, retry recovery, cleanup."""
+
+from repro.faults import FaultPlan, LinkFault, install_fault_plan
+from repro.network import ConstantLatency, NetworkInterface, Switch, SwitchConfig
+from repro.sim import World
+from repro.sim.platform import CALM
+from repro.someip import SdConfig, SdDaemon
+from repro.time import MS, SEC, US
+
+SERVICE = 0x7700
+
+
+def _world_with_sd(sd_config: SdConfig | None = None, plan: FaultPlan | None = None):
+    world = World(0)
+    switch = Switch(
+        world.sim, world.rng.stream("net"),
+        SwitchConfig(latency=ConstantLatency(100 * US), ns_per_byte=0),
+    )
+    world.attach_network(switch)
+    daemons = {}
+    for host in ("server", "client"):
+        platform = world.add_platform(host, CALM)
+        daemons[host] = SdDaemon(platform, NetworkInterface(platform, switch), sd_config)
+    injector = install_fault_plan(world, plan) if plan is not None else None
+    return world, daemons, injector
+
+
+def _find(world: World, daemon: SdDaemon, timeout_ns: int) -> dict:
+    """Spawn a thread running find_blocking; returns the result box."""
+    box = {}
+
+    def lookup():
+        box["entry"] = yield from daemon.find_blocking(SERVICE, 1, timeout_ns)
+
+    daemon.platform.spawn("lookup", lookup())
+    return box
+
+
+class TestFindBlocking:
+    def test_times_out_when_nothing_is_offered(self):
+        world, daemons, _ = _world_with_sd()
+        box = _find(world, daemons["client"], timeout_ns=300 * MS)
+        world.run_for(1 * SEC)
+        assert box["entry"] is None
+
+    def test_cached_offer_expires_after_ttl(self):
+        config = SdConfig(ttl_ns=200 * MS, cyclic_offer_period_ns=100 * SEC)
+        world, daemons, _ = _world_with_sd(config)
+        daemons["server"].offer(SERVICE, 1, 1, 40000)
+        world.run_for(50 * MS)
+        assert daemons["client"].find(SERVICE, 1) is not None
+        # No cyclic refresh within the window: the cache entry lapses.
+        world.run_for(400 * MS)
+        assert daemons["client"].find(SERVICE, 1) is None
+
+    def test_find_retries_recover_from_lossy_startup(self):
+        # Every SD frame in the first 200 ms is lost (drop fault on port
+        # 30490).  The initial OFFER and FIND vanish; the exponential
+        # FIND retransmission (50, 150, 350 ms) lands one query after
+        # the window closes and discovery completes.
+        plan = FaultPlan(
+            seed=1,
+            link_faults=(
+                LinkFault(dst_port=30490, drop_probability=1.0, end_ns=200 * MS),
+            ),
+        )
+        config = SdConfig(
+            cyclic_offer_period_ns=100 * SEC, find_retry_backoff_ns=50 * MS
+        )
+        world, daemons, injector = _world_with_sd(config, plan)
+        daemons["server"].offer(SERVICE, 1, 1, 40000)
+        box = _find(world, daemons["client"], timeout_ns=3 * SEC)
+        world.run_for(4 * SEC)
+        assert box["entry"] is not None
+        assert box["entry"].host == "server"
+        assert daemons["client"].find_retries > 0
+        assert injector.counters["drop"] > 0
+
+    def test_total_loss_means_a_clean_timeout(self):
+        plan = FaultPlan(
+            seed=1, link_faults=(LinkFault(dst_port=30490, drop_probability=1.0),)
+        )
+        config = SdConfig(
+            cyclic_offer_period_ns=100 * SEC, find_retry_backoff_ns=50 * MS
+        )
+        world, daemons, _ = _world_with_sd(config, plan)
+        daemons["server"].offer(SERVICE, 1, 1, 40000)
+        box = _find(world, daemons["client"], timeout_ns=1 * SEC)
+        world.run_for(2 * SEC)
+        assert box["entry"] is None
+        assert daemons["client"].find_retries == daemons["client"].config.find_max_retries
+
+
+class TestStopOffer:
+    def test_clears_subscribers_and_remote_caches(self):
+        world, daemons, _ = _world_with_sd(
+            SdConfig(cyclic_offer_period_ns=100 * SEC)
+        )
+        server = daemons["server"]
+        server.offer(SERVICE, 1, 1, 40000)
+        key = (SERVICE, 1, 0x8001)
+        server._subscribers[key] = {("client", 40001): 10**15}
+        world.run_for(50 * MS)
+        assert daemons["client"].find(SERVICE, 1) is not None
+        assert server.subscribers(*key) == [("client", 40001)]
+
+        server.stop_offer(SERVICE, 1)
+        assert server.subscribers(*key) == []
+        assert key not in server._subscribers
+        # The TTL-0 broadcast purges the peer's cache too.
+        world.run_for(50 * MS)
+        assert daemons["client"].find(SERVICE, 1) is None
