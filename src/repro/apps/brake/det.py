@@ -56,6 +56,7 @@ from repro.dear import (
     TransactorConfig,
 )
 from repro.network import NetworkInterface
+from repro.obs import context as obs_context
 from repro.reactors import Environment, Reactor
 from repro.time.duration import SEC
 
@@ -165,6 +166,9 @@ class _EbaLogic(Reactor):
             sent = send_times.get(command.frame_seq)
             if sent is not None:
                 latencies[command.frame_seq] = world.sim.now - sent
+            o = obs_context.ACTIVE
+            if o.enabled and o.flows is not None:
+                o.flows.deliver(command.frame_seq, world.sim.now)
             ctx.set(self.brake_out, brake_to_wire(command))
 
         self.reaction(

@@ -12,6 +12,13 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.apps.brake.data import BrakeCommand
+from repro.obs import context as obs_context
+from repro.obs.flows import (
+    CAUSE_BUFFER_OVERWRITE,
+    LAYER_APP,
+    attribute_drop,
+    flow_id_of,
+)
 
 #: Figure 5's error categories, in its legend order.
 ERROR_TYPES = (
@@ -138,20 +145,41 @@ class OneSlotBuffer:
     The event handler *overwrites* the slot; if the previous item was
     never read by the periodic logic, it is lost — that is the paper's
     frame-dropping mechanism.  Reads empty the slot.
+
+    With *sim* attached, writes participate in causal flow tracing:
+    items self-correlate by their frame sequence (``seq``/``frame_seq``),
+    overwritten unread items are attributed ``(app, buffer-overwrite)``.
     """
 
-    def __init__(self, name: str) -> None:
+    def __init__(self, name: str, sim=None) -> None:
         self.name = name
         self._item = None
         self._unread = False
+        self._sim = sim
         self.drops = 0
         self.writes = 0
         self.reads = 0
 
+    def _now(self) -> int:
+        return self._sim.now if self._sim is not None else 0
+
     def write(self, item) -> None:
         """Store *item*, dropping any unread previous item."""
+        o = obs_context.ACTIVE
         if self._unread:
             self.drops += 1
+            if o.enabled:
+                attribute_drop(
+                    o,
+                    LAYER_APP,
+                    CAUSE_BUFFER_OVERWRITE,
+                    self._now(),
+                    flow_id=flow_id_of(self._item),
+                )
+        if o.enabled and o.flows is not None:
+            flow = flow_id_of(item)
+            if flow is not None and o.flows.known(flow):
+                o.flows.hop(flow, LAYER_APP, f"{self.name} write", self._now())
         self._item = item
         self._unread = True
         self.writes += 1

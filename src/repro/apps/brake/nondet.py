@@ -43,6 +43,7 @@ from repro.apps.brake.logic import decide_brake, detect_vehicles, preprocess
 from repro.apps.brake.scenario import BrakeScenario
 from repro.apps.brake.vision import SceneGenerator
 from repro.network import ConstantLatency, NetworkInterface, Switch, SwitchConfig
+from repro.obs import context as obs_context
 from repro.sim import Compute, SleepUntil, World
 from repro.sim.platform import CALM, MINNOWBOARD, Platform, PlatformConfig
 from repro.someip import SdDaemon
@@ -150,12 +151,18 @@ def start_camera(
             frame = generator.frame(seq)
             payload = FRAME_SPEC.to_bytes(frame_to_wire(frame))
             send_times[seq] = world.sim.now
+            o = obs_context.ACTIVE
+            flows = o.flows if o.enabled else None
+            if flows is not None:
+                flows.begin(seq, world.sim.now)
             socket.send(
                 FUSION_ECU,
                 ADAPTER_RAW_PORT,
                 payload,
                 len(payload) + scenario.frame_extra_bytes,
             )
+            if flows is not None:
+                flows.restore_current(None)
 
     platform.spawn("camera", camera_thread())
     return generator
@@ -207,7 +214,7 @@ def run_nondet_brake_assistant(
     adapter_process = AraProcess(fusion, "adapter")
     adapter_skeleton = adapter_process.create_skeleton(ADAPTER_SERVICE, 1)
     adapter_skeleton.offer()
-    adapter_buffer = OneSlotBuffer("adapter.in")
+    adapter_buffer = OneSlotBuffer("adapter.in", sim=world.sim)
     nic: NetworkInterface = fusion.attachments["nic"]
     raw_socket = nic.bind(ADAPTER_RAW_PORT)
 
@@ -238,7 +245,7 @@ def run_nondet_brake_assistant(
     pre_process = AraProcess(fusion, "preprocessing")
     pre_skeleton = pre_process.create_skeleton(PREPROCESSING_SERVICE, 1)
     pre_skeleton.offer()
-    pre_buffer = OneSlotBuffer("preprocessing.in")
+    pre_buffer = OneSlotBuffer("preprocessing.in", sim=world.sim)
     pre_rng = world.rng.stream("exec.preprocessing")
 
     pre_copy_rng = world.rng.stream("copy.preprocessing")
@@ -276,8 +283,8 @@ def run_nondet_brake_assistant(
     cv_process = AraProcess(fusion, "computer-vision")
     cv_skeleton = cv_process.create_skeleton(CV_SERVICE, 1)
     cv_skeleton.offer()
-    cv_frame_buffer = OneSlotBuffer("cv.frame")
-    cv_lane_buffer = OneSlotBuffer("cv.lane")
+    cv_frame_buffer = OneSlotBuffer("cv.frame", sim=world.sim)
+    cv_lane_buffer = OneSlotBuffer("cv.lane", sim=world.sim)
     cv_rng = world.rng.stream("exec.cv")
 
     cv_copy_rng = world.rng.stream("copy.cv")
@@ -324,7 +331,7 @@ def run_nondet_brake_assistant(
     eba_process = AraProcess(fusion, "eba")
     eba_skeleton = eba_process.create_skeleton(EBA_SERVICE, 1)
     eba_skeleton.offer()
-    eba_buffer = OneSlotBuffer("eba.in")
+    eba_buffer = OneSlotBuffer("eba.in", sim=world.sim)
     eba_rng = world.rng.stream("exec.eba")
 
     def eba_setup():
@@ -348,6 +355,9 @@ def run_nondet_brake_assistant(
         sent = send_times.get(command.frame_seq)
         if sent is not None:
             latencies[command.frame_seq] = world.sim.now - sent
+        o = obs_context.ACTIVE
+        if o.enabled and o.flows is not None:
+            o.flows.deliver(command.frame_seq, world.sim.now)
         eba_skeleton.send_event("brake", {
             "frame_seq": command.frame_seq,
             "brake": command.brake,

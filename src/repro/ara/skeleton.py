@@ -29,6 +29,8 @@ from repro.ara.future import Future
 from repro.ara.interface import Method, ServiceInterface
 from repro.ara.pool import DispatchPool
 from repro.ara.proxy import wrap_payload
+from repro.obs import context as obs_context
+from repro.obs.flows import LAYER_SOMEIP, flow_id_of
 from repro.someip.runtime import IncomingRequest, SomeIpEndpoint
 from repro.someip.wire import ReturnCode
 from repro.time.tag import Tag
@@ -152,16 +154,39 @@ class ServiceSkeleton:
         """Publish an event to all subscribers; returns the receiver count."""
         event = self.interface.event(event_name)
         names = [name for name, _ in event.data]
-        payload = event.data_spec.to_bytes(
-            wrap_payload(names, data, f"event {event_name!r}")
-        )
-        return self.endpoint.send_event(
-            self.interface.service_id,
-            self.instance_id,
-            event.event_id,
-            payload,
-            tag,
-        )
+        o = obs_context.ACTIVE
+        flows = o.flows if o.enabled else None
+        swapped = False
+        previous = None
+        if flows is not None:
+            # Reaction bodies publish from worker/reactor context where
+            # no current flow is set; the wire dict self-correlates via
+            # its frame sequence, re-establishing the flow for the
+            # synchronous serialize -> switch chain below.
+            flow = flow_id_of(data)
+            if flow is not None and flows.known(flow):
+                previous = flows.swap_current(flow)
+                swapped = True
+                flows.hop(
+                    flow,
+                    LAYER_SOMEIP,
+                    f"tx {event_name}",
+                    self.process.platform.sim.now,
+                )
+        try:
+            payload = event.data_spec.to_bytes(
+                wrap_payload(names, data, f"event {event_name!r}")
+            )
+            return self.endpoint.send_event(
+                self.interface.service_id,
+                self.instance_id,
+                event.event_id,
+                payload,
+                tag,
+            )
+        finally:
+            if swapped:
+                flows.restore_current(previous)
 
     def update_field(self, name: str, value: Any) -> None:
         """Set a field value and send its change notification."""

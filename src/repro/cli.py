@@ -245,6 +245,58 @@ def build_parser() -> argparse.ArgumentParser:
              "diverges (default: fault-counterexample.json)",
     )
 
+    flows = commands.add_parser(
+        "flows",
+        help="causal flow tracing: sweep both brake variants with per-frame "
+             "hop records, print per-hop latency, drop attribution and the "
+             "critical path, and diff stock vs DEAR",
+        parents=[common],
+    )
+    _add_int(flows, "--seeds", 10, "world seeds to sweep per variant")
+    _add_int(flows, "--frames", 120, "frames per run")
+    flows.add_argument(
+        "--variant", choices=("det", "nondet", "both"), default="both",
+        help="which brake variant(s) to flow-trace (default: both)",
+    )
+    flows.add_argument(
+        "--drop", type=float, default=0.0, metavar="P",
+        help="camera-flow fault-plan drop probability (default: 0, no plan)",
+    )
+    _add_int(flows, "--fault-seed", 1, "fault-plan PRF seed")
+    flows.add_argument(
+        "--out", metavar="FILE", default=None,
+        help="write the flow-sweep-report/v1 JSON to FILE",
+    )
+
+    bench_diff = commands.add_parser(
+        "bench-diff",
+        help="perf trajectory: compare fresh BENCH_*.json benchmark output "
+             "against committed baselines with a configurable tolerance",
+    )
+    bench_diff.add_argument(
+        "--baseline-dir", default="benchmarks/baselines", metavar="DIR",
+        help="committed baseline BENCH_*.json directory "
+             "(default: benchmarks/baselines)",
+    )
+    bench_diff.add_argument(
+        "--current-dir", default="bench-artifacts", metavar="DIR",
+        help="freshly generated BENCH_*.json directory (REPRO_BENCH_DIR; "
+             "default: bench-artifacts)",
+    )
+    bench_diff.add_argument(
+        "--tolerance", type=float, default=0.75, metavar="REL",
+        help="relative tolerance for timing fields (default: 0.75 — CI "
+             "runners are noisy; tighten locally)",
+    )
+    bench_diff.add_argument(
+        "--strict", action="store_true",
+        help="exit 1 on regressions beyond tolerance (default: warn only)",
+    )
+    bench_diff.add_argument(
+        "--out", metavar="FILE", default=None,
+        help="write the bench-diff/v1 JSON report to FILE",
+    )
+
     trace = commands.add_parser(
         "trace",
         help="run one observed brake run and export a Perfetto trace",
@@ -664,6 +716,169 @@ def _run_faults(args: argparse.Namespace, sweep) -> int:
     return 0
 
 
+def _run_flows(args: argparse.Namespace, sweep) -> int:
+    """``repro flows``: causal flow sweep with a stock-vs-DEAR diff.
+
+    Maps :func:`repro.obs.drivers.run_brake_flows` over the seed range
+    for each requested variant, merges the per-seed ``flow-report/v1``
+    documents, prints drop attribution and the critical path, and (with
+    both variants) a stock-vs-DEAR delivery/drop diff.
+    """
+    import json
+    from dataclasses import replace
+    from functools import partial
+
+    from repro import obs
+    from repro.analysis.report import render_table
+    from repro.apps.brake import BrakeScenario
+    from repro.obs.drivers import run_brake_flows
+
+    spec = _load_spec(args)
+    fault_plan = None
+    switch_config = None
+    if spec is not None:
+        scenario = spec.effective_scenario()
+        seeds = list(spec.seeds)
+        fault_plan = spec.faults
+        switch_config = spec.switch_config()
+    else:
+        scenario = BrakeScenario(n_frames=args.frames)
+        seeds = list(range(args.seeds))
+        if args.drop > 0.0:
+            from repro.faults import FaultPlan
+
+            fault_plan = FaultPlan.camera_faults(
+                seed=args.fault_seed, drop=args.drop, label="cli-flows"
+            )
+    variants = (
+        ("det", "nondet") if args.variant == "both" else (args.variant,)
+    )
+    merged: dict[str, dict] = {}
+    for variant in variants:
+        runs = sweep.map(
+            partial(
+                run_brake_flows,
+                scenario=scenario,
+                variant=variant,
+                fault_plan=fault_plan,
+                switch_config=switch_config,
+            ),
+            seeds,
+            name=f"flows-{variant}",
+            params={
+                "frames": scenario.n_frames,
+                "spec": spec.to_dict() if spec is not None else None,
+                "faults": fault_plan.to_dict() if fault_plan is not None else None,
+            },
+        )
+        merged[variant] = obs.merge_flow_reports([run["report"] for run in runs])
+        summary = merged[variant]["summary"]
+        drop_rows = [
+            [cause, str(count)]
+            for cause, count in summary["drops_by_cause"].items()
+        ] or [["(none)", "0"]]
+        print(render_table(
+            ["drop cause", "frames"],
+            drop_rows,
+            title=(
+                f"FLOWS - {variant}: {summary['delivered']}/{summary['total']} "
+                f"delivered over {len(seeds)} seed(s), e2e p50 "
+                f"{summary['e2e_p50_ns']} ns, p95 {summary['e2e_p95_ns']} ns"
+            ),
+        ))
+        path = merged[variant]["critical_path"]
+        seg_rows = [
+            [name, str(stats["count"]), f"{stats['mean_ns']:.0f}",
+             str(stats["max_ns"]), str(path["dominant"].get(name, 0))]
+            for name, stats in path["segments"].items()
+        ]
+        print(render_table(
+            ["segment", "hops", "mean ns", "max ns", "dominant for"],
+            seg_rows,
+            title=f"FLOWS - {variant} critical path:",
+        ))
+
+    diff = None
+    if len(variants) == 2:
+        det_s = merged["det"]["summary"]
+        stock_s = merged["nondet"]["summary"]
+        diff = {
+            "det_delivered": det_s["delivered"],
+            "stock_delivered": stock_s["delivered"],
+            "det_dropped": det_s["dropped"],
+            "stock_dropped": stock_s["dropped"],
+            "det_drops_by_cause": det_s["drops_by_cause"],
+            "stock_drops_by_cause": stock_s["drops_by_cause"],
+            "stock_only_causes": sorted(
+                set(stock_s["drops_by_cause"]) - set(det_s["drops_by_cause"])
+            ),
+            "det_e2e_p95_ns": det_s["e2e_p95_ns"],
+            "stock_e2e_p95_ns": stock_s["e2e_p95_ns"],
+        }
+        print(
+            f"FLOWS diff: DEAR delivered {det_s['delivered']}/{det_s['total']}"
+            f" vs stock {stock_s['delivered']}/{stock_s['total']}; "
+            f"stock-only drop causes: {diff['stock_only_causes'] or 'none'}"
+        )
+
+    if args.out:
+        document = {
+            "format": "flow-sweep-report/v1",
+            "frames": scenario.n_frames,
+            "seeds": len(seeds),
+            **{variant: merged[variant] for variant in variants},
+        }
+        if diff is not None:
+            document["diff"] = diff
+        with open(args.out, "w", encoding="utf-8") as handle:
+            json.dump(document, handle, indent=2, sort_keys=True)
+        print(f"flow-sweep report -> {args.out}")
+
+    if args.trace_out or args.metrics_out:
+        observation, _ = obs.observe_brake_flows(
+            seeds[0] if seeds else 0,
+            replace(scenario, n_frames=min(scenario.n_frames, 200)),
+            variants[0],
+            fault_plan=fault_plan,
+            switch_config=switch_config,
+        )
+        if args.trace_out:
+            obs.write_trace(observation, args.trace_out)
+            print(
+                f"flow trace (seed {seeds[0] if seeds else 0}, "
+                f"{variants[0]}) -> {args.trace_out}",
+                file=sys.stderr,
+            )
+        if args.metrics_out:
+            obs.write_metrics(observation, args.metrics_out)
+            print(f"flow metrics -> {args.metrics_out}", file=sys.stderr)
+    return 0
+
+
+def _run_bench_diff(args: argparse.Namespace) -> int:
+    """``repro bench-diff``: the perf-trajectory gate."""
+    import json
+
+    from repro.harness.benchdiff import compare_dirs, render_bench_diff
+
+    report = compare_dirs(
+        args.baseline_dir, args.current_dir, tolerance=args.tolerance
+    )
+    print(render_bench_diff(report))
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=2, sort_keys=True)
+        print(f"bench-diff report -> {args.out}")
+    if args.strict and report["summary"]["fail"]:
+        print(
+            f"bench-diff: {report['summary']['fail']} regression(s) beyond "
+            f"tolerance {args.tolerance}",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 def _run_trace(args: argparse.Namespace) -> int:
     """``repro trace det|nondet``: one observed run -> Perfetto JSON."""
     from repro import obs
@@ -801,6 +1016,9 @@ _QUICK_SIZES = {
 def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    if args.command == "bench-diff":
+        # No sweep options: dispatched before _make_sweep reads them.
+        return _run_bench_diff(args)
     sweep = _make_sweep(args)
     if args.command == "trace":
         return _run_trace(args)
@@ -809,8 +1027,14 @@ def main(argv: list[str] | None = None) -> int:
         if sweep.stats.sweeps:
             print(sweep.stats.summary_line(), file=sys.stderr)
         return code
+    if args.command == "flows":
+        code = _run_flows(args, sweep)
+        if sweep.stats.sweeps:
+            print(sweep.stats.summary_line(), file=sys.stderr)
+        return code
     if args.command == "faults":
         code = _run_faults(args, sweep)
+        _export_observability(args)
         if sweep.stats.sweeps:
             print(sweep.stats.summary_line(), file=sys.stderr)
         return code

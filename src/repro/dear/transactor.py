@@ -22,6 +22,13 @@ from repro.errors import DearError, UntaggedMessageError
 from repro.ara.process import AraProcess
 from repro.obs import context as obs_context
 from repro.obs.bus import TRACK_DEAR
+from repro.obs.flows import (
+    CAUSE_DEADLINE,
+    CAUSE_LATE,
+    LAYER_DEAR,
+    attribute_drop,
+    flow_id_of,
+)
 from repro.reactors.action import PhysicalAction
 from repro.reactors.base import Reactor
 from repro.reactors.environment import Environment
@@ -113,6 +120,12 @@ class Transactor(Reactor):
                 o.wall_ns(),
                 release_time=arrival.time,
             )
+            flows = o.flows
+            if flows is not None and flows.current is not None:
+                # Still on the NIC-deliver kernel chain: the frame's flow
+                # is current.  The hop timestamp is ingress; the STP wait
+                # until ``arrival`` shows up in the dear->reactor segment.
+                flows.hop(flows.current, LAYER_DEAR, f"ingress {self.fqn}", now)
         scheduler = self.environment.scheduler
         policy = self.config.late_policy
         if policy is not LatePolicy.PROCESS and arrival <= scheduler.current_tag:
@@ -166,12 +179,20 @@ class Transactor(Reactor):
             )
         if policy is LatePolicy.DROP:
             self.environment.trace.record(current, "late-dropped", self.fqn)
+            if o.enabled:
+                attribute_drop(o, LAYER_DEAR, CAUSE_LATE, scheduler._obs_now())
             return
         if policy is LatePolicy.LAST_KNOWN:
             if self._last_in_bound is _NO_VALUE:
                 self.environment.trace.record(current, "late-dropped", self.fqn)
+                if o.enabled:
+                    attribute_drop(o, LAYER_DEAR, CAUSE_LATE, scheduler._obs_now())
                 return
             self.environment.trace.record(current, "late-substituted", self.fqn)
+            if o.enabled:
+                # The late payload itself is discarded (an older value is
+                # substituted), so the late frame's flow ends here.
+                attribute_drop(o, LAYER_DEAR, CAUSE_LATE, scheduler._obs_now())
             scheduler.schedule_at_tag(action, self._last_in_bound, arrival)
             return
         self.environment.trace.record(current, "deadline-fault", self.fqn)
@@ -208,6 +229,24 @@ class Transactor(Reactor):
             )
         if not self.config.drop_on_deadline_miss:
             self._send_body(ctx, late=True)
+        elif o.enabled:
+            # The outgoing message is dropped; reaction context has no
+            # current flow, but the transactor's input port still holds
+            # the value that would have been sent — self-correlate.
+            flow = None
+            inp = getattr(self, "inp", None)
+            if inp is not None:
+                try:
+                    flow = flow_id_of(inp.get())
+                except Exception:
+                    flow = None
+            attribute_drop(
+                o,
+                LAYER_DEAR,
+                CAUSE_DEADLINE,
+                self.environment.scheduler._obs_now(),
+                flow_id=flow,
+            )
 
     def _outgoing_tag(self, ctx, late: bool) -> Tag:
         """Tag for an outgoing message.

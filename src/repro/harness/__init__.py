@@ -12,6 +12,7 @@ merge, on-disk result cache) that the drivers, the CLI and the
 benchmarks all share.
 """
 
+from repro.harness.benchdiff import compare_dirs, render_bench_diff
 from repro.harness.config import ScenarioSpec, run_scenario_spec
 from repro.harness.runner import env_int, run_seeds
 from repro.harness.sweep import (
@@ -42,4 +43,6 @@ __all__ = [
     "driver_fingerprint",
     "default_workers",
     "merge_metric_snapshots",
+    "compare_dirs",
+    "render_bench_diff",
 ]

@@ -1,0 +1,207 @@
+"""Perf-trajectory gate: diff fresh ``BENCH_*.json`` against baselines.
+
+Every benchmark in ``benchmarks/`` emits a machine-readable
+``BENCH_<name>.json`` (see :mod:`repro.harness.benchjson`).  Committed
+snapshots of those files live in ``benchmarks/baselines/`` and act as
+the performance baseline; ``repro bench-diff`` compares a fresh run
+against them and classifies every field:
+
+* **timing fields** (wall times, latencies, throughput ratios — see
+  :func:`is_timing_field`) compare with a *relative tolerance*: CI
+  machines are noisy, so only a slowdown beyond ``tolerance`` (e.g.
+  ``0.75`` = 75% slower) counts as a regression (``fail``); getting
+  *faster* is never an error, just an ``improved`` note;
+* **structural fields** (seed counts, error totals, verdicts) must
+  match exactly — a mismatch is a ``warn``, because it usually means
+  the benchmark's workload changed and the baseline needs refreshing,
+  not that the code got slower;
+* benchmarks present on only one side are reported (``missing`` /
+  ``new``) so baseline drift is visible.
+
+The report is plain JSON (``bench-diff/v1``) so CI can upload it as an
+artifact; the CLI exits non-zero only under ``--strict`` with at least
+one regression, keeping the default gate warn-only.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+__all__ = [
+    "is_timing_field",
+    "compare_bench",
+    "compare_dirs",
+    "render_bench_diff",
+]
+
+#: Suffixes marking a field as a wall-clock/latency measurement.
+_TIMING_SUFFIXES = ("_s", "_ns", "_us", "_ms", "_per_s")
+
+#: Substrings marking a field as a derived timing quantity.
+_TIMING_HINTS = ("ratio", "_over_", "overhead", "wall", "guard", "slack")
+
+#: Keys that are identity, not measurement.
+_IGNORED_KEYS = {"name"}
+
+
+def is_timing_field(key: str) -> bool:
+    """Whether *key* names a noisy timing measurement (vs. a count).
+
+    Timing fields get relative-tolerance comparison; everything else is
+    structural and compared exactly.
+    """
+    return key.endswith(_TIMING_SUFFIXES) or any(
+        hint in key for hint in _TIMING_HINTS
+    )
+
+
+def _flatten(data: dict[str, Any], prefix: str = "") -> dict[str, Any]:
+    """``{"sweep": {"seeds": 3}}`` -> ``{"sweep.seeds": 3}``."""
+    flat: dict[str, Any] = {}
+    for key, value in data.items():
+        dotted = f"{prefix}{key}"
+        if isinstance(value, dict):
+            flat.update(_flatten(value, f"{dotted}."))
+        else:
+            flat[dotted] = value
+    return flat
+
+
+def compare_bench(
+    baseline: dict[str, Any], current: dict[str, Any], tolerance: float
+) -> list[dict[str, Any]]:
+    """Field-by-field comparison of one benchmark's two snapshots.
+
+    Returns one entry per compared field with a ``status`` of ``ok``,
+    ``improved``, ``warn`` (structural mismatch or field set drift) or
+    ``fail`` (timing regression beyond *tolerance*).
+    """
+    entries: list[dict[str, Any]] = []
+    flat_base = _flatten(baseline)
+    flat_cur = _flatten(current)
+    for key in sorted(set(flat_base) | set(flat_cur)):
+        if key.split(".")[-1] in _IGNORED_KEYS:
+            continue
+        base = flat_base.get(key)
+        cur = flat_cur.get(key)
+        entry: dict[str, Any] = {"field": key, "baseline": base, "current": cur}
+        if key not in flat_base or key not in flat_cur:
+            entry["status"] = "warn"
+            entry["note"] = "missing in baseline" if base is None else "missing in current"
+        elif is_timing_field(key):
+            if not isinstance(base, (int, float)) or not isinstance(cur, (int, float)):
+                entry["status"] = "ok" if base == cur else "warn"
+            elif base <= 0:
+                # No meaningful ratio; only flag if current became nonzero.
+                entry["status"] = "ok" if cur <= 0 else "warn"
+                if entry["status"] == "warn":
+                    entry["note"] = "baseline is zero"
+            else:
+                ratio = cur / base
+                entry["ratio"] = round(ratio, 3)
+                if ratio > 1.0 + tolerance:
+                    entry["status"] = "fail"
+                    entry["note"] = f"{(ratio - 1.0) * 100:.0f}% slower than baseline"
+                elif ratio < 1.0 / (1.0 + tolerance):
+                    entry["status"] = "improved"
+                else:
+                    entry["status"] = "ok"
+        else:
+            if base == cur:
+                entry["status"] = "ok"
+            else:
+                entry["status"] = "warn"
+                entry["note"] = "structural field changed; refresh the baseline?"
+        entries.append(entry)
+    return entries
+
+
+def _load_dir(directory: str | Path) -> dict[str, dict[str, Any]]:
+    """All ``BENCH_*.json`` files in *directory*, keyed by bench name."""
+    found: dict[str, dict[str, Any]] = {}
+    base = Path(directory)
+    if not base.is_dir():
+        return found
+    for path in sorted(base.glob("BENCH_*.json")):
+        name = path.stem.removeprefix("BENCH_")
+        try:
+            found[name] = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError) as error:
+            found[name] = {"name": name, "_load_error": str(error)}
+    return found
+
+
+def compare_dirs(
+    baseline_dir: str | Path,
+    current_dir: str | Path,
+    tolerance: float = 0.75,
+) -> dict[str, Any]:
+    """Diff every benchmark across two directories -> ``bench-diff/v1``."""
+    baselines = _load_dir(baseline_dir)
+    currents = _load_dir(current_dir)
+    benchmarks: dict[str, Any] = {}
+    summary = {"ok": 0, "improved": 0, "warn": 0, "fail": 0}
+    for name in sorted(set(baselines) | set(currents)):
+        if name not in currents:
+            benchmarks[name] = {"status": "missing", "entries": []}
+            summary["warn"] += 1
+            continue
+        if name not in baselines:
+            benchmarks[name] = {"status": "new", "entries": []}
+            summary["warn"] += 1
+            continue
+        entries = compare_bench(baselines[name], currents[name], tolerance)
+        statuses = {entry["status"] for entry in entries}
+        status = (
+            "fail" if "fail" in statuses
+            else "warn" if "warn" in statuses
+            else "improved" if "improved" in statuses
+            else "ok"
+        )
+        benchmarks[name] = {"status": status, "entries": entries}
+        summary[status] += 1
+    return {
+        "format": "bench-diff/v1",
+        "baseline_dir": str(baseline_dir),
+        "current_dir": str(current_dir),
+        "tolerance": tolerance,
+        "benchmarks": benchmarks,
+        "summary": summary,
+    }
+
+
+def render_bench_diff(report: dict[str, Any]) -> str:
+    """Human-readable rendering of a ``bench-diff/v1`` report."""
+    lines = [
+        f"BENCH-DIFF {report['baseline_dir']} -> {report['current_dir']} "
+        f"(timing tolerance {report['tolerance']:.0%})"
+    ]
+    for name, result in report["benchmarks"].items():
+        status = result["status"]
+        if status in ("missing", "new"):
+            side = "current run" if status == "missing" else "baseline"
+            lines.append(f"  {name}: {status.upper()} (absent from {side})")
+            continue
+        notable = [
+            entry for entry in result["entries"]
+            if entry["status"] in ("fail", "warn", "improved")
+        ]
+        lines.append(f"  {name}: {status}")
+        for entry in notable:
+            detail = (
+                f"    [{entry['status']}] {entry['field']}: "
+                f"{entry['baseline']} -> {entry['current']}"
+            )
+            if "ratio" in entry:
+                detail += f" (x{entry['ratio']})"
+            if "note" in entry:
+                detail += f" - {entry['note']}"
+            lines.append(detail)
+    summary = report["summary"]
+    lines.append(
+        f"  summary: {summary['ok']} ok, {summary['improved']} improved, "
+        f"{summary['warn']} warn, {summary['fail']} fail"
+    )
+    return "\n".join(lines)

@@ -16,6 +16,14 @@ from repro.errors import NetworkError
 from repro.network.switch import CorruptedPayload, Frame, Switch
 from repro.obs import context as obs_context
 from repro.obs.bus import TRACK_NETWORK
+from repro.obs.flows import (
+    CAUSE_FCS,
+    CAUSE_QUEUE_OVERFLOW,
+    CAUSE_UNBOUND_PORT,
+    LAYER_NIC,
+    LAYER_SOCKET,
+    attribute_drop,
+)
 from repro.sim.platform import Platform
 from repro.sim.sync import MessageQueue
 
@@ -87,6 +95,12 @@ class Socket:
                     self._interface.platform.sim.now,
                     o.wall_ns(),
                 )
+                attribute_drop(
+                    o,
+                    LAYER_SOCKET,
+                    CAUSE_QUEUE_OVERFLOW,
+                    self._interface.platform.sim.now,
+                )
 
     def close(self) -> None:
         """Unbind the socket from its interface."""
@@ -131,25 +145,51 @@ class NetworkInterface:
 
     def deliver(self, frame: Frame) -> None:
         """Called by the switch when a frame arrives for this host."""
-        if isinstance(frame.payload, CorruptedPayload):
-            # A corrupted frame fails the FCS check and never reaches
-            # a socket — corruption manifests as (counted) loss.
-            self.fcs_dropped += 1
-            o = obs_context.ACTIVE
-            if o.enabled:
-                o.metrics.counter("net.fcs_dropped").inc()
-                o.bus.instant(
-                    TRACK_NETWORK,
-                    f"fcs-drop {self.host}:{frame.dst_port}",
+        o = obs_context.ACTIVE
+        flows = o.flows if o.enabled else None
+        swapped = False
+        previous = None
+        if flows is not None:
+            # Re-establish the frame's flow as the current kernel-chain
+            # flow for the synchronous delivery path below (socket ->
+            # SOME/IP dispatch -> DEAR transactor ingress).
+            flow = flows.frame_arrived(frame)
+            if flow is not None:
+                previous = flows.swap_current(flow)
+                swapped = True
+                flows.hop(
+                    flow,
+                    LAYER_NIC,
+                    f"rx {self.host}:{frame.dst_port}",
                     self.platform.sim.now,
-                    o.wall_ns(),
                 )
-            return
-        socket = self._sockets.get(frame.dst_port)
-        if socket is None:
-            # Real stacks drop datagrams for unbound ports.
-            return
-        socket._deliver(frame)
+        try:
+            if isinstance(frame.payload, CorruptedPayload):
+                # A corrupted frame fails the FCS check and never reaches
+                # a socket — corruption manifests as (counted) loss.
+                self.fcs_dropped += 1
+                if o.enabled:
+                    o.metrics.counter("net.fcs_dropped").inc()
+                    o.bus.instant(
+                        TRACK_NETWORK,
+                        f"fcs-drop {self.host}:{frame.dst_port}",
+                        self.platform.sim.now,
+                        o.wall_ns(),
+                    )
+                    attribute_drop(o, LAYER_NIC, CAUSE_FCS, self.platform.sim.now)
+                return
+            socket = self._sockets.get(frame.dst_port)
+            if socket is None:
+                # Real stacks drop datagrams for unbound ports.
+                if o.enabled:
+                    attribute_drop(
+                        o, LAYER_NIC, CAUSE_UNBOUND_PORT, self.platform.sim.now
+                    )
+                return
+            socket._deliver(frame)
+        finally:
+            if swapped:
+                flows.restore_current(previous)
 
     def _unbind(self, port: int) -> None:
         self._sockets.pop(port, None)

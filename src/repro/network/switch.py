@@ -17,6 +17,12 @@ from repro.errors import NetworkError
 from repro.network.latency import GammaLatency, LatencyModel, UniformLatency
 from repro.obs import context as obs_context
 from repro.obs.bus import TRACK_NETWORK
+from repro.obs.flows import (
+    CAUSE_RANDOM_DROP,
+    FAULT_DROP_CAUSES,
+    LAYER_SWITCH,
+    attribute_drop,
+)
 from repro.sim.core import Simulator
 from repro.time.duration import US
 
@@ -138,6 +144,7 @@ class Switch:
                     dst_port=frame.dst_port,
                     bytes=frame.size_bytes,
                 )
+                attribute_drop(o, LAYER_SWITCH, CAUSE_RANDOM_DROP, self._sim.now)
             return
         if frame.src_host == frame.dst_host:
             model = self.config.loopback_latency
@@ -162,6 +169,12 @@ class Switch:
                         o.wall_ns(),
                         dst_port=frame.dst_port,
                         bytes=frame.size_bytes,
+                    )
+                    attribute_drop(
+                        o,
+                        LAYER_SWITCH,
+                        FAULT_DROP_CAUSES.get(verdict.drop, verdict.drop),
+                        self._sim.now,
                     )
                 return
             if verdict.corrupt:
@@ -188,6 +201,20 @@ class Switch:
                 bytes=frame.size_bytes,
                 dst_port=frame.dst_port,
             )
+            flows = o.flows
+            if flows is not None and flows.current is not None:
+                # Register the *final* frame object (after any corrupt
+                # replacement); a duplicate verdict delivers the same
+                # object twice, hence a second in-flight registration.
+                flows.hop(
+                    flows.current,
+                    LAYER_SWITCH,
+                    f"{frame.src_host}->{frame.dst_host}",
+                    self._sim.now,
+                )
+                flows.frame_sent(frame, flows.current)
+                if verdict is not None and verdict.duplicate_delay_ns is not None:
+                    flows.frame_sent(frame, flows.current)
         self._sim.at(arrival, lambda: destination.deliver(frame))
         if verdict is not None and verdict.duplicate_delay_ns is not None:
             self._sim.at(

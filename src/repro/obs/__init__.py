@@ -43,13 +43,29 @@ from repro.obs.bus import (
     TRACK_SCHEDULER,
 )
 from repro.obs.context import Observation, NullObservation, active, capture
-from repro.obs.drivers import BRAKE_VARIANTS, observe_brake_run, run_brake_with_obs
+from repro.obs.drivers import (
+    BRAKE_VARIANTS,
+    observe_brake_flows,
+    observe_brake_run,
+    run_brake_flows,
+    run_brake_with_obs,
+)
 from repro.obs.export import (
     metrics_document,
     trace_events,
     validate_trace_data,
     write_metrics,
     write_trace,
+)
+from repro.obs.flows import (
+    FlowRecord,
+    FlowRegistry,
+    Hop,
+    attribute_drop,
+    flow_id_of,
+    flow_report,
+    merge_flow_reports,
+    validate_flow_report,
 )
 from repro.obs.metrics import (
     Counter,
@@ -59,6 +75,8 @@ from repro.obs.metrics import (
     Histogram,
     MetricsRegistry,
     aggregate_snapshots,
+    labeled,
+    parse_labeled,
     percentile,
 )
 
@@ -80,13 +98,25 @@ __all__ = [
     "DEFAULT_TIME_BUCKETS_NS",
     "DEPTH_BUCKETS",
     "aggregate_snapshots",
+    "labeled",
+    "parse_labeled",
     "percentile",
     "trace_events",
     "write_trace",
     "metrics_document",
     "write_metrics",
     "validate_trace_data",
+    "FlowRegistry",
+    "FlowRecord",
+    "Hop",
+    "attribute_drop",
+    "flow_id_of",
+    "flow_report",
+    "merge_flow_reports",
+    "validate_flow_report",
     "BRAKE_VARIANTS",
     "observe_brake_run",
     "run_brake_with_obs",
+    "observe_brake_flows",
+    "run_brake_flows",
 ]

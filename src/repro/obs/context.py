@@ -30,6 +30,7 @@ from contextlib import contextmanager
 from typing import Any, Iterator
 
 from repro.obs.bus import EventBus
+from repro.obs.flows import FlowRegistry
 from repro.obs.metrics import MetricsRegistry
 
 __all__ = ["Observation", "NullObservation", "ACTIVE", "active", "capture"]
@@ -38,9 +39,9 @@ __all__ = ["Observation", "NullObservation", "ACTIVE", "active", "capture"]
 class Observation:
     """One run's worth of recorded events and metrics."""
 
-    __slots__ = ("enabled", "bus", "metrics", "scratch", "_wall_anchor_ns")
+    __slots__ = ("enabled", "bus", "metrics", "scratch", "flows", "_wall_anchor_ns")
 
-    def __init__(self) -> None:
+    def __init__(self, flows: bool = False) -> None:
         self.enabled = True
         self.bus = EventBus()
         self.metrics = MetricsRegistry()
@@ -48,6 +49,11 @@ class Observation:
         #: keyed by the instrumenting site.  Lives here, not on the
         #: simulated objects, so the disabled path allocates nothing.
         self.scratch: dict[Any, int] = {}
+        #: Causal flow tracing (:mod:`repro.obs.flows`), opt-in on top of
+        #: plain observability; ``None`` keeps every flow site one check.
+        self.flows: FlowRegistry | None = (
+            FlowRegistry(self.metrics) if flows else None
+        )
         self._wall_anchor_ns = time.perf_counter_ns()
 
     def wall_ns(self) -> int:
@@ -64,6 +70,7 @@ class NullObservation:
     bus = None
     metrics = None
     scratch = None
+    flows = None
 
     def wall_ns(self) -> int:  # pragma: no cover - never called when disabled
         return 0
@@ -79,15 +86,18 @@ def active() -> Observation | NullObservation:
 
 
 @contextmanager
-def capture(observation: Observation | None = None) -> Iterator[Observation]:
+def capture(
+    observation: Observation | None = None, *, flows: bool = False
+) -> Iterator[Observation]:
     """Enable observability for the duration of a ``with`` block.
 
     Yields the (fresh or supplied) :class:`Observation`; the previously
     active handle — usually the disabled null object — is restored on
-    exit, even on error.
+    exit, even on error.  ``flows=True`` additionally activates causal
+    flow tracing (ignored when *observation* is supplied).
     """
     global ACTIVE
-    observation = observation or Observation()
+    observation = observation or Observation(flows=flows)
     previous = ACTIVE
     ACTIVE = observation
     try:

@@ -19,8 +19,15 @@ from __future__ import annotations
 from typing import Any
 
 from repro.obs.context import Observation, capture
+from repro.obs.flows import flow_report
 
-__all__ = ["BRAKE_VARIANTS", "observe_brake_run", "run_brake_with_obs"]
+__all__ = [
+    "BRAKE_VARIANTS",
+    "observe_brake_run",
+    "run_brake_with_obs",
+    "observe_brake_flows",
+    "run_brake_flows",
+]
 
 #: Experiment variants exposed to the ``repro trace``/``metrics`` CLI.
 BRAKE_VARIANTS = ("det", "nondet")
@@ -69,5 +76,56 @@ def run_brake_with_obs(
         "trace_fingerprints": dict(result.trace_fingerprints),
         "events": len(observation.bus),
         "tracks": observation.bus.tracks(),
+        "metrics": observation.metrics.snapshot(),
+    }
+
+
+def observe_brake_flows(
+    seed: int,
+    scenario: Any = None,
+    variant: str = "det",
+    fault_plan: Any = None,
+    switch_config: Any = None,
+) -> tuple[Observation, Any]:
+    """Run one brake-assistant seed with causal flow tracing active.
+
+    Like :func:`observe_brake_run` but with ``capture(flows=True)``, so
+    ``observation.flows`` holds the per-frame hop records and the trace
+    export grows Perfetto flow arrows.
+    """
+    experiment = _experiment(variant)
+    with capture(flows=True) as observation:
+        result = experiment(
+            seed, scenario, switch_config=switch_config, fault_plan=fault_plan
+        )
+    return observation, result
+
+
+def run_brake_flows(
+    seed: int,
+    scenario: Any = None,
+    variant: str = "det",
+    fault_plan: Any = None,
+    switch_config: Any = None,
+) -> dict[str, Any]:
+    """Sweep-worker body: one flow-traced seed, summarized as plain data.
+
+    The ``report`` key is a ``flow-report/v1`` document (see
+    :func:`repro.obs.flows.flow_report`); reports merge across seeds
+    with :func:`repro.obs.flows.merge_flow_reports` and the metrics
+    snapshots with :func:`repro.harness.sweep.merge_metric_snapshots`.
+    """
+    observation, result = observe_brake_flows(
+        seed, scenario, variant, fault_plan=fault_plan, switch_config=switch_config
+    )
+    return {
+        "seed": seed,
+        "variant": variant,
+        "errors": result.errors.as_dict(),
+        "deadline_misses": result.deadline_misses,
+        "stp_violations": result.stp_violations,
+        "frames_answered": len(result.commands),
+        "trace_fingerprints": dict(result.trace_fingerprints),
+        "report": flow_report(observation.flows),
         "metrics": observation.metrics.snapshot(),
     }

@@ -34,8 +34,61 @@ __all__ = [
 #: The pid every exported event carries (one simulated system = one process).
 TRACE_PID = 1
 
-#: Event phases the exporter emits / the validator accepts.
-_PHASES = {"M", "X", "i"}
+#: Event phases the exporter emits / the validator accepts.  ``s``/``t``/``f``
+#: are flow events (Perfetto arrows linking spans across tracks).
+_PHASES = {"M", "X", "i", "s", "t", "f"}
+
+#: Which event-bus track a flow hop's arrow anchor lands on.  Hops on
+#: layers without a dedicated track ride the network lane (that is where
+#: their surrounding spans live).
+_FLOW_TRACKS = {
+    "sensor": "network",
+    "switch": "network",
+    "nic": "network",
+    "socket": "network",
+    "someip": "network",
+    "dear": "dear",
+    "reactor": "reactors",
+    "app": "reactors",
+    "actuator": "reactors",
+}
+
+
+def _flow_event_records(
+    flows: Any, tids: dict[str, int]
+) -> list[tuple[str, int, dict[str, Any]]]:
+    """Flow-event (``s``/``t``/``f``) records for every multi-hop flow.
+
+    Returns ``(track, ts_ns, record)`` tuples so the caller can merge
+    them into the per-lane ``(track, ts)`` sort next to the spans they
+    arrow between.  Perfetto binds each arrow anchor to the enclosing
+    slice on its (pid, tid) lane at that timestamp.
+    """
+    records: list[tuple[str, int, dict[str, Any]]] = []
+    for record in flows.flows.values():
+        anchors = [
+            (hop, _FLOW_TRACKS.get(hop.layer, "network"))
+            for hop in record.hops
+        ]
+        anchors = [(hop, track) for hop, track in anchors if track in tids]
+        if len(anchors) < 2:
+            continue
+        for index, (hop, track) in enumerate(anchors):
+            phase = "s" if index == 0 else ("f" if index == len(anchors) - 1 else "t")
+            event: dict[str, Any] = {
+                "name": f"flow {record.flow_id}",
+                "cat": "flow",
+                "ph": phase,
+                "id": record.flow_id,
+                "pid": TRACE_PID,
+                "tid": tids[track],
+                "ts": hop.ts / 1_000.0,  # ns -> us, the format's unit
+                "args": {"layer": hop.layer, "hop": hop.name},
+            }
+            if phase == "f":
+                event["bp"] = "e"  # bind to the enclosing slice
+            records.append((track, hop.ts, event))
+    return records
 
 
 def trace_events(observation: "Observation") -> list[dict[str, Any]]:
@@ -43,7 +96,10 @@ def trace_events(observation: "Observation") -> list[dict[str, Any]]:
 
     Events are ordered by ``(track, ts)`` so each pseudo-thread's
     timeline is monotonic regardless of the interleaved record order
-    (different platforms' clocks may skew against global time).
+    (different platforms' clocks may skew against global time).  Flow
+    events, when causal flow tracing was active, are merged into the
+    same per-lane order (after spans at equal timestamps, so each arrow
+    anchor binds to the slice opened at that instant).
     """
     tracks = observation.bus.tracks()
     tids = {track: index + 1 for index, track in enumerate(tracks)}
@@ -66,10 +122,8 @@ def trace_events(observation: "Observation") -> list[dict[str, Any]]:
                 "args": {"name": track},
             }
         )
-    ordered = sorted(
-        observation.bus.events, key=lambda event: (event.track, event.ts)
-    )
-    for event in ordered:
+    keyed: list[tuple[str, int, int, dict[str, Any]]] = []
+    for order, event in enumerate(observation.bus.events):
         record: dict[str, Any] = {
             "name": event.name,
             "cat": event.track,
@@ -85,7 +139,14 @@ def trace_events(observation: "Observation") -> list[dict[str, Any]]:
         args = dict(event.args) if event.args else {}
         args["wall_ns"] = event.wall_ns
         record["args"] = args
-        events.append(record)
+        keyed.append((event.track, event.ts, order, record))
+    flows = getattr(observation, "flows", None)
+    if flows is not None:
+        base = len(keyed)
+        for offset, (track, ts, record) in enumerate(_flow_event_records(flows, tids)):
+            keyed.append((track, ts, base + offset, record))
+    keyed.sort(key=lambda item: (item[0], item[1], item[2]))
+    events.extend(record for _, _, _, record in keyed)
     return events
 
 
@@ -163,6 +224,8 @@ def validate_trace_data(data: Any) -> list[str]:
             dur = event.get("dur")
             if not isinstance(dur, (int, float)) or dur < 0:
                 problems.append(f"event[{index}] has invalid dur {dur!r}")
+        if phase in ("s", "t", "f") and event.get("id") is None:
+            problems.append(f"event[{index}] flow event has no id")
         lane = (event.get("pid"), event.get("tid"))
         previous = last_ts.get(lane)
         if previous is not None and ts < previous:

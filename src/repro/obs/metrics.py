@@ -27,6 +27,8 @@ __all__ = [
     "DEFAULT_TIME_BUCKETS_NS",
     "DEPTH_BUCKETS",
     "aggregate_snapshots",
+    "labeled",
+    "parse_labeled",
     "percentile",
 ]
 
@@ -55,6 +57,35 @@ DEFAULT_TIME_BUCKETS_NS: tuple[int, ...] = (
 
 #: Default bounds for small cardinalities (queue depths, retries).
 DEPTH_BUCKETS: tuple[int, ...] = (0, 1, 2, 4, 8, 16, 32, 64, 128, 256)
+
+
+def labeled(name: str, **labels: str) -> str:
+    """Encode a labeled metric name, Prometheus exposition style.
+
+    The registry keys metrics by name only, so labels are name-encoded
+    with sorted keys for a canonical form::
+
+        labeled("drops_total", layer="switch", cause="random-drop")
+        -> 'drops_total{cause="random-drop",layer="switch"}'
+
+    Use :func:`parse_labeled` to recover the family and label dict from
+    a snapshot key.
+    """
+    inner = ",".join(f'{key}="{labels[key]}"' for key in sorted(labels))
+    return f"{name}{{{inner}}}"
+
+
+def parse_labeled(name: str) -> tuple[str, dict[str, str]]:
+    """Split a :func:`labeled` name back into (family, labels)."""
+    if not name.endswith("}") or "{" not in name:
+        return name, {}
+    family, _, inner = name[:-1].partition("{")
+    labels: dict[str, str] = {}
+    if inner:
+        for pair in inner.split(","):
+            key, _, value = pair.partition("=")
+            labels[key] = value.strip('"')
+    return family, labels
 
 
 class Counter:

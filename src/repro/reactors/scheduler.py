@@ -141,6 +141,9 @@ class ReactorScheduler:
         tag = Tag(max(time, self._start_time), 0)
         if tag <= self._current_tag:
             tag = self._current_tag.delay(0)
+        o = obs_context.ACTIVE
+        if o.enabled and o.flows is not None:
+            o.flows.bind_event(value)
         self._push(tag, _Event(action, value))
         self._wake()
         return tag
@@ -165,6 +168,9 @@ class ReactorScheduler:
         if tag <= self._current_tag:
             tag = self._current_tag.delay(0)
             late = True
+        o = obs_context.ACTIVE
+        if o.enabled and o.flows is not None:
+            o.flows.bind_event(value)
         self._push(tag, _Event(action, value))
         self._wake()
         return tag, late
@@ -264,7 +270,15 @@ class ReactorScheduler:
                     self._to_clear.append(reactor.shutdown)
                     for reaction in reactor.shutdown.triggered_reactions:
                         self._enqueue_reaction(reaction)
+        o = obs_context.ACTIVE
+        flows = o.flows if o.enabled else None
         for event in events:
+            if flows is not None:
+                flow = flows.event_arrived(event.value)
+                if flow is not None:
+                    flows.hop(
+                        flow, "reactor", f"tag {self._env.name}", self._obs_now()
+                    )
             target = event.target
             if isinstance(target, Port):
                 self._propagate(target, event.value, tag)

@@ -26,6 +26,7 @@ from repro.errors import SomeIpError
 from repro.network.stack import NetworkInterface, Socket
 from repro.obs import context as obs_context
 from repro.obs.bus import TRACK_NETWORK
+from repro.obs.flows import CAUSE_MALFORMED, LAYER_SOMEIP, attribute_drop
 from repro.network.switch import Frame
 from repro.sim.platform import Platform
 from repro.someip.sd import SdDaemon, ServiceEntry
@@ -307,9 +308,20 @@ class SomeIpEndpoint:
                     self.platform.sim.now,
                     o.wall_ns(),
                 )
+                attribute_drop(
+                    o, LAYER_SOMEIP, CAUSE_MALFORMED, self.platform.sim.now
+                )
             return
         if o.enabled:
             o.metrics.counter("someip.rx_messages").inc()
+            flows = o.flows
+            if flows is not None and flows.current is not None:
+                flows.hop(
+                    flows.current,
+                    LAYER_SOMEIP,
+                    f"rx {self.name}",
+                    self.platform.sim.now,
+                )
         payload, tag = extract_tag(message.payload)
         if message.native_tag is not None:
             tag = message.native_tag

@@ -1,0 +1,143 @@
+"""Tests for ``repro.harness.benchdiff`` — the perf-trajectory gate."""
+
+import json
+
+from repro.harness.benchdiff import (
+    compare_bench,
+    compare_dirs,
+    is_timing_field,
+    render_bench_diff,
+)
+
+
+class TestTimingClassification:
+    def test_timing_fields(self):
+        for key in (
+            "wall_time_s", "latency_mean_ns", "elapsed_ms", "seeds_per_s",
+            "enabled_over_disabled", "overhead_ratio", "guard_ns_per_site",
+        ):
+            assert is_timing_field(key), key
+
+    def test_structural_fields(self):
+        for key in ("frames", "seeds", "errors", "events_recorded", "verdict"):
+            assert not is_timing_field(key), key
+
+
+class TestCompareBench:
+    def test_within_tolerance_is_ok(self):
+        entries = compare_bench(
+            {"wall_time_s": 1.0}, {"wall_time_s": 1.5}, tolerance=0.75
+        )
+        assert [e["status"] for e in entries] == ["ok"]
+
+    def test_regression_beyond_tolerance_fails(self):
+        entries = compare_bench(
+            {"wall_time_s": 1.0}, {"wall_time_s": 2.0}, tolerance=0.75
+        )
+        assert entries[0]["status"] == "fail"
+        assert entries[0]["ratio"] == 2.0
+
+    def test_speedup_is_improved_not_fail(self):
+        entries = compare_bench(
+            {"wall_time_s": 2.0}, {"wall_time_s": 0.5}, tolerance=0.75
+        )
+        assert entries[0]["status"] == "improved"
+
+    def test_structural_mismatch_warns(self):
+        entries = compare_bench({"frames": 100}, {"frames": 200}, tolerance=0.75)
+        assert entries[0]["status"] == "warn"
+
+    def test_nested_fields_flatten(self):
+        entries = compare_bench(
+            {"sweep": {"seeds": 5, "elapsed_s": 1.0}},
+            {"sweep": {"seeds": 5, "elapsed_s": 1.1}},
+            tolerance=0.75,
+        )
+        by_field = {e["field"]: e["status"] for e in entries}
+        assert by_field == {"sweep.seeds": "ok", "sweep.elapsed_s": "ok"}
+
+    def test_field_set_drift_warns(self):
+        entries = compare_bench({"a_s": 1.0}, {"b_s": 1.0}, tolerance=0.75)
+        assert {e["status"] for e in entries} == {"warn"}
+
+    def test_zero_baseline_timing(self):
+        entries = compare_bench({"wall_time_s": 0}, {"wall_time_s": 0}, 0.75)
+        assert entries[0]["status"] == "ok"
+        entries = compare_bench({"wall_time_s": 0}, {"wall_time_s": 3.0}, 0.75)
+        assert entries[0]["status"] == "warn"
+
+    def test_name_key_ignored(self):
+        entries = compare_bench({"name": "a"}, {"name": "b"}, tolerance=0.75)
+        assert entries == []
+
+
+def _write(directory, name, **fields):
+    directory.mkdir(parents=True, exist_ok=True)
+    (directory / f"BENCH_{name}.json").write_text(
+        json.dumps({"name": name, **fields}), encoding="utf-8"
+    )
+
+
+class TestCompareDirs:
+    def test_report_shape_and_summary(self, tmp_path):
+        base, cur = tmp_path / "base", tmp_path / "cur"
+        _write(base, "x", wall_time_s=1.0, frames=10)
+        _write(cur, "x", wall_time_s=4.0, frames=10)
+        _write(base, "gone", wall_time_s=1.0)
+        _write(cur, "fresh", wall_time_s=1.0)
+        report = compare_dirs(base, cur, tolerance=0.75)
+        assert report["format"] == "bench-diff/v1"
+        assert report["benchmarks"]["x"]["status"] == "fail"
+        assert report["benchmarks"]["gone"]["status"] == "missing"
+        assert report["benchmarks"]["fresh"]["status"] == "new"
+        assert report["summary"] == {"ok": 0, "improved": 0, "warn": 2, "fail": 1}
+        json.dumps(report)  # artifact-uploadable as-is
+
+    def test_identical_dirs_all_ok(self, tmp_path):
+        base = tmp_path / "base"
+        _write(base, "x", wall_time_s=1.0, frames=10)
+        report = compare_dirs(base, base, tolerance=0.1)
+        assert report["summary"] == {"ok": 1, "improved": 0, "warn": 0, "fail": 0}
+
+    def test_missing_directories(self, tmp_path):
+        report = compare_dirs(tmp_path / "nope", tmp_path / "nada", 0.75)
+        assert report["benchmarks"] == {}
+        assert report["summary"]["fail"] == 0
+
+    def test_render(self, tmp_path):
+        base, cur = tmp_path / "base", tmp_path / "cur"
+        _write(base, "x", wall_time_s=1.0)
+        _write(cur, "x", wall_time_s=4.0)
+        text = render_bench_diff(compare_dirs(base, cur, tolerance=0.75))
+        assert "BENCH-DIFF" in text
+        assert "[fail] wall_time_s" in text
+        assert "1 fail" in text
+
+
+class TestCommittedBaselines:
+    def test_baselines_exist_and_self_diff_clean(self):
+        report = compare_dirs("benchmarks/baselines", "benchmarks/baselines")
+        assert len(report["benchmarks"]) >= 14
+        assert "obs_disabled_overhead" in report["benchmarks"]
+        assert report["summary"]["warn"] == 0
+        assert report["summary"]["fail"] == 0
+
+    def test_cli_strict_exit_codes(self, tmp_path, capsys):
+        from repro.cli import main
+
+        base, cur = tmp_path / "base", tmp_path / "cur"
+        _write(base, "x", wall_time_s=1.0)
+        _write(cur, "x", wall_time_s=4.0)
+        out_path = tmp_path / "diff.json"
+        code = main([
+            "bench-diff", "--baseline-dir", str(base),
+            "--current-dir", str(cur), "--out", str(out_path),
+        ])
+        assert code == 0  # warn-only by default
+        assert json.loads(out_path.read_text())["summary"]["fail"] == 1
+        code = main([
+            "bench-diff", "--baseline-dir", str(base),
+            "--current-dir", str(cur), "--strict",
+        ])
+        assert code == 1
+        capsys.readouterr()
