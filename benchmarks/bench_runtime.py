@@ -6,25 +6,14 @@ stack are visible.  These use pytest-benchmark's normal repetition.
 """
 
 from repro.reactors import Environment, Reactor
-from repro.sim import Compute, Simulator, World
+from repro.sim import Compute, World
 from repro.sim.platform import CALM
 from repro.someip import MessageType, SomeIpHeader, SomeIpMessage
 from repro.someip.serialization import Array, INT32, Struct, UINT32
 from repro.time import MS, US
 
-
-def test_sim_kernel_event_throughput(benchmark, bench_json):
-    """Schedule-and-run cost of bare kernel events."""
-
-    def run():
-        sim = Simulator()
-        for index in range(5_000):
-            sim.at(index, lambda: None)
-        sim.run()
-        return sim.events_processed
-
-    assert benchmark(run) == 5_000
-    bench_json.record(events=5_000).timing(benchmark)
+# The bare-kernel event-throughput benchmark moved to bench_sim_kernel.py
+# (per-shape rates + the floor gate used by CI's kernel-throughput job).
 
 
 def test_thread_context_switching(benchmark, bench_json):

@@ -1,0 +1,72 @@
+"""Regenerate the kernel fingerprint goldens.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/capture_kernel_goldens.py
+
+Rewrites ``tests/data/kernel_fingerprints.json``.  Only do this after an
+*intentional* semantic change to the kernel or the brake demonstrator —
+the whole point of the goldens is that pure performance work reproduces
+them bit-exactly (see ``tests/test_kernel_fingerprints.py``).  Explain
+the semantic change in the commit that refreshes them.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.apps.brake.det import run_det_brake_assistant
+from repro.apps.brake.nondet import run_nondet_brake_assistant
+from repro.explore import IN_BUDGET_PREEMPT_NS, PctStrategy, calibration_scenario
+from repro.faults import FaultPlan
+from repro.sim.rng import stream_hooks
+
+GOLDEN_PATH = Path(__file__).resolve().parent.parent / (
+    "tests/data/kernel_fingerprints.json"
+)
+
+
+def _case(result) -> dict:
+    return {
+        "traces": dict(result.trace_fingerprints),
+        "outcome": result.outcome_digest(),
+    }
+
+
+def main() -> None:
+    golden: dict = {"format": "kernel-fingerprints/v2", "cases": {}}
+
+    for seed in (0, 1, 7):
+        scenario = calibration_scenario(20, deterministic_camera=True)
+        golden["cases"][f"det-seed{seed}"] = _case(
+            run_det_brake_assistant(seed, scenario)
+        )
+
+    for seed in (3, 11):
+        scenario = calibration_scenario(20)
+        golden["cases"][f"nondet-seed{seed}"] = _case(
+            run_nondet_brake_assistant(seed, scenario)
+        )
+
+    scenario = calibration_scenario(15, deterministic_camera=True)
+    strategy = PctStrategy(depth=4, preempt_ns=IN_BUDGET_PREEMPT_NS, seed=5)
+    schedule = strategy.schedule_for(1, base_seed=0, horizon=400)
+    assert schedule.preemptions, "PCT schedule must actually preempt"
+    with stream_hooks(schedule.controller(exclude=("camera",))):
+        golden["cases"]["pct-replay"] = _case(run_det_brake_assistant(0, scenario))
+
+    scenario = calibration_scenario(20, deterministic_camera=True)
+    plan = FaultPlan.camera_faults(seed=1, drop=0.1, label="kernel-golden")
+    golden["cases"]["fault-plan"] = _case(
+        run_det_brake_assistant(0, scenario, fault_plan=plan)
+    )
+
+    with GOLDEN_PATH.open("w") as fh:
+        json.dump(golden, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"wrote {GOLDEN_PATH} ({len(golden['cases'])} cases)")
+
+
+if __name__ == "__main__":
+    main()

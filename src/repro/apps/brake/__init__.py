@@ -19,7 +19,13 @@ platforms (Figure 4):
 * :mod:`repro.apps.brake.det` — the DEAR implementation (Section IV.B).
 """
 
-from repro.apps.brake.data import BrakeCommand, DetectedVehicle, Frame, LaneBox, VehicleList
+from repro.apps.brake.data import (
+    BrakeCommand,
+    DetectedVehicle,
+    Frame,
+    LaneBox,
+    VehicleList,
+)
 from repro.apps.brake.scenario import BrakeScenario
 from repro.apps.brake.instrumentation import BrakeRunResult, ErrorCounters
 from repro.apps.brake.nondet import run_nondet_brake_assistant

@@ -285,7 +285,7 @@ def run_det_brake_assistant(
 
     cv_process.spawn("setup", cv_setup())
 
-    # ---- EBA ---------------------------------------------------------------------------
+    # ---- EBA -------------------------------------------------------------------------
     eba_process = AraProcess(back_end, "eba", tag_aware=True)
     eba_env = Environment(name="eba", timeout=horizon, trace_origin=0)
     eba_logic = _EbaLogic(
@@ -312,7 +312,7 @@ def run_det_brake_assistant(
 
     eba_process.spawn("setup", eba_setup())
 
-    # ---- run --------------------------------------------------------------------------------
+    # ---- run -------------------------------------------------------------------------
     start_camera(world, scenario, send_times)
     world.run_for(horizon + 1 * SEC)
 

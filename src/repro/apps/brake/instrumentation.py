@@ -9,6 +9,8 @@ Computer Vision, reported as *prevalence* — errors per processed frame
 
 from __future__ import annotations
 
+import hashlib
+import json
 from dataclasses import dataclass, field
 
 from repro.apps.brake.data import BrakeCommand
@@ -79,6 +81,32 @@ class BrakeRunResult:
     def prevalence(self) -> float:
         """Total error prevalence (fraction of frames, as in Figure 5)."""
         return self.errors.total() / self.n_frames
+
+    def outcome_digest(self) -> str:
+        """SHA-256 over the run's observable outcome.
+
+        Covers the produced brake commands, per-frame latencies, error
+        counters and timing-violation counts — everything downstream of
+        the schedule — so any change to event ordering, RNG draw
+        sequence or physical timing shifts the digest.  Unlike
+        :attr:`trace_fingerprints` this works for the nondeterministic
+        (non-DEAR) variant too; the kernel-fingerprint regression tests
+        use it to pin schedules across kernel optimisations.
+        """
+        payload = {
+            "commands": {
+                str(seq): [cmd.frame_seq, cmd.brake, repr(cmd.intensity)]
+                for seq, cmd in sorted(self.commands.items())
+            },
+            "latencies_ns": {
+                str(seq): lat for seq, lat in sorted(self.latencies_ns.items())
+            },
+            "errors": self.errors.as_dict(),
+            "deadline_misses": self.deadline_misses,
+            "stp_violations": self.stp_violations,
+        }
+        blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest()
 
     def prevalence_by_type(self) -> dict[str, float]:
         """Per-type prevalence."""

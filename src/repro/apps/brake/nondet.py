@@ -370,7 +370,7 @@ def run_nondet_brake_assistant(
         start_delay_ns=scenario.warmup_ns // 2,
     )
 
-    # ---- run -----------------------------------------------------------------------------
+    # ---- run -------------------------------------------------------------------------
     start_camera(world, scenario, send_times)
     world.run_for(scenario.total_duration_ns())
 

@@ -95,7 +95,9 @@ class AraProcess:
 
     # -- threads ------------------------------------------------------------------
 
-    def spawn(self, name: str, generator: Generator, start_delay_ns: int = 0) -> SimThread:
+    def spawn(
+        self, name: str, generator: Generator, start_delay_ns: int = 0
+    ) -> SimThread:
         """Start an application thread belonging to this process."""
         return self.platform.spawn(f"{self.name}.{name}", generator, start_delay_ns)
 

@@ -66,7 +66,9 @@ class ProxyMethod:
         self._proxy = proxy
         self.method = method
 
-    def __call__(self, *args: Any, timeout_ns: int | None = None, **kwargs: Any) -> Future:
+    def __call__(
+        self, *args: Any, timeout_ns: int | None = None, **kwargs: Any
+    ) -> Future:
         method = self.method
         names = method.argument_names
         if args:

@@ -150,7 +150,9 @@ class ServiceSkeleton:
 
     # -- events and fields -----------------------------------------------------------
 
-    def send_event(self, event_name: str, data: Any = None, tag: Tag | None = None) -> int:
+    def send_event(
+        self, event_name: str, data: Any = None, tag: Tag | None = None
+    ) -> int:
         """Publish an event to all subscribers; returns the receiver count."""
         event = self.interface.event(event_name)
         names = [name for name, _ in event.data]
@@ -200,7 +202,7 @@ class ServiceSkeleton:
         """Current value of field *name*."""
         return self._field_values.get(name)
 
-    # -- request dispatch ---------------------------------------------------------------
+    # -- request dispatch --------------------------------------------------------------
 
     def _on_request(self, request: IncomingRequest) -> None:
         """Kernel context: route one incoming invocation."""
@@ -248,7 +250,7 @@ class ServiceSkeleton:
 
         return job
 
-    # -- poll mode ------------------------------------------------------------------------
+    # -- poll mode ---------------------------------------------------------------------
 
     def process_next_method_call(self) -> Generator[Any, Any, bool]:
         """Thread context (POLL mode): run one queued invocation.

@@ -293,6 +293,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="exit 1 on regressions beyond tolerance (default: warn only)",
     )
     bench_diff.add_argument(
+        "--gate-fields", action="store_true",
+        help="curated strict subset: structural mismatches, throughput "
+             "(*_per_s) regressions and missing/new benchmarks fail; "
+             "plain wall-time noise only warns (combine with --strict)",
+    )
+    bench_diff.add_argument(
         "--out", metavar="FILE", default=None,
         help="write the bench-diff/v1 JSON report to FILE",
     )
@@ -862,7 +868,10 @@ def _run_bench_diff(args: argparse.Namespace) -> int:
     from repro.harness.benchdiff import compare_dirs, render_bench_diff
 
     report = compare_dirs(
-        args.baseline_dir, args.current_dir, tolerance=args.tolerance
+        args.baseline_dir,
+        args.current_dir,
+        tolerance=args.tolerance,
+        gate_fields=args.gate_fields,
     )
     print(render_bench_diff(report))
     if args.out:

@@ -6,17 +6,30 @@ snapshots of those files live in ``benchmarks/baselines/`` and act as
 the performance baseline; ``repro bench-diff`` compares a fresh run
 against them and classifies every field:
 
-* **timing fields** (wall times, latencies, throughput ratios — see
+* **timing fields** (wall times, latencies — see
   :func:`is_timing_field`) compare with a *relative tolerance*: CI
   machines are noisy, so only a slowdown beyond ``tolerance`` (e.g.
   ``0.75`` = 75% slower) counts as a regression (``fail``); getting
   *faster* is never an error, just an ``improved`` note;
+* **rate fields** (``*_per_s`` throughput — :func:`is_rate_field`)
+  are timing fields where *higher* is better; the tolerance applies to
+  slowdowns in the rate direction;
 * **structural fields** (seed counts, error totals, verdicts) must
   match exactly — a mismatch is a ``warn``, because it usually means
   the benchmark's workload changed and the baseline needs refreshing,
   not that the code got slower;
+* **environment fields** (``workers``, ``cache_hits``) describe the
+  machine and cache warmth, not the code — they warn on mismatch and
+  never fail, even in gated mode;
 * benchmarks present on only one side are reported (``missing`` /
   ``new``) so baseline drift is visible.
+
+**Gated mode** (``gate_fields=True``, CLI ``--gate-fields``) curates
+which classes of drift may fail a strict CI lane: structural
+mismatches, rate regressions and missing/new benchmarks escalate to
+``fail`` (they are machine-independent at fixed workload scale, or
+carry generous tolerance), while plain timing fields *de-escalate* to
+``warn`` — wall-clock noise on shared runners must never fail a build.
 
 The report is plain JSON (``bench-diff/v1``) so CI can upload it as an
 artifact; the CLI exits non-zero only under ``--strict`` with at least
@@ -31,19 +44,28 @@ from typing import Any
 
 __all__ = [
     "is_timing_field",
+    "is_rate_field",
     "compare_bench",
     "compare_dirs",
     "render_bench_diff",
 ]
 
 #: Suffixes marking a field as a wall-clock/latency measurement.
-_TIMING_SUFFIXES = ("_s", "_ns", "_us", "_ms", "_per_s")
+_TIMING_SUFFIXES = ("_s", "_ns", "_us", "_ms", "_per_s", "_per_frame", "_per_site")
 
-#: Substrings marking a field as a derived timing quantity.
-_TIMING_HINTS = ("ratio", "_over_", "overhead", "wall", "guard", "slack")
+#: Underscore-delimited tokens marking a derived timing quantity.
+#: Matched as whole tokens, not substrings — "configurations" must not
+#: read as timing just because it contains "ratio".
+_TIMING_TOKENS = frozenset({"ratio", "overhead", "wall", "guard", "slack"})
 
 #: Keys that are identity, not measurement.
 _IGNORED_KEYS = {"name"}
+
+#: Leaf keys that depend on the execution environment (CPU count,
+#: cache warmth), not on the code under test.  They are reported but
+#: never gate: a warm ``.repro_cache`` or a different core count must
+#: not fail a strict lane.
+_ENV_LEAVES = frozenset({"workers", "cache_hits"})
 
 
 def is_timing_field(key: str) -> bool:
@@ -52,9 +74,20 @@ def is_timing_field(key: str) -> bool:
     Timing fields get relative-tolerance comparison; everything else is
     structural and compared exactly.
     """
-    return key.endswith(_TIMING_SUFFIXES) or any(
-        hint in key for hint in _TIMING_HINTS
-    )
+    if key.endswith(_TIMING_SUFFIXES) or "_over_" in key:
+        return True
+    return any(token in _TIMING_TOKENS for token in key.replace(".", "_").split("_"))
+
+
+def is_rate_field(key: str) -> bool:
+    """Whether *key* is a throughput rate, where *higher* is better.
+
+    Rate fields still use the relative tolerance, but the regression
+    direction is inverted relative to wall-time fields.  Declared
+    floors (``floor_*``) are configuration, not measurements — they
+    compare structurally.
+    """
+    return key.endswith("_per_s") and not key.split(".")[-1].startswith("floor_")
 
 
 def _flatten(data: dict[str, Any], prefix: str = "") -> dict[str, Any]:
@@ -70,27 +103,43 @@ def _flatten(data: dict[str, Any], prefix: str = "") -> dict[str, Any]:
 
 
 def compare_bench(
-    baseline: dict[str, Any], current: dict[str, Any], tolerance: float
+    baseline: dict[str, Any],
+    current: dict[str, Any],
+    tolerance: float,
+    gate_fields: bool = False,
 ) -> list[dict[str, Any]]:
     """Field-by-field comparison of one benchmark's two snapshots.
 
     Returns one entry per compared field with a ``status`` of ``ok``,
     ``improved``, ``warn`` (structural mismatch or field set drift) or
-    ``fail`` (timing regression beyond *tolerance*).
+    ``fail`` (regression beyond *tolerance*).  With *gate_fields*,
+    severities follow the curated strict subset (module docstring):
+    structural mismatches and field-set drift become ``fail``, plain
+    wall-time regressions soften to ``warn``, rate regressions fail
+    either way.
     """
     entries: list[dict[str, Any]] = []
     flat_base = _flatten(baseline)
     flat_cur = _flatten(current)
     for key in sorted(set(flat_base) | set(flat_cur)):
-        if key.split(".")[-1] in _IGNORED_KEYS:
+        leaf = key.split(".")[-1]
+        if leaf in _IGNORED_KEYS:
             continue
         base = flat_base.get(key)
         cur = flat_cur.get(key)
         entry: dict[str, Any] = {"field": key, "baseline": base, "current": cur}
-        if key not in flat_base or key not in flat_cur:
-            entry["status"] = "warn"
-            entry["note"] = "missing in baseline" if base is None else "missing in current"
-        elif is_timing_field(key):
+        structural = leaf.startswith("floor_") or not is_timing_field(key)
+        if leaf in _ENV_LEAVES:
+            entry["status"] = "ok" if base == cur else "warn"
+            if entry["status"] == "warn":
+                entry["note"] = "environment-dependent field (never gated)"
+        elif key not in flat_base or key not in flat_cur:
+            entry["status"] = "fail" if gate_fields else "warn"
+            entry["note"] = (
+                "missing in baseline" if base is None else "missing in current"
+            )
+        elif not structural:
+            rate = is_rate_field(key)
             if not isinstance(base, (int, float)) or not isinstance(cur, (int, float)):
                 entry["status"] = "ok" if base == cur else "warn"
             elif base <= 0:
@@ -101,10 +150,24 @@ def compare_bench(
             else:
                 ratio = cur / base
                 entry["ratio"] = round(ratio, 3)
-                if ratio > 1.0 + tolerance:
-                    entry["status"] = "fail"
-                    entry["note"] = f"{(ratio - 1.0) * 100:.0f}% slower than baseline"
-                elif ratio < 1.0 / (1.0 + tolerance):
+                # A rate regressing means the ratio *dropped*.
+                regressed = (
+                    ratio < 1.0 / (1.0 + tolerance) if rate
+                    else ratio > 1.0 + tolerance
+                )
+                better = (
+                    ratio > 1.0 + tolerance if rate
+                    else ratio < 1.0 / (1.0 + tolerance)
+                )
+                if regressed:
+                    # Gated lanes tolerate wall-time noise but not rate
+                    # regressions (rates carry the same tolerance).
+                    entry["status"] = (
+                        "warn" if gate_fields and not rate else "fail"
+                    )
+                    slower = (1.0 / ratio if rate else ratio) - 1.0
+                    entry["note"] = f"{slower * 100:.0f}% slower than baseline"
+                elif better:
                     entry["status"] = "improved"
                 else:
                     entry["status"] = "ok"
@@ -112,7 +175,7 @@ def compare_bench(
             if base == cur:
                 entry["status"] = "ok"
             else:
-                entry["status"] = "warn"
+                entry["status"] = "fail" if gate_fields else "warn"
                 entry["note"] = "structural field changed; refresh the baseline?"
         entries.append(entry)
     return entries
@@ -137,22 +200,32 @@ def compare_dirs(
     baseline_dir: str | Path,
     current_dir: str | Path,
     tolerance: float = 0.75,
+    gate_fields: bool = False,
 ) -> dict[str, Any]:
-    """Diff every benchmark across two directories -> ``bench-diff/v1``."""
+    """Diff every benchmark across two directories -> ``bench-diff/v1``.
+
+    With *gate_fields*, benchmarks absent from one side count as
+    ``fail`` (summary-wise): a disappeared benchmark means a perf
+    trajectory silently went dark, a new one means its baseline was
+    not committed alongside it.
+    """
     baselines = _load_dir(baseline_dir)
     currents = _load_dir(current_dir)
     benchmarks: dict[str, Any] = {}
     summary = {"ok": 0, "improved": 0, "warn": 0, "fail": 0}
+    drift_severity = "fail" if gate_fields else "warn"
     for name in sorted(set(baselines) | set(currents)):
         if name not in currents:
             benchmarks[name] = {"status": "missing", "entries": []}
-            summary["warn"] += 1
+            summary[drift_severity] += 1
             continue
         if name not in baselines:
             benchmarks[name] = {"status": "new", "entries": []}
-            summary["warn"] += 1
+            summary[drift_severity] += 1
             continue
-        entries = compare_bench(baselines[name], currents[name], tolerance)
+        entries = compare_bench(
+            baselines[name], currents[name], tolerance, gate_fields=gate_fields
+        )
         statuses = {entry["status"] for entry in entries}
         status = (
             "fail" if "fail" in statuses
@@ -167,6 +240,7 @@ def compare_dirs(
         "baseline_dir": str(baseline_dir),
         "current_dir": str(current_dir),
         "tolerance": tolerance,
+        "gate_fields": gate_fields,
         "benchmarks": benchmarks,
         "summary": summary,
     }
@@ -174,9 +248,10 @@ def compare_dirs(
 
 def render_bench_diff(report: dict[str, Any]) -> str:
     """Human-readable rendering of a ``bench-diff/v1`` report."""
+    gated = ", gated fields" if report.get("gate_fields") else ""
     lines = [
         f"BENCH-DIFF {report['baseline_dir']} -> {report['current_dir']} "
-        f"(timing tolerance {report['tolerance']:.0%})"
+        f"(timing tolerance {report['tolerance']:.0%}{gated})"
     ]
     for name, result in report["benchmarks"].items():
         status = result["status"]

@@ -215,9 +215,9 @@ class Switch:
                 flows.frame_sent(frame, flows.current)
                 if verdict is not None and verdict.duplicate_delay_ns is not None:
                     flows.frame_sent(frame, flows.current)
-        self._sim.at(arrival, lambda: destination.deliver(frame))
+        self._sim.post_at(arrival, lambda: destination.deliver(frame))
         if verdict is not None and verdict.duplicate_delay_ns is not None:
-            self._sim.at(
+            self._sim.post_at(
                 arrival + verdict.duplicate_delay_ns,
                 lambda: destination.deliver(frame),
             )

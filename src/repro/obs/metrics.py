@@ -343,7 +343,9 @@ def aggregate_snapshots(snapshots: Sequence[dict[str, Any]]) -> dict[str, Any]:
     return result
 
 
-def _merge_histograms(entries: Sequence[dict[str, Any] | None]) -> dict[str, Any] | None:
+def _merge_histograms(
+    entries: Sequence[dict[str, Any] | None],
+) -> dict[str, Any] | None:
     present = [entry for entry in entries if entry]
     if not present:
         return None

@@ -160,7 +160,7 @@ class Environment:
             result.extend(top.all_reactions())
         return result
 
-    # -- execution ----------------------------------------------------------------------
+    # -- execution ---------------------------------------------------------------------
 
     def execute(self) -> None:
         """Fast mode: run to completion in logical time."""

@@ -84,6 +84,8 @@ class Reaction:
         self.body = body
         self.deadline = deadline
         self.exec_time = exec_time
+        #: Fully qualified name (the reactor tree is fixed at build time).
+        self.fqn = f"{owner.fqn}.{name}"
         #: APG level, assigned at assembly.
         self.level: int = -1
         #: Stable tie-break key within a level, assigned at assembly.
@@ -91,13 +93,15 @@ class Reaction:
         #: Statistics.
         self.invocations = 0
         self.deadline_violations = 0
+        #: Whether this reaction is already on the scheduler's ready heap
+        #: for the current tag (replaces a per-tag membership set).
+        self._queued = False
+        #: Identity sets for the context's access checks — O(1) instead
+        #: of scanning the declaration lists on every get/set.
+        self._readable = frozenset(self.triggers) | frozenset(self.sources)
+        self._effect_set = frozenset(self.effects)
         for trigger in self.triggers:
             trigger.triggered_reactions.append(self)
-
-    @property
-    def fqn(self) -> str:
-        """Fully qualified name."""
-        return f"{self.owner.fqn}.{self.name}"
 
     def sample_exec_time(self, rng: Any) -> int:
         """Modelled execution cost for one invocation."""
@@ -110,7 +114,14 @@ class Reaction:
 
 
 class ReactionContext:
-    """The API a reaction body uses to interact with the runtime."""
+    """The API a reaction body uses to interact with the runtime.
+
+    The scheduler reuses one mutable instance across invocations
+    (reaction bodies run to completion without nesting), so holding a
+    context past the body's return is not supported.
+    """
+
+    __slots__ = ("_scheduler", "_reaction", "tag")
 
     def __init__(self, scheduler: "ReactorScheduler", reaction: Reaction, tag: Tag):
         self._scheduler = scheduler
@@ -136,7 +147,7 @@ class ReactionContext:
 
     def get(self, port: "Port | Any") -> Any:
         """Read a trigger/source port or action value at the current tag."""
-        if port not in self._reaction.triggers and port not in self._reaction.sources:
+        if port not in self._reaction._readable:
             raise SchedulingError(
                 f"reaction {self._reaction.fqn} reads {port.fqn} without "
                 f"declaring it as a trigger or source"
@@ -145,7 +156,7 @@ class ReactionContext:
 
     def is_present(self, port: "Port | Any") -> bool:
         """Whether a declared trigger/source carries a value at this tag."""
-        if port not in self._reaction.triggers and port not in self._reaction.sources:
+        if port not in self._reaction._readable:
             raise SchedulingError(
                 f"reaction {self._reaction.fqn} tests {port.fqn} without "
                 f"declaring it as a trigger or source"
@@ -154,7 +165,7 @@ class ReactionContext:
 
     def set(self, port: "Port", value: Any = None) -> None:
         """Set a declared effect port at the current tag."""
-        if port not in self._reaction.effects:
+        if port not in self._reaction._effect_set:
             raise SchedulingError(
                 f"reaction {self._reaction.fqn} sets {port.fqn} without "
                 f"declaring it as an effect"
@@ -170,7 +181,7 @@ class ReactionContext:
         extra_delay: int = 0,
     ) -> Tag:
         """Schedule a declared-effect action relative to the current tag."""
-        if action not in self._reaction.effects:
+        if action not in self._reaction._effect_set:
             raise SchedulingError(
                 f"reaction {self._reaction.fqn} schedules {action.fqn} "
                 f"without declaring it as an effect"

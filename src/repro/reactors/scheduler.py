@@ -18,12 +18,20 @@ Two drivers share this core:
   bodies consume simulated CPU time, and deadlines are measured against
   the physical clock — faithfully reproducing how the paper's C++
   runtime behaves on its evaluation boards.
+
+Hot-path notes (the sim-kernel throughput overhaul): event records are
+mutable ``__slots__`` objects recycled through a freelist, ready-queue
+membership is a flag on the reaction instead of a side set, one mutable
+:class:`ReactionContext` is reused across invocations, and the per-tag
+dispatch loops are inlined batches rather than per-reaction method
+calls.  None of this changes the order of reactions, trace records or
+RNG draws — bit-exactness is pinned by the kernel-fingerprint
+regression tests.
 """
 
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any
 
 from repro.errors import DeadlineViolation, ReactorError, SchedulingError
@@ -38,12 +46,19 @@ if TYPE_CHECKING:
     from repro.reactors.environment import Environment
 
 
-@dataclass(frozen=True, slots=True)
 class _Event:
-    """A scheduled occurrence of a trigger (or delayed port value)."""
+    """A scheduled occurrence of a trigger (or delayed port value).
 
-    target: Any  # TriggerBase or Port
-    value: Any
+    Mutable and recycled through the scheduler's freelist — one of the
+    two per-event allocations the throughput overhaul removed (the
+    other being the ready-set entry).
+    """
+
+    __slots__ = ("target", "value")
+
+    def __init__(self, target: Any, value: Any) -> None:
+        self.target = target  # TriggerBase or Port
+        self.value = value
 
 
 class ReactorScheduler:
@@ -62,7 +77,10 @@ class ReactorScheduler:
         #: Ports/triggers to clear once the current tag completes.
         self._to_clear: list[Any] = []
         self._ready: list[tuple[int, int, Reaction]] = []
-        self._ready_set: set[Reaction] = set()
+        #: Freelist of recycled event records.
+        self._event_pool: list[_Event] = []
+        #: Reusable invocation context (bodies never nest or retain it).
+        self._ctx = ReactionContext(self, None, NEVER)
         self.tags_processed = 0
         self.reactions_executed = 0
         # Sim-mode plumbing, populated by sim_thread_body.
@@ -98,7 +116,14 @@ class ReactorScheduler:
 
     # -- event insertion -----------------------------------------------------------
 
-    def _push(self, tag: Tag, event: _Event) -> None:
+    def _push(self, tag: Tag, target: Any, value: Any) -> None:
+        pool = self._event_pool
+        if pool:
+            event = pool.pop()
+            event.target = target
+            event.value = value
+        else:
+            event = _Event(target, value)
         heapq.heappush(self._queue, (tag, self._sequence, event))
         self._sequence += 1
 
@@ -123,7 +148,7 @@ class ReactorScheduler:
         if self._active_buffer is not None:
             self._active_buffer.append(("event", tag, action, value))
         else:
-            self._push(tag, _Event(action, value))
+            self._push(tag, action, value)
         return tag
 
     def schedule_physical(
@@ -144,7 +169,7 @@ class ReactorScheduler:
         o = obs_context.ACTIVE
         if o.enabled and o.flows is not None:
             o.flows.bind_event(value)
-        self._push(tag, _Event(action, value))
+        self._push(tag, action, value)
         self._wake()
         return tag
 
@@ -171,7 +196,7 @@ class ReactorScheduler:
         o = obs_context.ACTIVE
         if o.enabled and o.flows is not None:
             o.flows.bind_event(value)
-        self._push(tag, _Event(action, value))
+        self._push(tag, action, value)
         self._wake()
         return tag, late
 
@@ -222,46 +247,50 @@ class ReactorScheduler:
         start_tag = Tag(start_time, 0)
         for reactor in self._env.all_reactors():
             if reactor.startup.triggered_reactions:
-                self._push(start_tag, _Event(reactor.startup, None))
+                self._push(start_tag, reactor.startup, None)
             for timer in reactor._timers:
-                self._push(
-                    Tag(start_time + timer.offset, 0), _Event(timer, None)
-                )
+                self._push(Tag(start_time + timer.offset, 0), timer, None)
 
-    # -- per-tag processing ---------------------------------------------------------------
+    # -- per-tag processing ------------------------------------------------------------
 
     def _pop_tag_events(self, tag: Tag) -> list[_Event]:
+        queue = self._queue
+        pop = heapq.heappop
         events = []
-        while self._queue and self._queue[0][0] == tag:
-            _tag, _seq, event = heapq.heappop(self._queue)
-            events.append(event)
+        while queue and queue[0][0] == tag:
+            events.append(pop(queue)[2])
         return events
 
     def _propagate(self, port: Port, value: Any, tag: Tag) -> None:
         """Make *port* (and its zero-delay closure) present with *value*."""
+        trace = self._env.trace
+        to_clear = self._to_clear
         stack = [port]
         while stack:
             current = stack.pop()
             current._put(value)
-            self._to_clear.append(current)
-            self._env.trace.port_set(tag, current.fqn, value)
+            to_clear.append(current)
+            if trace.enabled:
+                trace.port_set(tag, current.fqn, value)
             for reaction in current.triggered_reactions:
-                self._enqueue_reaction(reaction)
+                if not reaction._queued:
+                    reaction._queued = True
+                    heapq.heappush(
+                        self._ready, (reaction.level, reaction.order_key, reaction)
+                    )
             stack.extend(current.downstream)
             for downstream, delay in current.delayed_downstream:
-                self._push(tag.delay(delay), _Event(downstream, value))
+                self._push(tag.delay(delay), downstream, value)
 
     def _enqueue_reaction(self, reaction: Reaction) -> None:
-        if reaction in self._ready_set:
+        if reaction._queued:
             return
-        self._ready_set.add(reaction)
+        reaction._queued = True
         heapq.heappush(self._ready, (reaction.level, reaction.order_key, reaction))
 
-    def _begin_tag(self, tag: Tag, events: list[_Event]) -> list[_Event]:
-        """Mark triggers present; returns shutdown-merged event list."""
+    def _begin_tag(self, tag: Tag, events: list[_Event]) -> None:
+        """Mark triggers present (shutdown merged in); recycle *events*."""
         self._current_tag = tag
-        self._ready = []
-        self._ready_set = set()
         self.tags_processed += 1
         if tag >= self._stop_tag:
             for reactor in self._env.all_reactors():
@@ -272,6 +301,7 @@ class ReactorScheduler:
                         self._enqueue_reaction(reaction)
         o = obs_context.ACTIVE
         flows = o.flows if o.enabled else None
+        to_clear = self._to_clear
         for event in events:
             if flows is not None:
                 flow = flows.event_arrived(event.value)
@@ -284,12 +314,16 @@ class ReactorScheduler:
                 self._propagate(target, event.value, tag)
                 continue
             target._put(event.value)
-            self._to_clear.append(target)
+            to_clear.append(target)
             for reaction in target.triggered_reactions:
                 self._enqueue_reaction(reaction)
             if isinstance(target, Timer) and target.period is not None:
-                self._push(tag.delay(target.period), _Event(target, None))
-        return events
+                self._push(tag.delay(target.period), target, None)
+        pool = self._event_pool
+        for event in events:
+            event.target = None
+            event.value = None
+            pool.append(event)
 
     def _finish_tag(self) -> None:
         for element in self._to_clear:
@@ -306,6 +340,7 @@ class ReactorScheduler:
         if not self._ready:
             return None
         _level, _order, reaction = heapq.heappop(self._ready)
+        reaction._queued = False
         return reaction
 
     def _invoke(self, reaction: Reaction, tag: Tag, record_trace: bool = True) -> bool:
@@ -317,7 +352,9 @@ class ReactorScheduler:
         effect-application phase so traces are independent of worker
         completion order.
         """
-        context = ReactionContext(self, reaction, tag)
+        context = self._ctx
+        context._reaction = reaction
+        context.tag = tag
         reaction.invocations += 1
         self.reactions_executed += 1
         o = obs_context.ACTIVE
@@ -351,15 +388,25 @@ class ReactorScheduler:
                     deadline.duration_ns - lag
                 )
         if record_trace:
-            self._env.trace.reaction(tag, reaction.fqn)
+            trace = self._env.trace
+            if trace.enabled:
+                trace.reaction(tag, reaction.fqn)
         reaction.body(context)
         return True
 
-    # -- fast driver -------------------------------------------------------------------------
+    # -- fast driver -------------------------------------------------------------------
 
     def run_fast(self) -> None:
-        """Run to completion in logical time (no platform)."""
+        """Run to completion in logical time (no platform).
+
+        The per-tag reaction batch is drained in one inlined dispatch
+        loop — the fast-mode path the sim driver's zero-cost batches
+        generalize.
+        """
         self._initialize(start_time=0)
+        ready = self._ready
+        pop = heapq.heappop
+        invoke = self._invoke
         while True:
             tag = self._next_tag()
             if tag is None:
@@ -374,20 +421,19 @@ class ReactorScheduler:
                 tag = self._stop_tag
             if tag >= self._stop_tag:
                 tag = self._stop_tag
-            self._physical_fast = max(self._physical_fast, tag.time)
-            events = self._pop_tag_events(tag)
-            self._begin_tag(tag, events)
-            while True:
-                reaction = self._next_ready_reaction()
-                if reaction is None:
-                    break
-                self._invoke(reaction, tag)
+            if tag.time > self._physical_fast:
+                self._physical_fast = tag.time
+            self._begin_tag(tag, self._pop_tag_events(tag))
+            while ready:
+                reaction = pop(ready)[2]
+                reaction._queued = False
+                invoke(reaction, tag)
             self._finish_tag()
             if tag >= self._stop_tag:
                 break
         self._terminated = True
 
-    # -- sim driver ---------------------------------------------------------------------------
+    # -- sim driver --------------------------------------------------------------------
 
     def sim_thread_body(self, platform, workers: int = 1):
         """Generator: the scheduler loop as a simulated-platform thread.
@@ -398,6 +444,11 @@ class ReactorScheduler:
         buffered per reaction and applied at the level barrier in APG
         order, so the logical behaviour (and trace) is identical to
         sequential execution; only physical timing improves.
+
+        Zero-cost reactions batch through the same inlined loop as
+        :meth:`run_fast`; only reactions with a modelled execution cost
+        pay a coroutine switch (the ``Compute`` yield that advances the
+        platform clock — required for exact deadline/lag semantics).
         """
         from repro.sim.process import (
             Acquire,
@@ -413,6 +464,9 @@ class ReactorScheduler:
         exec_rng = platform.rng(f"reactor.exec.{self._env.name}")
         pool = _WorkerPool(self, platform, workers) if workers > 1 else None
         self._initialize(start_time=platform.local_now())
+        ready = self._ready
+        pop = heapq.heappop
+        invoke = self._invoke
         while True:
             yield Acquire(self._mutex)
             tag = self._next_tag()
@@ -432,15 +486,14 @@ class ReactorScheduler:
             yield Release(self._mutex)
             self._begin_tag(tag, events)
             if pool is None:
-                while True:
-                    reaction = self._next_ready_reaction()
-                    if reaction is None:
-                        break
+                o = obs_context.ACTIVE
+                while ready:
+                    reaction = pop(ready)[2]
+                    reaction._queued = False
                     cost = reaction.sample_exec_time(exec_rng)
                     if cost > 0:
                         yield Compute(cost)
-                    self._invoke(reaction, tag)
-                    o = obs_context.ACTIVE
+                    invoke(reaction, tag)
                     if o.enabled:
                         now = platform.sim.now
                         o.bus.span(
@@ -463,12 +516,14 @@ class ReactorScheduler:
 
     def _pop_level_batch(self) -> list[Reaction]:
         """Pop all ready reactions sharing the lowest level, in APG order."""
-        if not self._ready:
+        ready = self._ready
+        if not ready:
             return []
-        level = self._ready[0][0]
+        level = ready[0][0]
         batch = []
-        while self._ready and self._ready[0][0] == level:
-            _level, _order, reaction = heapq.heappop(self._ready)
+        while ready and ready[0][0] == level:
+            reaction = heapq.heappop(ready)[2]
+            reaction._queued = False
             batch.append(reaction)
         return batch
 
@@ -495,7 +550,7 @@ class ReactorScheduler:
                         self._propagate(port, value, set_tag)
                     else:
                         _kind, event_tag, action, value = effect
-                        self._push(event_tag, _Event(action, value))
+                        self._push(event_tag, action, value)
 
 
 class _WorkerPool:
@@ -557,6 +612,8 @@ class _WorkerPool:
             buffer: list = []
             scheduler._active_buffer = buffer
             try:
+                # _invoke runs atomically between yields, so the shared
+                # reusable context is safe for workers too.
                 body_ran = scheduler._invoke(reaction, tag, record_trace=False)
             finally:
                 scheduler._active_buffer = None

@@ -31,7 +31,8 @@ class TraceRecord:
 
     def line(self) -> str:
         """Canonical one-line rendering (input to the fingerprint)."""
-        return f"{self.tag.time}.{self.tag.microstep} {self.kind} {self.name} {self.value}"
+        tag = self.tag
+        return f"{tag.time}.{tag.microstep} {self.kind} {self.name} {self.value}"
 
 
 class Trace:

@@ -1,10 +1,37 @@
 """The discrete-event simulation kernel.
 
-A :class:`Simulator` owns a priority queue of timed callbacks.  Entries
-are ordered by ``(time, priority, sequence)``; the monotonically
-increasing sequence number makes ordering total and deterministic, so the
+A :class:`Simulator` owns a timestamp-bucketed event queue.  Events are
+totally ordered by ``(time, priority, insertion sequence)``, so the
 kernel itself introduces **no** nondeterminism — all modelled
 nondeterminism comes from explicit RNG draws in higher layers.
+
+Hot-path design (the sim-kernel throughput overhaul)
+----------------------------------------------------
+
+The queue is a dict of *time buckets* plus a heap of pending times:
+scheduling appends to the current bucket (amortizing the heap push over
+every event sharing a timestamp, the dominant shape produced by zero-
+delay trampolines and same-tag fan-out) and the run loop dispatches a
+whole bucket per heap pop.  Three scheduling tiers trade generality for
+allocation cost:
+
+* :meth:`Simulator.at` / :meth:`Simulator.after` — the general API:
+  returns a freshly allocated, cancellable :class:`EventHandle` and
+  accepts a priority.  Handles returned here are never recycled, so
+  holding one indefinitely is always safe.
+* :meth:`Simulator.timer_at` — cancellable like :meth:`at`, but the
+  handle comes from a slot/freelist pool and is recycled once the
+  kernel is done with it.  **Kernel-internal contract**: the caller
+  must drop its reference when the timer fires or right after
+  cancelling it (the CPU scheduler's sleep/timeout paths do exactly
+  that).
+* :meth:`Simulator.post_at` / :meth:`Simulator.post_after` — the fast
+  path: no handle, no cancellation, default priority.  Scheduler
+  continuations, dispatch trampolines and network deliveries use this;
+  it is what ``BENCH_sim_kernel_event_throughput`` measures.
+
+All three tiers share one total order; mixing them cannot reorder
+events relative to the previous heap-of-tuples kernel.
 """
 
 from __future__ import annotations
@@ -26,12 +53,13 @@ PRIORITY_LATE = 200
 class EventHandle:
     """Handle to a scheduled event, supporting cancellation."""
 
-    __slots__ = ("time", "_callback", "_cancelled")
+    __slots__ = ("time", "_callback", "_cancelled", "_pooled")
 
     def __init__(self, time: int, callback: Callable[[], None]) -> None:
         self.time = time
         self._callback = callback
         self._cancelled = False
+        self._pooled = False
 
     def cancel(self) -> None:
         """Prevent the event from firing (no-op if already fired)."""
@@ -55,12 +83,32 @@ class EventHandle:
 class Simulator:
     """Deterministic event-queue simulator over integer-nanosecond time."""
 
+    __slots__ = (
+        "_now",
+        "_sequence",
+        "_times",
+        "_buckets",
+        "_late",
+        "_running",
+        "_events_processed",
+        "_pool",
+    )
+
     def __init__(self) -> None:
         self._now = 0
         self._sequence = 0
-        self._queue: list[tuple[int, int, int, EventHandle]] = []
+        #: Heap of timestamps with at least one scheduled event.
+        self._times: list[int] = []
+        #: time -> targets (callables or handles) at PRIORITY_NORMAL,
+        #: in insertion order — which *is* the sequence order.
+        self._buckets: dict[int, list] = {}
+        #: time -> [(priority, sequence, target)] for non-default
+        #: priorities (rare: LET publish ordering, test probes).
+        self._late: dict[int, list] = {}
         self._running = False
         self._events_processed = 0
+        #: Freelist of recycled :meth:`timer_at` handles.
+        self._pool: list[EventHandle] = []
 
     @property
     def now(self) -> int:
@@ -71,6 +119,16 @@ class Simulator:
     def events_processed(self) -> int:
         """Number of events executed so far (for diagnostics)."""
         return self._events_processed
+
+    # -- scheduling ---------------------------------------------------------
+
+    def _bucket_for(self, time: int) -> list:
+        bucket = self._buckets.get(time)
+        if bucket is None:
+            self._buckets[time] = bucket = []
+            if time not in self._late:
+                heapq.heappush(self._times, time)
+        return bucket
 
     def at(
         self,
@@ -85,8 +143,15 @@ class Simulator:
                 f"now is {format_duration(self._now)}"
             )
         handle = EventHandle(time, callback)
-        heapq.heappush(self._queue, (time, priority, self._sequence, handle))
-        self._sequence += 1
+        if priority == PRIORITY_NORMAL:
+            bucket = self._buckets.get(time)
+            if bucket is None:
+                self._buckets[time] = bucket = []
+                if time not in self._late:
+                    heapq.heappush(self._times, time)
+            bucket.append(handle)
+        else:
+            self._push_late(time, priority, handle)
         return handle
 
     def after(
@@ -100,16 +165,169 @@ class Simulator:
             raise SimulationError("delay must be non-negative")
         return self.at(self._now + delay, callback, priority)
 
+    def timer_at(self, time: int, callback: Callable[[], None]) -> EventHandle:
+        """Schedule a cancellable event on a pooled handle (kernel-internal).
+
+        The handle is recycled through a freelist once the event fires
+        (or once its cancelled carcass is swept from the queue), so the
+        caller must not retain a reference past that point — see the
+        module docstring for the ownership contract.
+        """
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at {format_duration(time)}, "
+                f"now is {format_duration(self._now)}"
+            )
+        pool = self._pool
+        if pool:
+            handle = pool.pop()
+            handle.time = time
+            handle._callback = callback
+            handle._cancelled = False
+        else:
+            handle = EventHandle(time, callback)
+            handle._pooled = True
+        bucket = self._buckets.get(time)
+        if bucket is None:
+            self._buckets[time] = bucket = []
+            if time not in self._late:
+                heapq.heappush(self._times, time)
+        bucket.append(handle)
+        return handle
+
+    def post_at(self, time: int, callback: Callable[[], None]) -> None:
+        """Schedule a bare callback: no handle, no cancellation (fast path)."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at {format_duration(time)}, "
+                f"now is {format_duration(self._now)}"
+            )
+        bucket = self._buckets.get(time)
+        if bucket is None:
+            self._buckets[time] = bucket = [callback]
+            if time not in self._late:
+                heapq.heappush(self._times, time)
+            return
+        bucket.append(callback)
+
+    def post_after(self, delay: int, callback: Callable[[], None]) -> None:
+        """Schedule a bare callback after *delay* (fast path)."""
+        if delay < 0:
+            raise SimulationError("delay must be non-negative")
+        time = self._now + delay
+        bucket = self._buckets.get(time)
+        if bucket is None:
+            self._buckets[time] = bucket = [callback]
+            if time not in self._late:
+                heapq.heappush(self._times, time)
+            return
+        bucket.append(callback)
+
+    def _push_late(self, time: int, priority: int, target) -> None:
+        entries = self._late.get(time)
+        if entries is None:
+            self._late[time] = entries = []
+            if time not in self._buckets:
+                heapq.heappush(self._times, time)
+        entries.append((priority, self._sequence, target))
+        self._sequence += 1
+
+    # -- dispatch -----------------------------------------------------------
+
+    def _fire_target(self, target) -> int:
+        """Run one bucket entry; returns 1 if an event actually fired."""
+        if target.__class__ is EventHandle:
+            fired = 0
+            if not target._cancelled:
+                callback = target._callback
+                target._callback = None
+                fired = 1
+                callback()
+            if target._pooled:
+                target._callback = None
+                self._pool.append(target)
+            return fired
+        target()
+        return 1
+
+    def _dispatch_time(self, time: int) -> int:
+        """Run every event at *time* in (priority, sequence) order."""
+        fired = 0
+        late = self._late
+        early_entries = later_entries = None
+        if late:
+            entries = late.pop(time, None)
+            if entries:
+                entries.sort(key=lambda item: (item[0], item[1]))
+                early_entries = [t for p, _s, t in entries if p < PRIORITY_NORMAL]
+                later_entries = [t for p, _s, t in entries if p >= PRIORITY_NORMAL]
+        if early_entries:
+            for target in early_entries:
+                fired += self._fire_target(target)
+        bucket = self._buckets.pop(time, None)
+        if bucket is not None:
+            fire = self._fire_target
+            for target in bucket:
+                if target.__class__ is EventHandle:
+                    fired += fire(target)
+                else:
+                    target()
+                    fired += 1
+        if later_entries:
+            for target in later_entries:
+                fired += self._fire_target(target)
+        return fired
+
     def step(self) -> bool:
         """Execute the next event.  Returns ``False`` if queue is empty."""
-        while self._queue:
-            time, _priority, _seq, handle = heapq.heappop(self._queue)
-            if handle.cancelled:
+        times = self._times
+        buckets = self._buckets
+        late = self._late
+        while times:
+            time = times[0]
+            bucket = buckets.get(time)
+            entries = late.get(time) if late else None
+            if bucket is None and entries is None:
+                heapq.heappop(times)  # stale duplicate
                 continue
-            self._now = time
-            self._events_processed += 1
-            handle._fire()
-            return True
+            # Assemble the time's entries in order and fire the first
+            # live one, leaving the rest queued (slow, test-only path).
+            ordered: list = []
+            if entries:
+                entries = sorted(entries, key=lambda item: (item[0], item[1]))
+                ordered += [
+                    ("late", e) for e in entries if e[0] < PRIORITY_NORMAL
+                ]
+            if bucket:
+                ordered += [("bucket", t) for t in bucket]
+            if entries:
+                ordered += [
+                    ("late", e) for e in entries if e[0] >= PRIORITY_NORMAL
+                ]
+            fired = False
+            consumed = 0
+            for kind, item in ordered:
+                consumed += 1
+                target = item if kind == "bucket" else item[2]
+                self._now = time
+                if self._fire_target(target):
+                    fired = True
+                    break
+            # Drop the consumed prefix from the underlying structures.
+            for kind, item in ordered[:consumed]:
+                if kind == "bucket":
+                    bucket.remove(item)
+                else:
+                    late[time].remove(item)
+            if bucket is not None and not bucket:
+                buckets.pop(time, None)
+            if late and time in late and not late[time]:
+                late.pop(time)
+            if time not in buckets and time not in late:
+                heapq.heappop(times)
+            if fired:
+                self._events_processed += 1
+                return True
         return False
 
     def run(self, until: int | None = None) -> None:
@@ -121,31 +339,87 @@ class Simulator:
         if self._running:
             raise SimulationError("simulator is already running (reentrant run)")
         self._running = True
+        fired = 0
+        times = self._times
+        buckets = self._buckets
+        late = self._late
+        bucket_pop = buckets.pop
+        pool_append = self._pool.append
+        handle_class = EventHandle
+        pop = heapq.heappop
         try:
-            while self._queue:
-                time = self._next_pending_time()
-                if time is None:
-                    break
-                if until is not None and time > until:
-                    break
-                self.step()
-            if until is not None and until > self._now:
-                self._now = until
+            if until is None:
+                while times:
+                    time = pop(times)
+                    bucket = bucket_pop(time, None)
+                    if late or bucket is None:
+                        # Rare: off-priority events or stale duplicate.
+                        if bucket is not None:
+                            buckets[time] = bucket
+                        elif time not in late:
+                            continue
+                        self._now = time
+                        fired += self._dispatch_time(time)
+                        continue
+                    self._now = time
+                    for target in bucket:
+                        if target.__class__ is handle_class:
+                            if not target._cancelled:
+                                callback = target._callback
+                                target._callback = None
+                                fired += 1
+                                callback()
+                            if target._pooled:
+                                target._callback = None
+                                pool_append(target)
+                        else:
+                            target()
+                            fired += 1
+            else:
+                while times:
+                    time = times[0]
+                    if time not in buckets and time not in self._late:
+                        pop(times)
+                        continue
+                    if time > until:
+                        break
+                    pop(times)
+                    self._now = time
+                    fired += self._dispatch_time(time)
+                if until > self._now:
+                    self._now = until
         finally:
+            self._events_processed += fired
             self._running = False
 
     def _next_pending_time(self) -> int | None:
-        while self._queue:
-            time, _priority, _seq, handle = self._queue[0]
-            if handle.cancelled:
-                heapq.heappop(self._queue)
+        times = self._times
+        while times:
+            time = times[0]
+            if time not in self._buckets and time not in self._late:
+                heapq.heappop(times)
                 continue
             return time
         return None
 
     def pending_count(self) -> int:
         """Number of live (non-cancelled) events in the queue."""
-        return sum(1 for *_rest, handle in self._queue if not handle.cancelled)
+        count = 0
+        for bucket in self._buckets.values():
+            for target in bucket:
+                if target.__class__ is EventHandle:
+                    if not target._cancelled:
+                        count += 1
+                else:
+                    count += 1
+        for entries in self._late.values():
+            for _priority, _seq, target in entries:
+                if target.__class__ is EventHandle:
+                    if not target._cancelled:
+                        count += 1
+                else:
+                    count += 1
+        return count
 
     def __repr__(self) -> str:
         return (

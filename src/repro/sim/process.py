@@ -50,47 +50,47 @@ class WaitResult(enum.Enum):
 # --------------------------------------------------------------------------
 
 
-@dataclass(frozen=True, slots=True)
+@dataclass(slots=True, eq=False)
 class Compute:
     """Occupy the CPU core for *duration_ns* of simulated time."""
 
     duration_ns: int
 
 
-@dataclass(frozen=True, slots=True)
+@dataclass(slots=True, eq=False)
 class Sleep:
     """Release the core and sleep for *duration_ns* of local clock time."""
 
     duration_ns: int
 
 
-@dataclass(frozen=True, slots=True)
+@dataclass(slots=True, eq=False)
 class SleepUntil:
     """Release the core and sleep until the local clock reads *local_time*."""
 
     local_time: int
 
 
-@dataclass(frozen=True, slots=True)
+@dataclass(slots=True, eq=False)
 class Yield:
     """Release the core but stay runnable (cooperative reschedule point)."""
 
 
-@dataclass(frozen=True, slots=True)
+@dataclass(slots=True, eq=False)
 class Acquire:
     """Acquire a mutex, blocking if it is held."""
 
     mutex: "Mutex"
 
 
-@dataclass(frozen=True, slots=True)
+@dataclass(slots=True, eq=False)
 class Release:
     """Release a held mutex, waking one random waiter if any."""
 
     mutex: "Mutex"
 
 
-@dataclass(frozen=True, slots=True)
+@dataclass(slots=True, eq=False)
 class Wait:
     """Atomically release *mutex* and wait on *condvar*.
 
@@ -101,7 +101,7 @@ class Wait:
     mutex: "Mutex"
 
 
-@dataclass(frozen=True, slots=True)
+@dataclass(slots=True, eq=False)
 class WaitUntil:
     """Like :class:`Wait` but with a local-clock deadline.
 
@@ -114,28 +114,28 @@ class WaitUntil:
     local_deadline: int
 
 
-@dataclass(frozen=True, slots=True)
+@dataclass(slots=True, eq=False)
 class Notify:
     """Wake one (randomly chosen) waiter of *condvar*."""
 
     condvar: "CondVar"
 
 
-@dataclass(frozen=True, slots=True)
+@dataclass(slots=True, eq=False)
 class NotifyAll:
     """Wake every waiter of *condvar*."""
 
     condvar: "CondVar"
 
 
-@dataclass(frozen=True, slots=True)
+@dataclass(slots=True, eq=False)
 class Join:
     """Block until *thread* finishes; yields its return value."""
 
     thread: "SimThread"
 
 
-@dataclass(frozen=True, slots=True)
+@dataclass(slots=True, eq=False)
 class Exit:
     """Terminate the thread immediately with *value* as its result."""
 
@@ -180,6 +180,10 @@ class SimThread:
     timeout_handle: Any = None
     #: Core index while RUNNING, else None.
     core: int | None = None
+    #: Scheduler-owned continuation closures, created once at spawn so
+    #: the hot dispatch/compute paths never allocate a per-event lambda.
+    resume_cb: Any = None
+    wake_cb: Any = None
 
     @property
     def done(self) -> bool:

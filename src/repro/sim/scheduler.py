@@ -115,6 +115,10 @@ class CpuScheduler:
     ) -> SimThread:
         """Create a thread and make it runnable after *start_delay_ns*."""
         thread = SimThread(name=name, generator=generator)
+        # One continuation pair per thread, allocated here so compute
+        # continuations and sleep wakeups never build a per-event lambda.
+        thread.resume_cb = lambda: self._step(thread)
+        thread.wake_cb = lambda: self._wake_sleeper(thread)
         self._threads.append(thread)
         if start_delay_ns < 0:
             raise ValueError("start delay must be non-negative")
@@ -124,7 +128,7 @@ class CpuScheduler:
             self._ready.append(thread)
             self._request_dispatch()
 
-        self._sim.after(start_delay_ns, make_ready)
+        self._sim.post_after(start_delay_ns, make_ready)
         return thread
 
     def external_notify(self, condvar: CondVar) -> None:
@@ -164,7 +168,7 @@ class CpuScheduler:
         self._frozen = False
         parked, self._parked = self._parked, []
         for thread in parked:
-            self._sim.after(0, lambda t=thread: self._step(t))
+            self._sim.post_after(0, thread.resume_cb)
         self._request_dispatch()
 
     def blocked_threads(self) -> list[SimThread]:
@@ -181,31 +185,40 @@ class CpuScheduler:
         if self._dispatch_pending:
             return
         self._dispatch_pending = True
-        self._sim.after(0, self._dispatch)
+        self._sim.post_after(0, self._dispatch)
 
     def _dispatch(self) -> None:
         self._dispatch_pending = False
         if self._frozen:
             return
-        while self._ready:
-            core = self._find_free_core()
+        # Decision-source and core lookups are cached across the whole
+        # dispatch burst (one trampoline event may place many threads).
+        ready = self._ready
+        cores = self._cores
+        decisions = self._decisions
+        pick_index = decisions.pick_index
+        dispatch_jitter_ns = self._dispatch_jitter_ns
+        o = obs_context.ACTIVE
+        while ready:
+            core = None
+            for index, occupant in enumerate(cores):
+                if occupant is None:
+                    core = index
+                    break
             if core is None:
                 return
-            index = self._decisions.pick_index(
-                "dispatch", [t.name for t in self._ready]
-            )
-            thread = self._ready.pop(index)
+            index = pick_index("dispatch", [t.name for t in ready])
+            thread = ready.pop(index)
             thread.state = ThreadState.RUNNING
             thread.core = core
-            self._cores[core] = thread
+            cores[core] = thread
             self.context_switches += 1
             delay = 0
-            if self._dispatch_jitter_ns > 0:
-                delay = self._decisions.jitter(
-                    "dispatch", thread.name, self._dispatch_jitter_ns
+            if dispatch_jitter_ns > 0:
+                delay = decisions.jitter(
+                    "dispatch", thread.name, dispatch_jitter_ns
                 )
-            preempt_ns = self._decisions.preempt(thread.name)
-            o = obs_context.ACTIVE
+            preempt_ns = decisions.preempt(thread.name)
             if o.enabled:
                 now = self._sim.now
                 o.metrics.counter("sched.dispatches").inc()
@@ -230,7 +243,7 @@ class CpuScheduler:
                     )
             delay += preempt_ns
             if delay > 0:
-                self._sim.after(delay, lambda t=thread: self._step(t))
+                self._sim.post_after(delay, thread.resume_cb)
             else:
                 self._step(thread)
 
@@ -258,57 +271,62 @@ class CpuScheduler:
             return
         value = thread.resume_value
         thread.resume_value = None
+        send = thread.generator.send
+        # Exact-class dispatch: syscalls are final records, and `is`
+        # checks on the class are several times cheaper than the
+        # equivalent isinstance() chain on this, the hottest loop in
+        # the simulation.
         while True:
             try:
-                syscall = thread.generator.send(value)
+                syscall = send(value)
             except StopIteration as stop:
                 self._finish(thread, stop.value)
                 return
             value = None
-            if isinstance(syscall, Compute):
-                if syscall.duration_ns < 0:
+            cls = syscall.__class__
+            if cls is Compute:
+                duration_ns = syscall.duration_ns
+                if duration_ns <= 0:
+                    if duration_ns == 0:
+                        continue
                     raise SimulationError("compute duration must be non-negative")
-                if syscall.duration_ns == 0:
-                    continue
-                self._sim.after(
-                    syscall.duration_ns, lambda t=thread: self._step(t)
-                )
+                self._sim.post_after(duration_ns, thread.resume_cb)
                 return
-            if isinstance(syscall, Yield):
-                self._release_core(thread)
-                thread.state = ThreadState.READY
-                self._ready.append(thread)
-                return
-            if isinstance(syscall, Sleep):
-                local_target = self.local_now() + syscall.duration_ns
-                self._sleep_until_local(thread, local_target)
-                return
-            if isinstance(syscall, SleepUntil):
-                self._sleep_until_local(thread, syscall.local_time)
-                return
-            if isinstance(syscall, Acquire):
+            if cls is Acquire:
                 if self._try_acquire(thread, syscall.mutex):
                     continue
                 return
-            if isinstance(syscall, Release):
+            if cls is Release:
                 self._do_release(thread, syscall.mutex)
                 continue
-            if isinstance(syscall, Wait):
+            if cls is Notify:
+                self._notify_one(syscall.condvar)
+                continue
+            if cls is Wait:
                 self._do_wait(thread, syscall.condvar, syscall.mutex, None)
                 return
-            if isinstance(syscall, WaitUntil):
+            if cls is WaitUntil:
                 self._do_wait(
                     thread, syscall.condvar, syscall.mutex, syscall.local_deadline
                 )
                 return
-            if isinstance(syscall, Notify):
-                self._notify_one(syscall.condvar)
-                continue
-            if isinstance(syscall, NotifyAll):
+            if cls is Yield:
+                self._release_core(thread)
+                thread.state = ThreadState.READY
+                self._ready.append(thread)
+                return
+            if cls is Sleep:
+                local_target = self.local_now() + syscall.duration_ns
+                self._sleep_until_local(thread, local_target)
+                return
+            if cls is SleepUntil:
+                self._sleep_until_local(thread, syscall.local_time)
+                return
+            if cls is NotifyAll:
                 while syscall.condvar.waiters:
                     self._notify_one(syscall.condvar)
                 continue
-            if isinstance(syscall, Join):
+            if cls is Join:
                 target = syscall.thread
                 if target.done:
                     value = target.result
@@ -317,7 +335,7 @@ class CpuScheduler:
                 thread.state = ThreadState.BLOCKED
                 self._release_core(thread)
                 return
-            if isinstance(syscall, Exit):
+            if cls is Exit:
                 thread.generator.close()
                 self._finish(thread, syscall.value)
                 return
@@ -348,9 +366,9 @@ class CpuScheduler:
             global_target += self._decisions.jitter(
                 "timer", thread.name, self._timer_jitter_ns
             )
-        thread.timeout_handle = self._sim.at(
-            global_target, lambda: self._wake_sleeper(thread)
-        )
+        # Pooled handle: _wake_sleeper drops the reference as it fires,
+        # so the kernel freelist can recycle it (see Simulator.timer_at).
+        thread.timeout_handle = self._sim.timer_at(global_target, thread.wake_cb)
 
     def _wake_sleeper(self, thread: SimThread) -> None:
         thread.timeout_handle = None
@@ -455,7 +473,7 @@ class CpuScheduler:
             global_deadline = self._clock.global_time_for(local_deadline)
             if global_deadline < self._sim.now:
                 global_deadline = self._sim.now
-            thread.timeout_handle = self._sim.at(
+            thread.timeout_handle = self._sim.timer_at(
                 global_deadline,
                 lambda: self._wait_timeout(thread, condvar),
             )

@@ -19,7 +19,15 @@ from typing import TYPE_CHECKING, Any, Generator
 from repro.obs import context as obs_context
 from repro.obs.bus import TRACK_NETWORK
 from repro.obs.metrics import DEPTH_BUCKETS
-from repro.sim.process import Acquire, Notify, Release, SimThread, Wait, WaitUntil, WaitResult
+from repro.sim.process import (
+    Acquire,
+    Notify,
+    Release,
+    SimThread,
+    Wait,
+    WaitResult,
+    WaitUntil,
+)
 
 if TYPE_CHECKING:
     from repro.sim.scheduler import CpuScheduler

@@ -49,7 +49,9 @@ def extract_tag(payload: bytes) -> tuple[bytes, Tag | None]:
     """
     if len(payload) < TRAILER_SIZE:
         return payload, None
-    magic, time, microstep = _TAG_TRAILER.unpack_from(payload, len(payload) - TRAILER_SIZE)
+    magic, time, microstep = _TAG_TRAILER.unpack_from(
+        payload, len(payload) - TRAILER_SIZE
+    )
     if magic != TAG_MAGIC:
         return payload, None
     return payload[: -TRAILER_SIZE], Tag(time, microstep)

@@ -5,6 +5,7 @@ import json
 from repro.harness.benchdiff import (
     compare_bench,
     compare_dirs,
+    is_rate_field,
     is_timing_field,
     render_bench_diff,
 )
@@ -21,6 +22,16 @@ class TestTimingClassification:
     def test_structural_fields(self):
         for key in ("frames", "seeds", "errors", "events_recorded", "verdict"):
             assert not is_timing_field(key), key
+
+    def test_per_frame_and_per_site_are_timing(self):
+        assert is_timing_field("seam_ns_per_frame")
+        assert is_timing_field("guard_ns_per_site")
+
+    def test_hint_tokens_match_whole_words_only(self):
+        # "configurations" contains "ratio" but is a structural count.
+        assert not is_timing_field("configurations")
+        assert is_timing_field("overhead_ratio")
+        assert is_timing_field("enabled_over_disabled")
 
 
 class TestCompareBench:
@@ -69,6 +80,111 @@ class TestCompareBench:
     def test_name_key_ignored(self):
         entries = compare_bench({"name": "a"}, {"name": "b"}, tolerance=0.75)
         assert entries == []
+
+
+class TestRateFields:
+    """``*_per_s`` throughput: higher is better, floors are structural."""
+
+    def test_classification(self):
+        assert is_rate_field("events_per_s")
+        assert is_rate_field("sweep.seeds_per_s")
+        assert not is_rate_field("wall_time_s")
+        assert not is_rate_field("floor_events_per_s")
+
+    def test_rate_drop_beyond_tolerance_fails(self):
+        entries = compare_bench(
+            {"events_per_s": 1_000_000}, {"events_per_s": 400_000}, 0.75
+        )
+        assert entries[0]["status"] == "fail"
+        assert "slower" in entries[0]["note"]
+
+    def test_rate_gain_is_improved_not_fail(self):
+        entries = compare_bench(
+            {"events_per_s": 1_000_000}, {"events_per_s": 4_000_000}, 0.75
+        )
+        assert entries[0]["status"] == "improved"
+
+    def test_rate_within_tolerance_is_ok(self):
+        entries = compare_bench(
+            {"events_per_s": 1_000_000}, {"events_per_s": 700_000}, 0.75
+        )
+        assert entries[0]["status"] == "ok"
+
+    def test_floor_field_compares_exactly(self):
+        entries = compare_bench(
+            {"floor_events_per_s": 500_000}, {"floor_events_per_s": 250_000}, 0.75
+        )
+        assert entries[0]["status"] == "warn"
+        entries = compare_bench(
+            {"floor_events_per_s": 500_000}, {"floor_events_per_s": 500_000}, 0.75
+        )
+        assert entries[0]["status"] == "ok"
+
+
+class TestGatedFields:
+    """The curated strict subset used by CI's benchmark-smoke lane."""
+
+    def test_structural_mismatch_fails_when_gated(self):
+        entries = compare_bench(
+            {"frames": 100}, {"frames": 200}, 0.75, gate_fields=True
+        )
+        assert entries[0]["status"] == "fail"
+
+    def test_wall_time_regression_softens_to_warn(self):
+        entries = compare_bench(
+            {"wall_time_s": 1.0}, {"wall_time_s": 10.0}, 0.75, gate_fields=True
+        )
+        assert entries[0]["status"] == "warn"
+        assert "slower" in entries[0]["note"]
+
+    def test_rate_regression_still_fails(self):
+        entries = compare_bench(
+            {"events_per_s": 1_000_000},
+            {"events_per_s": 100_000},
+            0.75,
+            gate_fields=True,
+        )
+        assert entries[0]["status"] == "fail"
+
+    def test_field_set_drift_fails_when_gated(self):
+        entries = compare_bench({"a_s": 1.0}, {"b_s": 1.0}, 0.75, gate_fields=True)
+        assert {e["status"] for e in entries} == {"fail"}
+
+    def test_environment_fields_never_gate(self):
+        # workers tracks the runner's CPU count, cache_hits its cache
+        # warmth; a strict lane must tolerate both varying.
+        entries = compare_bench(
+            {"sweep": {"workers": 1, "cache_hits": 0}},
+            {"sweep": {"workers": 4, "cache_hits": 32}},
+            0.75,
+            gate_fields=True,
+        )
+        assert [e["status"] for e in entries] == ["warn", "warn"]
+        assert all("environment" in e["note"] for e in entries)
+        entries = compare_bench(
+            {"sweep": {"workers": 2}}, {"sweep": {"workers": 2}}, 0.75,
+            gate_fields=True,
+        )
+        assert [e["status"] for e in entries] == ["ok"]
+
+    def test_missing_and_new_benchmarks_fail_when_gated(self, tmp_path):
+        base, cur = tmp_path / "base", tmp_path / "cur"
+        _write(base, "steady", frames=10)
+        _write(cur, "steady", frames=10)
+        _write(base, "gone", frames=10)
+        _write(cur, "fresh", frames=10)
+        report = compare_dirs(base, cur, 0.75, gate_fields=True)
+        assert report["gate_fields"] is True
+        assert report["benchmarks"]["gone"]["status"] == "missing"
+        assert report["benchmarks"]["fresh"]["status"] == "new"
+        assert report["summary"]["fail"] == 2
+        assert report["summary"]["ok"] == 1
+
+    def test_render_marks_gated_reports(self, tmp_path):
+        base = tmp_path / "base"
+        _write(base, "x", frames=10)
+        text = render_bench_diff(compare_dirs(base, base, 0.75, gate_fields=True))
+        assert "gated fields" in text
 
 
 def _write(directory, name, **fields):
@@ -140,4 +256,62 @@ class TestCommittedBaselines:
             "--current-dir", str(cur), "--strict",
         ])
         assert code == 1
+        capsys.readouterr()
+
+
+class TestCliStrictGate:
+    """End-to-end CLI behaviour of the gated strict lane (as CI runs it)."""
+
+    def _diff(self, base, cur, out, *flags):
+        from repro.cli import main
+
+        return main([
+            "bench-diff", "--baseline-dir", str(base),
+            "--current-dir", str(cur), "--out", str(out), *flags,
+        ])
+
+    def test_structural_mismatch_exits_one_only_when_gated(self, tmp_path, capsys):
+        base, cur, out = tmp_path / "base", tmp_path / "cur", tmp_path / "d.json"
+        _write(base, "x", frames=100, wall_time_s=1.0)
+        _write(cur, "x", frames=200, wall_time_s=1.0)
+        assert self._diff(base, cur, out, "--strict") == 0  # warn without gate
+        assert self._diff(base, cur, out, "--strict", "--gate-fields") == 1
+        report = json.loads(out.read_text())
+        assert report["gate_fields"] is True
+        assert report["benchmarks"]["x"]["status"] == "fail"
+        capsys.readouterr()
+
+    def test_missing_benchmark_detected_end_to_end(self, tmp_path, capsys):
+        base, cur, out = tmp_path / "base", tmp_path / "cur", tmp_path / "d.json"
+        _write(base, "kept", frames=1)
+        _write(base, "gone", frames=1)
+        _write(cur, "kept", frames=1)
+        assert self._diff(base, cur, out, "--strict", "--gate-fields") == 1
+        assert json.loads(out.read_text())["benchmarks"]["gone"]["status"] == (
+            "missing"
+        )
+        capsys.readouterr()
+
+    def test_new_benchmark_detected_end_to_end(self, tmp_path, capsys):
+        base, cur, out = tmp_path / "base", tmp_path / "cur", tmp_path / "d.json"
+        _write(base, "kept", frames=1)
+        _write(cur, "kept", frames=1)
+        _write(cur, "fresh", frames=1)
+        assert self._diff(base, cur, out, "--strict", "--gate-fields") == 1
+        assert json.loads(out.read_text())["benchmarks"]["fresh"]["status"] == "new"
+        capsys.readouterr()
+
+    def test_wall_time_noise_passes_gated_strict(self, tmp_path, capsys):
+        base, cur, out = tmp_path / "base", tmp_path / "cur", tmp_path / "d.json"
+        _write(base, "x", frames=100, wall_time_s=1.0)
+        _write(cur, "x", frames=100, wall_time_s=10.0)
+        assert self._diff(base, cur, out, "--strict", "--gate-fields") == 0
+        assert json.loads(out.read_text())["summary"]["warn"] == 1
+        capsys.readouterr()
+
+    def test_rate_regression_fails_gated_strict(self, tmp_path, capsys):
+        base, cur, out = tmp_path / "base", tmp_path / "cur", tmp_path / "d.json"
+        _write(base, "x", events_per_s=1_000_000)
+        _write(cur, "x", events_per_s=100_000)
+        assert self._diff(base, cur, out, "--strict", "--gate-fields") == 1
         capsys.readouterr()

@@ -83,7 +83,11 @@ class TestDetPipeline:
     def test_traces_identical_with_deterministic_camera(self):
         scenario = BrakeScenario(n_frames=60, deterministic_camera=True)
         fingerprints = {
-            tuple(sorted(run_det_brake_assistant(seed, scenario).trace_fingerprints.items()))
+            tuple(
+                sorted(
+                    run_det_brake_assistant(seed, scenario).trace_fingerprints.items()
+                )
+            )
             for seed in range(3)
         }
         assert len(fingerprints) == 1

@@ -27,7 +27,13 @@ from repro.dear import (
     StpConfig,
     TransactorConfig,
 )
-from repro.faults import ClockFault, FaultPlan, NodeOutage, Partition, install_fault_plan
+from repro.faults import (
+    ClockFault,
+    FaultPlan,
+    NodeOutage,
+    Partition,
+    install_fault_plan,
+)
 from repro.harness.extensions import _Publisher, _pulse_interface, _Subscriber
 from repro.network import ConstantLatency, NetworkInterface, Switch, SwitchConfig
 from repro.reactors import Environment

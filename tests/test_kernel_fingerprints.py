@@ -1,0 +1,105 @@
+"""Kernel fingerprint regression: speed must never change a schedule.
+
+The goldens in ``tests/data/kernel_fingerprints.json`` were captured
+*before* the sim-kernel throughput overhaul (bucketed dispatch, handle
+pooling, batched reaction execution) and pin:
+
+* per-environment logical trace fingerprints of the DEAR brake
+  assistant (``Trace.fingerprint()`` — reactions, port values and
+  deadline-miss lag), and
+* an outcome digest covering commands, latencies, error counters and
+  timing violations — which also works for the nondeterministic
+  variant, whose behaviour depends on every RNG draw the platform
+  makes.
+
+Cases span deterministic seeds, nondeterministic seeds, a replayed PCT
+exploration schedule and an active fault plan, so a kernel change that
+reorders events, perturbs an RNG stream or shifts physical time fails
+here rather than silently altering results.
+
+To refresh after an *intentional* semantic change: regenerate with
+``PYTHONPATH=src python benchmarks/capture_kernel_goldens.py`` and
+explain the change in the commit message.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.apps.brake.det import run_det_brake_assistant
+from repro.apps.brake.nondet import run_nondet_brake_assistant
+from repro.explore import IN_BUDGET_PREEMPT_NS, PctStrategy, calibration_scenario
+from repro.faults import FaultPlan
+from repro.sim.rng import stream_hooks
+
+GOLDEN_PATH = Path(__file__).parent / "data" / "kernel_fingerprints.json"
+
+
+def _load_goldens() -> dict:
+    with GOLDEN_PATH.open() as fh:
+        data = json.load(fh)
+    assert data["format"] == "kernel-fingerprints/v2"
+    return data["cases"]
+
+
+def _run_case(name: str):
+    if name.startswith("det-seed"):
+        seed = int(name.removeprefix("det-seed"))
+        scenario = calibration_scenario(20, deterministic_camera=True)
+        return run_det_brake_assistant(seed, scenario)
+    if name.startswith("nondet-seed"):
+        seed = int(name.removeprefix("nondet-seed"))
+        scenario = calibration_scenario(20)
+        return run_nondet_brake_assistant(seed, scenario)
+    if name == "pct-replay":
+        scenario = calibration_scenario(15, deterministic_camera=True)
+        strategy = PctStrategy(depth=4, preempt_ns=IN_BUDGET_PREEMPT_NS, seed=5)
+        schedule = strategy.schedule_for(1, base_seed=0, horizon=400)
+        assert schedule.preemptions, "PCT schedule must actually preempt"
+        with stream_hooks(schedule.controller(exclude=("camera",))):
+            return run_det_brake_assistant(0, scenario)
+    if name == "fault-plan":
+        scenario = calibration_scenario(20, deterministic_camera=True)
+        plan = FaultPlan.camera_faults(seed=1, drop=0.1, label="kernel-golden")
+        return run_det_brake_assistant(0, scenario, fault_plan=plan)
+    raise AssertionError(f"unknown golden case {name!r}")
+
+
+CASES = sorted(_load_goldens())
+
+
+class TestKernelFingerprints:
+    """Every golden case reproduces bit-exactly on the current kernel."""
+
+    @pytest.fixture(scope="class")
+    def goldens(self) -> dict:
+        return _load_goldens()
+
+    @pytest.mark.parametrize("name", CASES)
+    def test_case_matches_golden(self, goldens, name):
+        expected = goldens[name]
+        result = _run_case(name)
+        assert dict(result.trace_fingerprints) == expected["traces"], (
+            f"{name}: logical trace fingerprints diverged from the "
+            f"pre-overhaul kernel"
+        )
+        assert result.outcome_digest() == expected["outcome"], (
+            f"{name}: outcome digest (commands/latencies/errors) diverged "
+            f"from the pre-overhaul kernel"
+        )
+
+    def test_det_traces_are_seed_invariant(self, goldens):
+        """The DEAR pinning property: det traces identical across seeds."""
+        det = [goldens[name]["traces"] for name in CASES if name.startswith("det-")]
+        assert len(det) >= 2
+        assert all(traces == det[0] for traces in det)
+
+    def test_nondet_outcomes_differ_across_seeds(self, goldens):
+        """Sanity: the nondet digest is actually schedule-sensitive."""
+        nondet = [
+            goldens[name]["outcome"] for name in CASES if name.startswith("nondet-")
+        ]
+        assert len(nondet) == len(set(nondet))

@@ -201,7 +201,9 @@ class TestRandomSchemas:
     @given(
         st.lists(_schema_and_value(), min_size=1, max_size=5).flatmap(
             lambda fields: st.tuples(
-                st.just(Struct([(f"f{i}", spec) for i, (spec, _) in enumerate(fields)])),
+                st.just(
+                    Struct([(f"f{i}", spec) for i, (spec, _) in enumerate(fields)])
+                ),
                 st.tuples(*(values for _, values in fields)),
             )
         )

@@ -122,7 +122,9 @@ class TestStartupShutdown:
         reactor = Reactor("r", env)
         order = []
         tick = reactor.timer("tick", offset=0, period=10 * MS)
-        reactor.reaction("a", triggers=[reactor.startup], body=lambda ctx: order.append("startup"))
+        reactor.reaction(
+            "a", triggers=[reactor.startup], body=lambda ctx: order.append("startup")
+        )
         reactor.reaction("b", triggers=[tick], body=lambda ctx: order.append("tick"))
         env.execute()
         # Same reactor: declaration order decides execution order.

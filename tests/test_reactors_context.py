@@ -54,7 +54,9 @@ class TestValues:
         sink = Reactor("sink", env)
         inp = sink.input("inp")
         seen = []
-        sink.reaction("read", triggers=[inp], body=lambda ctx: seen.append(ctx.get(inp)))
+        sink.reaction(
+            "read", triggers=[inp], body=lambda ctx: seen.append(ctx.get(inp))
+        )
         env.connect(out, inp)
         env.execute()
         # The downstream reaction runs after *both* writers (APG) and

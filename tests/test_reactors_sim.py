@@ -55,7 +55,9 @@ class TestSimExecution:
         reactor = Reactor("r", env)
         start = reactor.timer("start", offset=0)
         tags = []
-        reactor.reaction("note", triggers=[start], body=lambda ctx: tags.append(ctx.tag))
+        reactor.reaction(
+            "note", triggers=[start], body=lambda ctx: tags.append(ctx.tag)
+        )
         world.run_for(500 * MS)  # start the environment late
         env.start(platform)
         world.run_for(1 * SEC)
@@ -89,7 +91,9 @@ class TestPhysicalActions:
         reactor = Reactor("r", env)
         sensor = reactor.physical_action("sensor", min_delay=25 * MS)
         log = []
-        reactor.reaction("note", triggers=[sensor], body=lambda ctx: log.append(ctx.tag.time))
+        reactor.reaction(
+            "note", triggers=[sensor], body=lambda ctx: log.append(ctx.tag.time)
+        )
         env.start(platform)
         world.sim.at(10 * MS, lambda: sensor.schedule())
         world.run_for(1 * SEC)

@@ -20,7 +20,9 @@ def _world_with_sd(sd_config: SdConfig | None = None, plan: FaultPlan | None = N
     daemons = {}
     for host in ("server", "client"):
         platform = world.add_platform(host, CALM)
-        daemons[host] = SdDaemon(platform, NetworkInterface(platform, switch), sd_config)
+        daemons[host] = SdDaemon(
+            platform, NetworkInterface(platform, switch), sd_config
+        )
     injector = install_fault_plan(world, plan) if plan is not None else None
     return world, daemons, injector
 
@@ -88,7 +90,8 @@ class TestFindBlocking:
         box = _find(world, daemons["client"], timeout_ns=1 * SEC)
         world.run_for(2 * SEC)
         assert box["entry"] is None
-        assert daemons["client"].find_retries == daemons["client"].config.find_max_retries
+        client = daemons["client"]
+        assert client.find_retries == client.config.find_max_retries
 
 
 class TestStopOffer:
