@@ -186,6 +186,8 @@ def run_det_brake_assistant(
     switch_config=None,
     fault_plan=None,
     fault_replay=None,
+    fault_universe=None,
+    fault_checkpointer=None,
 ) -> BrakeRunResult:
     """Run the DEAR brake assistant once; returns measurements."""
     scenario = scenario or BrakeScenario()
@@ -195,6 +197,8 @@ def run_det_brake_assistant(
         switch_config=switch_config,
         fault_plan=fault_plan,
         fault_replay=fault_replay,
+        fault_universe=fault_universe,
+        fault_checkpointer=fault_checkpointer,
     )
     fusion = world.platform(FUSION_ECU)
     # Distributed extension: the back half of the pipeline runs on a

@@ -85,6 +85,8 @@ def build_brake_world(
     switch_config: SwitchConfig | None = None,
     fault_plan=None,
     fault_replay=None,
+    fault_universe=None,
+    fault_checkpointer=None,
 ) -> World:
     """The networked platforms matching (or extending) the paper's testbed.
 
@@ -124,7 +126,13 @@ def build_brake_world(
     if fault_plan is not None and not fault_plan.is_empty:
         from repro.faults import install_fault_plan
 
-        install_fault_plan(world, fault_plan, replay=fault_replay)
+        install_fault_plan(
+            world,
+            fault_plan,
+            replay=fault_replay,
+            universe=fault_universe,
+            checkpointer=fault_checkpointer,
+        )
     return world
 
 
@@ -193,6 +201,8 @@ def run_nondet_brake_assistant(
     switch_config: SwitchConfig | None = None,
     fault_plan=None,
     fault_replay=None,
+    fault_universe=None,
+    fault_checkpointer=None,
 ) -> BrakeRunResult:
     """Run the stock brake assistant once; returns measurements."""
     scenario = scenario or BrakeScenario()
@@ -202,6 +212,8 @@ def run_nondet_brake_assistant(
         switch_config=switch_config,
         fault_plan=fault_plan,
         fault_replay=fault_replay,
+        fault_universe=fault_universe,
+        fault_checkpointer=fault_checkpointer,
     )
     fusion: Platform = world.platform(FUSION_ECU)
     errors = ErrorCounters()

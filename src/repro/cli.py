@@ -183,6 +183,13 @@ def build_parser() -> argparse.ArgumentParser:
         explore, "--verify", 0,
         "also verify DEAR determinism across N in-budget schedules",
     )
+    explore.add_argument(
+        "--snapshot", action=argparse.BooleanOptionalAction, default=True,
+        help="fork executions from copy-on-write snapshots of shared "
+             "schedule prefixes instead of replaying from t=0 "
+             "(default: on; falls back to plain runs where os.fork is "
+             "unavailable)",
+    )
 
     faults = commands.add_parser(
         "faults",
@@ -244,6 +251,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="where to write the divergence artifact if DEAR silently "
              "diverges (default: fault-counterexample.json)",
     )
+    faults.add_argument(
+        "--snapshot", action=argparse.BooleanOptionalAction, default=True,
+        help="triage seed 0's fired faults down to the decisive subset "
+             "by ddmin over copy-on-write snapshot forks (default: on "
+             "where os.fork is available)",
+    )
 
     flows = commands.add_parser(
         "flows",
@@ -297,6 +310,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="curated strict subset: structural mismatches, throughput "
              "(*_per_s) regressions and missing/new benchmarks fail; "
              "plain wall-time noise only warns (combine with --strict)",
+    )
+    bench_diff.add_argument(
+        "--only", metavar="PATTERN", default=None,
+        help="restrict the diff to benchmark names matching this fnmatch "
+             "pattern (for partial runs that regenerate one suite)",
     )
     bench_diff.add_argument(
         "--out", metavar="FILE", default=None,
@@ -467,23 +485,7 @@ def _replay_trace(args: argparse.Namespace) -> int:
 
 def _run_explore(args: argparse.Namespace, sweep) -> int:
     """``repro explore``: search, then optionally shrink/record/verify."""
-    import json
-
-    from repro.analysis.report import (
-        exploration_report,
-        shrink_report,
-        verification_report,
-    )
-    from repro.explore import (
-        IN_BUDGET_PREEMPT_NS,
-        Explorer,
-        PctStrategy,
-        RandomSweepStrategy,
-        calibration_scenario,
-        shrink_schedule,
-        verify_determinism,
-    )
-    from repro.apps.brake.det import run_det_brake_assistant
+    from repro.explore import PctStrategy, RandomSweepStrategy
     from repro.time import MS
 
     if args.replay:
@@ -497,11 +499,44 @@ def _run_explore(args: argparse.Namespace, sweep) -> int:
         )
     else:
         strategy = RandomSweepStrategy()
+    engine = None
+    if args.snapshot:
+        from repro.snapshot import SNAPSHOTS_SUPPORTED, SnapshotEngine
+
+        if SNAPSHOTS_SUPPORTED:
+            engine = SnapshotEngine()
+    try:
+        return _run_explore_inner(args, sweep, strategy, engine)
+    finally:
+        if engine is not None:
+            engine.close()
+            print(engine.stats.describe(), file=sys.stderr)
+
+
+def _run_explore_inner(args, sweep, strategy, engine) -> int:
+    import json
+
+    from repro.analysis.report import (
+        exploration_report,
+        shrink_report,
+        verification_report,
+    )
+    from repro.explore import (
+        IN_BUDGET_PREEMPT_NS,
+        Explorer,
+        PctStrategy,
+        calibration_scenario,
+        shrink_schedule,
+        verify_determinism,
+    )
+    from repro.apps.brake.det import run_det_brake_assistant
+
     explorer = Explorer(
         scenario=calibration_scenario(args.frames),
         base_seed=args.seed,
         strategy=strategy,
         sweep=sweep,
+        snapshots=engine,
     )
     result = explorer.explore(budget=args.budget)
     print(exploration_report(result))
@@ -542,6 +577,7 @@ def _run_explore(args: argparse.Namespace, sweep) -> int:
                 if shrunk
                 else None
             ),
+            "snapshots": engine.stats.as_dict() if engine is not None else None,
         }
         with open(args.schedule_out, "w", encoding="utf-8") as handle:
             json.dump(artifact, handle, indent=2)
@@ -603,6 +639,70 @@ def _faults_plan(args: argparse.Namespace):
         partitions=tuple(partitions),
         label="cli-faults",
     )
+
+
+def _faults_snapshot_triage(spec, det_runs, plan):
+    """Minimize seed 0's fired faults to the decisive subset.
+
+    ddmin over the fired-fault trace, with every probe forked from the
+    deepest copy-on-write snapshot whose membership prefix matches —
+    answering "which of the faults that fired actually changed the
+    outcome?" without paying a full re-run per probe.  Returns a JSON
+    block for the fault-sweep report, or ``None`` when there is nothing
+    to triage (no faults fired, outcome unchanged, or no ``os.fork``).
+    """
+    from dataclasses import replace
+
+    from repro.explore.decisions import DecisionTrace
+    from repro.faults import shrink_fault_trace
+    from repro.harness.config import run_scenario_spec
+    from repro.snapshot import SNAPSHOTS_SUPPORTED, SnapshotEngine
+
+    if not SNAPSHOTS_SUPPORTED or not det_runs:
+        return None
+    run0 = det_runs[0]
+    trace_dict = (run0.fault_summary or {}).get("trace")
+    if not trace_dict or not trace_dict.get("records"):
+        return None
+    trace = DecisionTrace.from_dict(trace_dict)
+    seed = run0.seed
+
+    def signature(result):
+        return tuple(sorted(result.trace_fingerprints.items()))
+
+    clean = signature(
+        run_scenario_spec(seed, spec, fault_replay=replace(trace, records=[]))
+    )
+    if clean == signature(run0):
+        return None  # the fired faults left no observable mark
+
+    def failure(candidate, checkpointer=None):
+        result = run_scenario_spec(
+            seed,
+            spec,
+            fault_replay=candidate,
+            fault_universe=trace if checkpointer is not None else None,
+            fault_checkpointer=checkpointer,
+        )
+        return signature(result) != clean
+
+    engine = SnapshotEngine()
+    try:
+        shrunk = shrink_fault_trace(plan, trace, failure, snapshots=engine)
+    except ValueError:
+        return None  # full-trace replay did not reproduce; don't guess
+    finally:
+        engine.close()
+    print(f"snapshot triage (seed {seed}): {shrunk.describe()}")
+    print(f"  {engine.stats.describe()}")
+    return {
+        "seed": seed,
+        "fired": len(trace.records),
+        "trials": shrunk.trials,
+        "minimal": shrunk.minimal.to_dict(),
+        "summary": shrunk.describe(),
+        "stats": engine.stats.as_dict(),
+    }
 
 
 def _run_faults(args: argparse.Namespace, sweep) -> int:
@@ -681,6 +781,10 @@ def _run_faults(args: argparse.Namespace, sweep) -> int:
         f"{len(stock_outcomes)} distinct"
     )
 
+    snapshots_block = (
+        _faults_snapshot_triage(spec, det_runs, plan) if args.snapshot else None
+    )
+
     silent_divergence = not det_deterministic and flagged == 0
     report = {
         "format": "fault-sweep-report/v1",
@@ -705,6 +809,7 @@ def _run_faults(args: argparse.Namespace, sweep) -> int:
             },
         },
         "silent_divergence": silent_divergence,
+        "snapshots": snapshots_block,
     }
     if args.out:
         with open(args.out, "w", encoding="utf-8") as handle:
@@ -872,6 +977,7 @@ def _run_bench_diff(args: argparse.Namespace) -> int:
         args.current_dir,
         tolerance=args.tolerance,
         gate_fields=args.gate_fields,
+        only=args.only,
     )
     print(render_bench_diff(report))
     if args.out:

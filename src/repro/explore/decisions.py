@@ -345,15 +345,19 @@ class InterventionSchedule:
     label: str = ""
 
     def controller(
-        self, exclude: tuple[str, ...] = ()
+        self, exclude: tuple[str, ...] = (), checkpointer: Any = None
     ) -> "InterventionController":
         """A fresh stream-hook controller applying this schedule.
 
         *exclude* suppresses preemptions whose target thread name
         contains any of the given substrings (the site is still
         counted, keeping ordinals aligned with unfiltered runs).
+        *checkpointer* (a :class:`repro.snapshot.Checkpointer`) lets the
+        snapshot engine capture copy-on-write holders at planned sites.
         """
-        return InterventionController(self, exclude=exclude)
+        return InterventionController(
+            self, exclude=exclude, checkpointer=checkpointer
+        )
 
     def with_points(
         self, points: Iterable[PreemptionPoint], label: str | None = None
@@ -415,12 +419,16 @@ class InterventionController:
     """
 
     def __init__(
-        self, schedule: InterventionSchedule, exclude: tuple[str, ...] = ()
+        self,
+        schedule: InterventionSchedule,
+        exclude: tuple[str, ...] = (),
+        checkpointer: Any = None,
     ) -> None:
         self.schedule = schedule
         self.exclude = tuple(exclude)
         self._delays = {point.site: point.delay_ns for point in schedule.preemptions}
         self._site = 0
+        self._ckpt = checkpointer
         self.applied: list[PreemptionPoint] = []
         self.suppressed: list[PreemptionPoint] = []
 
@@ -430,9 +438,21 @@ class InterventionController:
         inner = rng if hasattr(rng, "pick_index") else RandomDecisionSource(rng)
         return _InterventionSource(self, inner)
 
+    def _adopt(self, delays: dict[int, int]) -> None:
+        """Snapshot-fork seam: a forked continuation swaps in its own
+        schedule's delay map before resuming (sites already consumed in
+        the shared prefix are identical by construction)."""
+        self._delays = dict(delays)
+
     def _preempt(self, name: str) -> int:
         site = self._site
         self._site += 1
+        # Capture *before* consuming this site's decision: the holder's
+        # state must depend only on decisions at sites < `site`, so the
+        # fork-site delay itself comes from the adopted suffix.
+        ckpt = self._ckpt
+        if ckpt is not None and ckpt.wants(site):
+            ckpt.reached(site, self._adopt)
         delay = self._delays.get(site, 0)
         if not delay:
             return 0

@@ -56,6 +56,9 @@ class ExplorationResult:
     executions: list[ExecutionOutcome]
     #: First failing execution (``None`` if the budget ran dry).
     found: ExecutionOutcome | None = None
+    #: :class:`repro.snapshot.SnapshotStats` when the exploration ran
+    #: through the snapshot/fork engine (``None`` otherwise).
+    snapshots: Any = None
 
     @property
     def executions_used(self) -> int:
@@ -63,6 +66,19 @@ class ExplorationResult:
         if self.found is not None:
             return self.found.index + 1
         return len(self.executions)
+
+
+def _summarize(result: Any, controller: Any) -> dict:
+    """Compact, picklable summary of one schedule evaluation."""
+    applied = [
+        {"site": p.site, "delay_ns": p.delay_ns, "thread": p.thread}
+        for p in controller.applied
+    ]
+    return {
+        "errors_total": result.errors.total(),
+        "errors": result.errors.as_dict(),
+        "applied": applied,
+    }
 
 
 def _run_summary(
@@ -78,15 +94,7 @@ def _run_summary(
     controller = schedule.controller()
     with stream_hooks(controller):
         result = experiment(schedule.base_seed, scenario)
-    applied = [
-        {"site": p.site, "delay_ns": p.delay_ns, "thread": p.thread}
-        for p in controller.applied
-    ]
-    return {
-        "errors_total": result.errors.total(),
-        "errors": result.errors.as_dict(),
-        "applied": applied,
-    }
+    return _summarize(result, controller)
 
 
 class Explorer:
@@ -105,6 +113,7 @@ class Explorer:
         strategy: Any = None,
         sweep: SweepRunner | None = None,
         predicate: Callable[[ExecutionOutcome], bool] = frame_drop,
+        snapshots: Any = None,
     ) -> None:
         self.experiment = experiment
         self.scenario = scenario
@@ -112,6 +121,10 @@ class Explorer:
         self.strategy = strategy or PctStrategy()
         self.sweep = sweep or SweepRunner()
         self.predicate = predicate
+        #: Optional :class:`repro.snapshot.SnapshotEngine`; when active,
+        #: explore/shrink executions fork from the deepest
+        #: shared-prefix holder instead of replaying from t=0.
+        self.snapshots = snapshots
         self._horizon: int | None = None
 
     # -- running one schedule ----------------------------------------------
@@ -122,6 +135,46 @@ class Explorer:
         with stream_hooks(controller):
             result = self.experiment(schedule.base_seed, self.scenario)
         return result, controller
+
+    def _snapshot_context(self, base_seed: int) -> str:
+        """The engine context: everything outside the decision vector.
+
+        Includes the schedule's own base seed — two schedules with
+        different world seeds never share state, whatever their
+        preemption prefixes look like.
+        """
+        from repro.harness.sweep import code_fingerprint
+        from repro.snapshot import context_key
+
+        return context_key(
+            "explore",
+            getattr(self.experiment, "__name__", repr(self.experiment)),
+            repr(self.scenario),
+            base_seed,
+            code_fingerprint(),
+        )
+
+    def run_schedule_forked(self, schedule: InterventionSchedule) -> dict:
+        """Evaluate *schedule* through the snapshot engine.
+
+        Forks from the deepest holder whose captured decision prefix
+        matches the schedule (cold-running and capturing along the way
+        on a miss) and returns the same summary dict as the pooled
+        explore path.  Requires :attr:`snapshots`.
+        """
+        from repro.snapshot import ScheduleDecisions
+
+        def run(checkpointer):
+            controller = schedule.controller(checkpointer=checkpointer)
+            with stream_hooks(controller):
+                result = self.experiment(schedule.base_seed, self.scenario)
+            return _summarize(result, controller)
+
+        return self.snapshots.execute(
+            self._snapshot_context(schedule.base_seed),
+            ScheduleDecisions(schedule),
+            run,
+        )
 
     def annotate(self, schedule: InterventionSchedule) -> InterventionSchedule:
         """Resolve which thread each preemption point actually hit."""
@@ -176,17 +229,46 @@ class Explorer:
             "base_seed": self.base_seed,
             "horizon": horizon,
         }
+        engine = self.snapshots
+        if engine is not None and not engine.active:
+            engine = None
+
+        def forked_job(index: int):
+            from repro.snapshot import ScheduleDecisions
+
+            schedule = self.strategy.schedule_for(index, self.base_seed, horizon)
+
+            def run(checkpointer):
+                controller = schedule.controller(checkpointer=checkpointer)
+                with stream_hooks(controller):
+                    result = self.experiment(schedule.base_seed, self.scenario)
+                return _summarize(result, controller)
+
+            return (
+                self._snapshot_context(schedule.base_seed),
+                ScheduleDecisions(schedule),
+                run,
+            )
+
         outcomes: list[ExecutionOutcome] = []
         found: ExecutionOutcome | None = None
         chunk = max(self.sweep.workers, 4)
         for start in range(0, budget, chunk):
             indices = list(range(start, min(start + chunk, budget)))
-            batch = self.sweep.run(
-                runner,
-                indices,
-                name=f"explore-{self.strategy.name}",
-                params=params,
-            )
+            if engine is not None:
+                batch = self.sweep.run_forked(
+                    engine,
+                    indices,
+                    forked_job,
+                    name=f"explore-{self.strategy.name}",
+                )
+            else:
+                batch = self.sweep.run(
+                    runner,
+                    indices,
+                    name=f"explore-{self.strategy.name}",
+                    params=params,
+                )
             for index, seed_outcome in zip(indices, batch.outcomes):
                 schedule = self.strategy.schedule_for(
                     index, self.base_seed, horizon
@@ -225,4 +307,5 @@ class Explorer:
             horizon=horizon,
             executions=outcomes,
             found=found,
+            snapshots=engine.stats if engine is not None else None,
         )

@@ -80,7 +80,13 @@ class FaultVerdict:
 class FaultInjector:
     """Applies one :class:`FaultPlan`, recording every fired fault."""
 
-    def __init__(self, plan: FaultPlan, replay: DecisionTrace | None = None):
+    def __init__(
+        self,
+        plan: FaultPlan,
+        replay: DecisionTrace | None = None,
+        universe: DecisionTrace | None = None,
+        checkpointer=None,
+    ):
         self.plan = plan
         self.trace = DecisionTrace(
             base_seed=plan.seed,
@@ -96,15 +102,54 @@ class FaultInjector:
                 (r.stream, r.kind, r.name, r.bound): r.choice
                 for r in replay.records
             }
+        # Snapshot-fork seam: *universe* is the full fired-fault trace a
+        # replayed subset was drawn from.  Its records fire in
+        # chronological order in *any* subset replay, so the number of
+        # universe records whose site has been consulted is a decision
+        # index: two subsets agreeing on membership of records < k are
+        # bit-identical up to record k's site — a valid capture point.
+        self._universe: list[DecisionRecord] | None = (
+            list(universe.records) if universe is not None else None
+        )
+        self._universe_keys = (
+            [(r.stream, r.kind, r.name, r.bound) for r in self._universe]
+            if self._universe is not None
+            else None
+        )
+        self._decided = 0
+        self._ckpt = checkpointer
 
     # -- decision core ------------------------------------------------------
+
+    def _adopt(self, bits) -> None:
+        """A forked continuation swaps in its own subset's membership."""
+        assert self._universe is not None
+        self._replay = {
+            (r.stream, r.kind, r.name, r.bound): r.choice
+            for r, bit in zip(self._universe, bits)
+            if bit
+        }
+
+    def _gate(self, key: tuple[str, str, str, int]) -> bool:
+        """Replay-table lookup, advancing the universe decision cursor."""
+        keys = self._universe_keys
+        if keys is not None:
+            decided = self._decided
+            if decided < len(keys) and keys[decided] == key:
+                # Capture *before* this record's membership takes
+                # effect: holder state depends only on records < cursor.
+                ckpt = self._ckpt
+                if ckpt is not None and ckpt.wants(decided):
+                    ckpt.reached(decided, self._adopt)
+                self._decided = decided + 1
+        return key in self._replay
 
     def _fires(
         self, stream: str, kind: str, name: str, index: int, probability: float
     ) -> bool:
         """Decide one probabilistic site (PRF in live mode, table in replay)."""
         if self._replay is not None:
-            return (stream, kind, name, index) in self._replay
+            return self._gate((stream, kind, name, index))
         if probability <= 0.0:
             return False
         if probability >= 1.0:
@@ -114,7 +159,7 @@ class FaultInjector:
     def _window_fires(self, stream: str, kind: str, name: str, index: int) -> bool:
         """Decide one time-window site (always fires live, gated in replay)."""
         if self._replay is not None:
-            return (stream, kind, name, index) in self._replay
+            return self._gate((stream, kind, name, index))
         return True
 
     def _record(
@@ -232,7 +277,11 @@ class FaultInjector:
 
 
 def install_fault_plan(
-    world: "World", plan: FaultPlan, replay: DecisionTrace | None = None
+    world: "World",
+    plan: FaultPlan,
+    replay: DecisionTrace | None = None,
+    universe: DecisionTrace | None = None,
+    checkpointer=None,
 ) -> FaultInjector:
     """Attach *plan* to a built (not yet run) world.
 
@@ -242,9 +291,14 @@ def install_fault_plan(
     the injector; read ``injector.trace`` / ``injector.summary()`` after
     the run.  With *replay*, probabilistic decisions are answered from
     the recorded trace instead of the plan's PRF stream (any subset of a
-    recorded trace is valid — see module docstring).
+    recorded trace is valid — see module docstring).  *universe* plus
+    *checkpointer* let the snapshot engine capture copy-on-write
+    checkpoints between replayed membership decisions (see
+    :mod:`repro.snapshot`).
     """
-    injector = FaultInjector(plan, replay=replay)
+    injector = FaultInjector(
+        plan, replay=replay, universe=universe, checkpointer=checkpointer
+    )
     world.fault_injector = injector
     switch = world.network
     if switch is not None:

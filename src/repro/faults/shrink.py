@@ -52,7 +52,10 @@ class FaultShrinkResult:
 def shrink_fault_trace(
     plan: FaultPlan,
     trace: DecisionTrace,
-    failure: Callable[[DecisionTrace], bool],
+    failure: Callable[..., bool],
+    *,
+    snapshots=None,
+    context: str = "",
 ) -> FaultShrinkResult:
     """ddmin *trace*'s fired faults under *failure*.
 
@@ -60,14 +63,53 @@ def shrink_fault_trace(
     replay=<candidate trace>)`` and reports whether the observed problem
     still reproduces.  Raises :class:`ValueError` if the full trace does
     not (nothing to shrink from).
+
+    With *snapshots* (an active :class:`repro.snapshot.SnapshotEngine`),
+    probes are keyed by their membership bits over *trace*'s records —
+    a record's membership cannot affect the run before its own firing
+    site, so probes agreeing on records < k share bit-identical state up
+    to record k and fork from copy-on-write holders instead of
+    replaying from t=0.  In that mode *failure* is called as
+    ``failure(candidate, checkpointer)`` and must thread the
+    checkpointer plus the full *trace* (as the decision universe) into
+    ``install_fault_plan``; its verdict must depend only on the run's
+    outcome.  *context* overrides the engine cache key (everything
+    outside the membership bits).
     """
     history: list[tuple[int, bool]] = []
+    engine = snapshots
+    if engine is not None and not engine.active:
+        engine = None
+    universe = list(trace.records)
+    if engine is not None and not context:
+        from repro.harness.sweep import code_fingerprint
+        from repro.snapshot import context_key
+
+        context = context_key(
+            "fault-shrink",
+            repr(plan),
+            trace.base_seed,
+            trace.experiment,
+            code_fingerprint(),
+        )
 
     def as_trace(records: Sequence[DecisionRecord]) -> DecisionTrace:
         return replace(trace, records=list(records))
 
     def reproduces(records: Sequence[DecisionRecord]) -> bool:
-        ok = failure(as_trace(records))
+        if engine is not None:
+            from repro.snapshot import MembershipDecisions
+
+            member = {id(record) for record in records}
+            bits = tuple(1 if id(record) in member else 0 for record in universe)
+            candidate = as_trace(records)
+            ok = engine.execute(
+                context,
+                MembershipDecisions(bits),
+                lambda checkpointer: failure(candidate, checkpointer),
+            )
+        else:
+            ok = failure(as_trace(records))
         history.append((len(records), ok))
         return ok
 

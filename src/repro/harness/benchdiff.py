@@ -201,16 +201,31 @@ def compare_dirs(
     current_dir: str | Path,
     tolerance: float = 0.75,
     gate_fields: bool = False,
+    only: str | None = None,
 ) -> dict[str, Any]:
     """Diff every benchmark across two directories -> ``bench-diff/v1``.
 
     With *gate_fields*, benchmarks absent from one side count as
     ``fail`` (summary-wise): a disappeared benchmark means a perf
     trajectory silently went dark, a new one means its baseline was
-    not committed alongside it.
+    not committed alongside it.  *only* restricts the diff to benchmark
+    names matching the :mod:`fnmatch` pattern — for partial runs (a CI
+    job regenerating one suite) where the other baselines would
+    otherwise all report ``missing``.
     """
     baselines = _load_dir(baseline_dir)
     currents = _load_dir(current_dir)
+    if only is not None:
+        from fnmatch import fnmatchcase
+
+        baselines = {
+            name: doc for name, doc in baselines.items()
+            if fnmatchcase(name, only)
+        }
+        currents = {
+            name: doc for name, doc in currents.items()
+            if fnmatchcase(name, only)
+        }
     benchmarks: dict[str, Any] = {}
     summary = {"ok": 0, "improved": 0, "warn": 0, "fail": 0}
     drift_severity = "fail" if gate_fields else "warn"

@@ -316,13 +316,21 @@ class ScenarioSpec:
         )
 
 
-def run_scenario_spec(seed: int, spec: ScenarioSpec, fault_replay=None):
+def run_scenario_spec(
+    seed: int,
+    spec: ScenarioSpec,
+    fault_replay=None,
+    fault_universe=None,
+    fault_checkpointer=None,
+):
     """Picklable sweep worker: one seed of *spec*.
 
     Returns the variant's :class:`BrakeRunResult`; with ``spec.observe``
     the run executes under :func:`repro.obs.capture` and the metrics
     snapshot is merged into ``result.fault_summary`` (the per-run digest
-    channel that survives pickling).
+    channel that survives pickling).  *fault_universe* and
+    *fault_checkpointer* feed the snapshot engine's fault-replay seam
+    (see :mod:`repro.snapshot`).
     """
     scenario = spec.effective_scenario()
     switch_config = spec.switch_config()
@@ -338,6 +346,8 @@ def run_scenario_spec(seed: int, spec: ScenarioSpec, fault_replay=None):
             switch_config=switch_config,
             fault_plan=spec.faults,
             fault_replay=fault_replay,
+            fault_universe=fault_universe,
+            fault_checkpointer=fault_checkpointer,
         )
 
     if not spec.observe:

@@ -1,0 +1,130 @@
+"""Process plumbing for the snapshot engine.
+
+The snapshot subsystem keeps *live* copy-on-write checkpoints: a
+``WorldSnapshot`` is a paused child process frozen mid-run, and a fork
+is ``os.fork()`` — the kernel's page-table copy-on-write does the
+actual state duplication.  That needs three small primitives, all
+POSIX-only and kept here so :mod:`repro.snapshot.engine` reads as
+protocol, not plumbing:
+
+* **message sockets** — ``AF_UNIX``/``SOCK_SEQPACKET`` socketpairs:
+  datagram-like message boundaries *plus* stream-like EOF on close,
+  which is what makes "evict a snapshot" as simple as closing our end
+  of its control socket;
+* **fd passing** — ``socket.send_fds``/``recv_fds`` (SCM_RIGHTS), used
+  to hand a freshly captured holder's control socket up to the
+  orchestrator and to hand a result pipe down into a forked
+  continuation;
+* **framed pipes** — length-prefixed pickles over a plain ``os.pipe``
+  for run results, which can be larger than one datagram.
+
+Everything degrades cleanly: :data:`SUPPORTED` is ``False`` on
+platforms without ``fork``/``SEQPACKET``/fd-passing (Windows, some
+macOS builds), and the engine then runs every execution in-process
+from scratch — correct, just without the O(ΔT) speedup.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import socket
+import struct
+from typing import Any
+
+__all__ = [
+    "SUPPORTED",
+    "SnapshotIpcError",
+    "seqpacket_pair",
+    "send_msg",
+    "recv_msg",
+    "adopt_socket",
+    "write_framed",
+    "read_framed",
+]
+
+#: Whether this platform can host live process snapshots at all.
+SUPPORTED = (
+    hasattr(os, "fork")
+    and hasattr(socket, "AF_UNIX")
+    and hasattr(socket, "SOCK_SEQPACKET")
+    and hasattr(socket, "send_fds")
+    and hasattr(socket, "recv_fds")
+)
+
+#: One control/registration message must fit one packet.  Decision
+#: vectors are sparse site/delay pairs or membership bits — kilobytes,
+#: not megabytes; results travel over framed pipes instead.
+MAX_MSG = 1 << 20
+
+_LEN = struct.Struct(">Q")
+
+
+class SnapshotIpcError(RuntimeError):
+    """A snapshot control channel broke mid-conversation."""
+
+
+def seqpacket_pair() -> tuple[socket.socket, socket.socket]:
+    """A connected ``AF_UNIX``/``SOCK_SEQPACKET`` socket pair."""
+    return socket.socketpair(socket.AF_UNIX, socket.SOCK_SEQPACKET)
+
+
+def adopt_socket(fd: int) -> socket.socket:
+    """Wrap a received raw fd back into a SEQPACKET socket object."""
+    return socket.socket(socket.AF_UNIX, socket.SOCK_SEQPACKET, fileno=fd)
+
+
+def send_msg(sock: socket.socket, obj: Any, fds: tuple[int, ...] = ()) -> None:
+    """Send one pickled message (optionally with attached fds)."""
+    payload = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+    if len(payload) > MAX_MSG:
+        raise SnapshotIpcError(
+            f"snapshot message of {len(payload)} bytes exceeds {MAX_MSG}"
+        )
+    if fds:
+        socket.send_fds(sock, [payload], list(fds))
+    else:
+        sock.send(payload)
+
+
+def recv_msg(
+    sock: socket.socket, max_fds: int = 4
+) -> tuple[Any, list[int]] | None:
+    """Receive one message; ``None`` on EOF (peer closed = eviction)."""
+    payload, fds, _flags, _addr = socket.recv_fds(sock, MAX_MSG, max_fds)
+    if not payload:
+        for fd in fds:
+            os.close(fd)
+        return None
+    return pickle.loads(payload), list(fds)
+
+
+def write_framed(fd: int, obj: Any) -> None:
+    """Write one length-prefixed pickle to a raw pipe fd."""
+    payload = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+    data = _LEN.pack(len(payload)) + payload
+    view = memoryview(data)
+    while view:
+        view = view[os.write(fd, view) :]
+
+
+def _read_exactly(fd: int, count: int) -> bytes | None:
+    chunks: list[bytes] = []
+    while count:
+        chunk = os.read(fd, count)
+        if not chunk:
+            return None
+        chunks.append(chunk)
+        count -= len(chunk)
+    return b"".join(chunks)
+
+
+def read_framed(fd: int) -> Any | None:
+    """Read one framed pickle; ``None`` on EOF (writer died silently)."""
+    header = _read_exactly(fd, _LEN.size)
+    if header is None:
+        return None
+    payload = _read_exactly(fd, _LEN.unpack(header)[0])
+    if payload is None:
+        return None
+    return pickle.loads(payload)
