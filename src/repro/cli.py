@@ -14,6 +14,9 @@ Usage::
     python -m repro faults --drop 0.05 --partition 800:1200 --seeds 10
     python -m repro faults --plan plan.json --out report.json
     python -m repro det --spec spec.json      # any subcommand from a spec
+    python -m repro serve --port 8765 --local-workers 2   # sweep service
+    python -m repro submit --spec spec.json --wait        # run a campaign
+    python -m repro worker --coordinator http://host:8765 # join the fleet
 
 Every subcommand runs the corresponding experiment driver and prints
 the text rendering of the paper figure/table it reproduces.  Sweeps run
@@ -319,6 +322,104 @@ def build_parser() -> argparse.ArgumentParser:
     bench_diff.add_argument(
         "--out", metavar="FILE", default=None,
         help="write the bench-diff/v1 JSON report to FILE",
+    )
+
+    serve = commands.add_parser(
+        "serve",
+        help="run the sweep-service coordinator: accept scenario-spec "
+             "campaigns over HTTP (sweep-service/v1), shard them into "
+             "seed-chunk jobs and queue them for the worker fleet",
+    )
+    serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    _add_int(serve, "--port", 8765, "bind port (0 = ephemeral)")
+    serve.add_argument(
+        "--store-dir", default=None, metavar="DIR",
+        help="shared content-addressed result store "
+             "(default: <REPRO_CACHE_DIR or .repro_cache>/service)",
+    )
+    _add_int(
+        serve, "--local-workers", 0,
+        "also spawn N in-process workers over loopback HTTP (one-host mode)",
+    )
+    _add_int(serve, "--chunk-size", 4, "seeds per job")
+    _add_int(
+        serve, "--max-attempts", 3,
+        "lease-or-fail attempts before a job fails terminally",
+    )
+    serve.add_argument(
+        "--lease-ttl", type=float, default=15.0, metavar="S",
+        help="lease seconds a job survives without a heartbeat "
+             "(worker-death requeue horizon; default: 15)",
+    )
+    serve.add_argument(
+        "--job-timeout", type=float, default=600.0, metavar="S",
+        help="hard wall-clock budget per job attempt (default: 600)",
+    )
+    serve.add_argument(
+        "--retry-backoff", type=float, default=0.25, metavar="S",
+        help="requeue delay after the first failure, doubling per "
+             "attempt (default: 0.25)",
+    )
+    _add_int(
+        serve, "--campaigns", 0,
+        "exit once N campaigns have completed (0 = serve forever)",
+    )
+
+    submit = commands.add_parser(
+        "submit",
+        help="submit a scenario-spec campaign to a running coordinator "
+             "and optionally wait for the merged result",
+    )
+    submit.add_argument(
+        "--spec", required=True, metavar="FILE",
+        help="scenario-spec/v1 JSON file describing the campaign",
+    )
+    submit.add_argument(
+        "--coordinator", default="http://127.0.0.1:8765", metavar="URL",
+        help="coordinator base URL (default: http://127.0.0.1:8765)",
+    )
+    submit.add_argument(
+        "--wait", action="store_true",
+        help="poll until the campaign completes and print the summary",
+    )
+    submit.add_argument(
+        "--timeout", type=float, default=600.0, metavar="S",
+        help="--wait timeout in seconds (default: 600)",
+    )
+    submit.add_argument(
+        "--connect-timeout", type=float, default=30.0, metavar="S",
+        help="seconds to wait for the coordinator to come up (default: 30)",
+    )
+    submit.add_argument(
+        "--out", metavar="FILE", default=None,
+        help="write the merged sweep-service/v1 result document to FILE",
+    )
+    submit.add_argument(
+        "--report-out", metavar="FILE", default=None,
+        help="write the campaign post-mortem report JSON to FILE",
+    )
+
+    worker = commands.add_parser(
+        "worker",
+        help="run one sweep-service worker: lease jobs from a "
+             "coordinator under a heartbeat and stream results back",
+    )
+    worker.add_argument(
+        "--coordinator", default="http://127.0.0.1:8765", metavar="URL",
+        help="coordinator base URL (default: http://127.0.0.1:8765)",
+    )
+    worker.add_argument(
+        "--poll", type=float, default=0.2, metavar="S",
+        help="idle poll interval in seconds (default: 0.2)",
+    )
+    worker.add_argument(
+        "--idle-exit", type=float, default=None, metavar="S",
+        help="exit after this long without work (default: run forever)",
+    )
+    _add_int(worker, "--max-jobs", 0, "exit after completing N jobs (0 = no limit)")
+    worker.add_argument(
+        "--connect-timeout", type=float, default=30.0, metavar="S",
+        help="seconds to wait for the coordinator to come up (default: 30)",
     )
 
     trace = commands.add_parser(
@@ -966,6 +1067,147 @@ def _run_flows(args: argparse.Namespace, sweep) -> int:
     return 0
 
 
+def _run_serve(args: argparse.Namespace) -> int:
+    """``repro serve``: coordinator + HTTP API (+ optional local workers)."""
+    import os
+    import threading
+
+    from repro.service import (
+        Coordinator,
+        CoordinatorConfig,
+        HttpClient,
+        ResultStore,
+        Worker,
+        serve,
+    )
+
+    store_dir = args.store_dir or os.path.join(
+        os.environ.get("REPRO_CACHE_DIR", ".repro_cache"), "service"
+    )
+    config = CoordinatorConfig(
+        chunk_size=args.chunk_size,
+        max_attempts=args.max_attempts,
+        lease_ttl_s=args.lease_ttl,
+        job_timeout_s=args.job_timeout,
+        retry_backoff_s=args.retry_backoff,
+    )
+    coordinator = Coordinator(ResultStore(store_dir), config)
+    server = serve(coordinator, args.host, args.port)
+    print(
+        f"sweep-service/v1 coordinator on {server.url} "
+        f"(store: {store_dir}, chunk {config.chunk_size}, "
+        f"lease TTL {config.lease_ttl_s:g}s)",
+        flush=True,
+    )
+    stop = threading.Event()
+    threads = []
+    for index in range(args.local_workers):
+        local = Worker(
+            HttpClient(server.url), info={"local": True, "index": index}
+        )
+        thread = threading.Thread(
+            target=local.run, kwargs={"stop": stop}, daemon=True
+        )
+        threads.append(thread)
+        thread.start()
+    if args.local_workers:
+        print(f"spawned {args.local_workers} local worker(s)", flush=True)
+    try:
+        if args.campaigns > 0:
+            import time as _time
+
+            while True:
+                campaigns = coordinator.campaigns()
+                done = sum(1 for c in campaigns if c["status"] == "done")
+                if done >= args.campaigns:
+                    # Wind down the local workers (their lease polling
+                    # would otherwise never let the API go quiet), then
+                    # linger until clients finish draining results: a
+                    # `submit --wait` still has result/report reads in
+                    # flight when its campaign completes.
+                    stop.set()
+                    if _time.monotonic() - server.last_request > 1.0:
+                        print(
+                            f"served {done} campaign(s); shutting down",
+                            flush=True,
+                        )
+                        break
+                    _time.sleep(0.1)
+                else:
+                    stop.wait(0.2)
+        else:
+            while not stop.wait(3600.0):
+                pass
+    except KeyboardInterrupt:
+        print("interrupted; shutting down", file=sys.stderr)
+    finally:
+        stop.set()
+        for thread in threads:
+            thread.join(timeout=10.0)
+        server.shutdown()
+        server.server_close()
+    return 0
+
+
+def _run_submit(args: argparse.Namespace) -> int:
+    """``repro submit``: one campaign in, (optionally) one merged result out."""
+    import json
+
+    from repro.harness.config import ScenarioSpec
+    from repro.service import HttpClient, seed_outcomes
+
+    spec = ScenarioSpec.load(args.spec)
+    client = HttpClient(args.coordinator)
+    client.connect(timeout_s=args.connect_timeout)
+    status = client.submit(spec)
+    campaign = status["campaign"]
+    print(
+        f"campaign {campaign}: {status['seeds']} seed(s), "
+        f"{status['cached']} cached, {status['jobs']} job(s) queued"
+    )
+    if not args.wait:
+        print(f"poll with: repro submit --wait or GET /v1/status/{campaign}")
+        return 0
+    result = client.wait(campaign, timeout_s=args.timeout)
+    outcomes = seed_outcomes(result)
+    failures = [outcome for outcome in outcomes if not outcome.ok]
+    cached = sum(1 for outcome in outcomes if outcome.cached)
+    print(
+        f"campaign {campaign} done in {result['elapsed_s']:.3f}s: "
+        f"{len(outcomes)} seed(s), {cached} cached, "
+        f"{len(failures)} failure(s)"
+    )
+    for outcome in failures:
+        first_line = (outcome.error or "").strip().splitlines()[-1:]
+        print(f"  seed {outcome.seed}: {first_line[0] if first_line else '?'}")
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            json.dump(result, handle, indent=2, sort_keys=True)
+        print(f"result -> {args.out}")
+    if args.report_out:
+        with open(args.report_out, "w", encoding="utf-8") as handle:
+            json.dump(client.report(campaign), handle, indent=2, sort_keys=True)
+        print(f"report -> {args.report_out}")
+    return 1 if failures else 0
+
+
+def _run_worker(args: argparse.Namespace) -> int:
+    """``repro worker``: join a coordinator's fleet from this host."""
+    from repro.service import HttpClient, Worker
+
+    client = HttpClient(args.coordinator)
+    client.connect(timeout_s=args.connect_timeout)
+    worker = Worker(client, poll_interval_s=args.poll)
+    completed = worker.run(
+        max_idle_s=args.idle_exit, max_jobs=args.max_jobs or None
+    )
+    print(
+        f"worker {worker.worker_id}: {completed} job(s) completed, "
+        f"{worker.jobs_failed} failed"
+    )
+    return 0
+
+
 def _run_bench_diff(args: argparse.Namespace) -> int:
     """``repro bench-diff``: the perf-trajectory gate."""
     import json
@@ -1134,6 +1376,12 @@ def main(argv: list[str] | None = None) -> int:
     if args.command == "bench-diff":
         # No sweep options: dispatched before _make_sweep reads them.
         return _run_bench_diff(args)
+    if args.command == "serve":
+        return _run_serve(args)
+    if args.command == "submit":
+        return _run_submit(args)
+    if args.command == "worker":
+        return _run_worker(args)
     sweep = _make_sweep(args)
     if args.command == "trace":
         return _run_trace(args)

@@ -18,7 +18,8 @@ overwrites; ``use_cache=False`` bypasses the cache entirely.
 Environment knobs:
 
 ``REPRO_WORKERS``
-    Default worker count (else ``os.cpu_count()``).  ``1`` runs inline.
+    Default worker count (else the CPUs actually *available*: scheduler
+    affinity capped by the cgroup CPU quota).  ``1`` runs inline.
 ``REPRO_CACHE_DIR``
     Cache directory (default ``.repro_cache`` in the working directory).
 ``REPRO_NO_CACHE``
@@ -30,11 +31,13 @@ from __future__ import annotations
 import base64
 import hashlib
 import json
+import math
 import os
 import pickle
 import sys
 import time
 import traceback
+import warnings
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from functools import lru_cache, partial
@@ -42,6 +45,11 @@ from pathlib import Path
 from typing import Any, Callable, Iterable, Sequence
 
 from repro.harness.runner import env_int
+
+try:
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    fcntl = None  # type: ignore[assignment]
 
 __all__ = [
     "SweepRunner",
@@ -58,9 +66,59 @@ __all__ = [
 DEFAULT_CACHE_DIR = ".repro_cache"
 
 
+def _cgroup_cpu_quota(root: str | Path = "/sys/fs/cgroup") -> int | None:
+    """CPU count implied by the cgroup CPU quota, or ``None``.
+
+    CI containers routinely advertise the host's full core count via
+    ``os.cpu_count()`` while the cgroup caps them to one or two CPUs of
+    bandwidth; sizing a process pool off the host count oversubscribes
+    the quota and thrashes.  Reads cgroup v2 ``cpu.max`` (``"<quota>
+    <period>"`` or ``"max <period>"``) and falls back to the cgroup v1
+    ``cpu.cfs_quota_us``/``cpu.cfs_period_us`` pair.
+    """
+    root = Path(root)
+    try:
+        parts = (root / "cpu.max").read_text().split()
+        if parts and parts[0] != "max":
+            quota = int(parts[0])
+            period = int(parts[1]) if len(parts) > 1 else 100_000
+            if quota > 0 and period > 0:
+                return max(1, math.ceil(quota / period))
+    except (OSError, ValueError):
+        pass
+    try:
+        quota = int((root / "cpu" / "cpu.cfs_quota_us").read_text())
+        period = int((root / "cpu" / "cpu.cfs_period_us").read_text())
+        if quota > 0 and period > 0:
+            return max(1, math.ceil(quota / period))
+    except (OSError, ValueError):
+        pass
+    return None
+
+
 def default_workers() -> int:
-    """Worker count from ``REPRO_WORKERS``, else ``os.cpu_count()``."""
-    return max(1, env_int("REPRO_WORKERS", os.cpu_count() or 1))
+    """Worker count: ``REPRO_WORKERS``, else the *available* CPUs.
+
+    "Available" respects what the platform actually grants this
+    process: ``os.process_cpu_count()`` (Python 3.13+) or the scheduler
+    affinity mask, further capped by the cgroup CPU quota
+    (:func:`_cgroup_cpu_quota`) so containerized CI runs stop
+    oversubscribing their bandwidth limit.
+    """
+    if os.environ.get("REPRO_WORKERS") is not None:
+        return max(1, env_int("REPRO_WORKERS", 1))
+    process_cpu_count = getattr(os, "process_cpu_count", None)
+    if process_cpu_count is not None:
+        available = process_cpu_count() or 1
+    else:
+        try:
+            available = len(os.sched_getaffinity(0))
+        except (AttributeError, OSError):
+            available = os.cpu_count() or 1
+    quota = _cgroup_cpu_quota()
+    if quota is not None:
+        available = min(available, quota)
+    return max(1, available)
 
 
 @lru_cache(maxsize=1)
@@ -242,15 +300,65 @@ def _jsonable_seed(seed: Any) -> Any:
     return repr(seed)
 
 
+class _FileLock:
+    """``fcntl`` advisory lock on a ``<file>.lock`` sidecar.
+
+    Locking a sidecar (not the data file itself) lets compaction-style
+    maintenance atomically replace the data file while holding the
+    lock.  Degrades to a no-op where ``fcntl`` is unavailable.
+    """
+
+    def __init__(self, target: Path, shared: bool = False):
+        self.path = target.with_name(target.name + ".lock")
+        self.shared = shared
+        self._handle = None
+
+    def __enter__(self) -> "_FileLock":
+        if fcntl is not None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._handle = self.path.open("a")
+            mode = fcntl.LOCK_SH if self.shared else fcntl.LOCK_EX
+            fcntl.flock(self._handle, mode)
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        if self._handle is not None:
+            fcntl.flock(self._handle, fcntl.LOCK_UN)
+            self._handle.close()
+            self._handle = None
+
+
+def _tail_is_torn(path: Path) -> bool:
+    """True when *path* ends in a partial (unterminated) JSONL line —
+    the signature of a writer that crashed mid-append."""
+    try:
+        size = path.stat().st_size
+    except OSError:
+        return False
+    if size == 0:
+        return False
+    with path.open("rb") as handle:
+        handle.seek(-1, os.SEEK_END)
+        return handle.read(1) != b"\n"
+
+
 class ResultCache:
     """JSON-lines result store: one ``<experiment>.jsonl`` per sweep.
 
     Records are append-only; on load, later records win, so ``force``
-    reruns simply shadow stale entries.
+    reruns simply shadow stale entries.  Appends from concurrent
+    processes are serialized by an ``fcntl`` advisory lock and written
+    as a single ``write()``, so records never interleave; a torn
+    trailing line left by a crashed writer is skipped (and reported via
+    :attr:`malformed`) on load and terminated before the next append,
+    so one crash damages at most its own half-written record.
     """
 
     def __init__(self, directory: str | Path):
         self.directory = Path(directory)
+        #: malformed line count per cache file seen on the last load.
+        self.malformed: dict[str, int] = {}
+        self._warned: set[str] = set()
 
     def _path(self, experiment: str) -> Path:
         safe = "".join(
@@ -264,11 +372,13 @@ class ResultCache:
         records: dict[str, dict] = {}
         if not path.exists():
             return records
-        try:
-            lines = path.read_text().splitlines()
-        except OSError:
-            return records
-        for line in lines:
+        with _FileLock(path, shared=True):
+            try:
+                data = path.read_bytes()
+            except OSError:
+                return records
+        malformed = 0
+        for line in data.split(b"\n"):
             line = line.strip()
             if not line:
                 continue
@@ -276,7 +386,20 @@ class ResultCache:
                 record = json.loads(line)
                 records[record["key"]] = record
             except (ValueError, KeyError, TypeError):
-                continue  # torn/corrupt line: treat as a miss
+                malformed += 1  # torn/corrupt line: miss, but reported
+        if malformed:
+            self.malformed[path.name] = malformed
+            if path.name not in self._warned:
+                self._warned.add(path.name)
+                warnings.warn(
+                    f"result cache {path}: skipped {malformed} malformed "
+                    f"record(s) (torn line from a crashed append?); they "
+                    f"will be recomputed",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+        else:
+            self.malformed.pop(path.name, None)
         return records
 
     def append(self, experiment: str, records: Iterable[dict]) -> None:
@@ -284,9 +407,17 @@ class ResultCache:
         if not records:
             return
         self.directory.mkdir(parents=True, exist_ok=True)
-        with self._path(experiment).open("a") as handle:
-            for record in records:
-                handle.write(json.dumps(record) + "\n")
+        path = self._path(experiment)
+        blob = "".join(
+            json.dumps(record) + "\n" for record in records
+        ).encode()
+        with _FileLock(path):
+            with path.open("ab") as handle:
+                if _tail_is_torn(path):
+                    handle.write(b"\n")  # repair a crashed writer's tail
+                handle.write(blob)
+                handle.flush()
+                os.fsync(handle.fileno())
 
     def fetch(self, record: dict) -> Any:
         """Decode a record's payload (raises on a corrupt payload)."""

@@ -1,0 +1,170 @@
+"""Sweep-service worker: lease, heartbeat, execute, stream back.
+
+A worker is a loop around a client (HTTP or in-process): register with
+the coordinator, lease the next job, execute its seed chunk through the
+standard :meth:`SweepRunner.run_spec` path — the same engine every
+local driver uses, per-seed error capture included — while a heartbeat
+thread keeps the lease alive, then stream the encoded outcomes back.
+
+Execution failures are *job-level* only when the chunk itself cannot
+run (unloadable spec, engine crash); a failing seed is captured inside
+its :class:`~repro.harness.SeedOutcome` by the sweep engine and
+reported as a normal result, so one bad seed costs one seed, not a
+retry of the whole chunk.
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+import threading
+import time
+import traceback
+from typing import Any, Callable
+
+from repro.harness.config import ScenarioSpec
+from repro.harness.sweep import SweepRunner, _encode_value
+
+__all__ = ["Worker", "execute_job"]
+
+
+def execute_job(job: dict, runner: SweepRunner | None = None) -> list[dict]:
+    """Run one leased job's seed chunk; return wire outcomes.
+
+    The chunk spec is the campaign spec re-seeded with the job's seeds,
+    so the execution path — and therefore every byte of every per-seed
+    result — is exactly what ``SweepRunner.run_spec`` produces locally.
+    """
+    spec = ScenarioSpec.from_dict(job["spec"]).with_seeds(job["seeds"])
+    runner = runner or SweepRunner(workers=1, use_cache=False)
+    result = runner.run_spec(spec)
+    outcomes = []
+    for outcome in result.outcomes:
+        if outcome.ok:
+            encoding, payload = _encode_value(outcome.value)
+        else:
+            encoding, payload = None, None
+        outcomes.append(
+            {
+                "seed": outcome.seed,
+                "encoding": encoding,
+                "payload": payload,
+                "error": outcome.error,
+                "cached": False,
+                "elapsed_s": outcome.elapsed_s,
+            }
+        )
+    return outcomes
+
+
+class Worker:
+    """The lease/execute/report loop around a coordinator client.
+
+    *client* is anything with the coordinator's worker-facing methods —
+    :class:`~repro.service.http.HttpClient` for a remote coordinator,
+    :class:`~repro.service.http.LocalClient` for an in-process one.
+    """
+
+    def __init__(
+        self,
+        client,
+        poll_interval_s: float = 0.05,
+        execute: Callable[[dict], list[dict]] = execute_job,
+        info: dict | None = None,
+    ):
+        self.client = client
+        self.poll_interval_s = poll_interval_s
+        self.execute = execute
+        self.info = dict(
+            info or {"host": socket.gethostname(), "pid": os.getpid()}
+        )
+        self.worker_id: str | None = None
+        self.jobs_completed = 0
+        self.jobs_failed = 0
+
+    def register(self) -> str:
+        self.worker_id = self.client.register(self.info)
+        return self.worker_id
+
+    # -- execution ------------------------------------------------------------
+
+    def _heartbeat_loop(self, job_id: str, interval_s: float, done: threading.Event):
+        while not done.wait(interval_s):
+            try:
+                reply = self.client.heartbeat(self.worker_id, job_id)
+            except OSError:
+                continue  # transient network error: the TTL absorbs it
+            if not reply.get("ok"):
+                return  # lease lost (reaped/re-leased): stop renewing
+
+    def run_one(self, job: dict) -> bool:
+        """Execute one leased job; returns True when results landed."""
+        done = threading.Event()
+        interval_s = max(0.02, float(job.get("lease_ttl_s", 15.0)) / 3.0)
+        beater = threading.Thread(
+            target=self._heartbeat_loop,
+            args=(job["job"], interval_s, done),
+            daemon=True,
+        )
+        beater.start()
+        try:
+            outcomes = self.execute(job)
+        except Exception:
+            done.set()
+            beater.join()
+            self.jobs_failed += 1
+            self.client.fail(self.worker_id, job["job"], traceback.format_exc())
+            return False
+        done.set()
+        beater.join()
+        reply = self.client.complete(self.worker_id, job["job"], outcomes)
+        if reply.get("ok"):
+            self.jobs_completed += 1
+            return True
+        return False  # stale lease: another attempt owns the job now
+
+    # -- the loop -------------------------------------------------------------
+
+    def run(
+        self,
+        stop: threading.Event | None = None,
+        max_idle_s: float | None = None,
+        max_jobs: int | None = None,
+    ) -> int:
+        """Lease-and-execute until stopped; returns jobs completed.
+
+        *max_idle_s* exits after that long without work (CI workers);
+        *max_jobs* exits after completing that many (tests).  A
+        coordinator that is down counts as idle — workers outlive
+        coordinator restarts up to *max_idle_s*.
+        """
+        stop = stop or threading.Event()
+        idle_since = time.monotonic()
+        completed = 0
+        while not stop.is_set():
+            job: dict | None = None
+            try:
+                if self.worker_id is None:
+                    self.register()
+                job = self.client.lease(self.worker_id)
+            except OSError:
+                job = None
+            if job is None:
+                if (
+                    max_idle_s is not None
+                    and time.monotonic() - idle_since >= max_idle_s
+                ):
+                    break
+                stop.wait(self.poll_interval_s)
+                continue
+            if self.run_one(job):
+                completed += 1
+            idle_since = time.monotonic()
+            if max_jobs is not None and completed >= max_jobs:
+                break
+        return completed
+
+
+def _encode_outcome_value(value: Any) -> tuple[str, Any]:
+    """Exported for tests: the worker-side value encoding."""
+    return _encode_value(value)

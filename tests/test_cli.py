@@ -82,3 +82,94 @@ class TestExplore:
             "--frames", "10", "--no-cache",
         ]) == 1
         assert "no failure" in capsys.readouterr().out
+
+
+class TestServiceCLI:
+    def test_serve_parser_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.host == "127.0.0.1"
+        assert args.port == 8765
+        assert args.local_workers == 0
+        assert args.campaigns == 0
+        assert args.chunk_size == 4
+        assert args.max_attempts == 3
+        assert args.lease_ttl == 15.0
+        assert args.job_timeout == 600.0
+
+    def test_submit_requires_spec(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["submit"])
+
+    def test_submit_parser(self):
+        args = build_parser().parse_args(
+            ["submit", "--spec", "spec.json", "--wait", "--timeout", "30"]
+        )
+        assert args.spec == "spec.json"
+        assert args.wait
+        assert args.timeout == 30.0
+        assert args.coordinator == "http://127.0.0.1:8765"
+
+    def test_worker_parser(self):
+        args = build_parser().parse_args(
+            ["worker", "--coordinator", "http://host:1", "--idle-exit", "5"]
+        )
+        assert args.coordinator == "http://host:1"
+        assert args.idle_exit == 5.0
+        assert args.max_jobs == 0  # 0 means unlimited
+
+    def test_serve_submit_end_to_end(self, tmp_path, capsys):
+        """`repro serve` + `repro submit --wait`, fully in process."""
+        import socket
+        import threading
+
+        from repro.apps.brake import BrakeScenario
+        from repro.harness import ScenarioSpec
+
+        with socket.socket() as probe:  # find a free port
+            probe.bind(("127.0.0.1", 0))
+            port = probe.getsockname()[1]
+        spec_path = tmp_path / "spec.json"
+        ScenarioSpec(
+            variant="det",
+            seeds=(0, 1, 2),
+            scenario=BrakeScenario(n_frames=20),
+            label="cli-e2e",
+        ).save(spec_path)
+        serve_rc = []
+        server = threading.Thread(
+            target=lambda: serve_rc.append(
+                main(
+                    [
+                        "serve",
+                        "--port", str(port),
+                        "--store-dir", str(tmp_path / "store"),
+                        "--local-workers", "2",
+                        "--campaigns", "1",
+                        "--chunk-size", "2",
+                    ]
+                )
+            ),
+            daemon=True,
+        )
+        server.start()
+        rc = main(
+            [
+                "submit",
+                "--spec", str(spec_path),
+                "--coordinator", f"http://127.0.0.1:{port}",
+                "--wait",
+                "--out", str(tmp_path / "result.json"),
+                "--report-out", str(tmp_path / "report.json"),
+            ]
+        )
+        server.join(timeout=30)
+        assert rc == 0
+        assert serve_rc == [0]
+        out = capsys.readouterr().out
+        assert "3 seed(s)" in out
+        result = json.loads((tmp_path / "result.json").read_text())
+        assert result["status"] == "done"
+        assert [o["seed"] for o in result["outcomes"]] == [0, 1, 2]
+        report = json.loads((tmp_path / "report.json").read_text())
+        assert report["format"] == "sweep-service/v1"
+        assert report["jobs"]

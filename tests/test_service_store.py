@@ -1,0 +1,142 @@
+"""Tests for the shared content-addressed result store."""
+
+import json
+import multiprocessing
+
+from repro.apps.brake.scenario import BrakeScenario
+from repro.harness import ScenarioSpec
+from repro.service import ResultStore, spec_record_key
+from repro.faults import FaultPlan
+
+
+def _spec(**kwargs):
+    defaults = dict(
+        variant="det",
+        seeds=(0, 1, 2),
+        scenario=BrakeScenario(n_frames=40),
+    )
+    defaults.update(kwargs)
+    return ScenarioSpec(**defaults)
+
+
+class TestContentAddressing:
+    def test_key_ignores_seed_list_and_label(self):
+        """Chunking/naming a campaign differently must share results."""
+        a = _spec(seeds=(0, 1, 2, 3), label="campaign-a")
+        b = _spec(seeds=(2,), label="renamed")
+        assert spec_record_key(a, 2) == spec_record_key(b, 2)
+
+    def test_key_depends_on_seed(self):
+        spec = _spec()
+        assert spec_record_key(spec, 0) != spec_record_key(spec, 1)
+
+    def test_key_depends_on_scientific_content(self):
+        base = _spec()
+        assert spec_record_key(base, 0) != spec_record_key(
+            _spec(variant="nondet"), 0
+        )
+        assert spec_record_key(base, 0) != spec_record_key(
+            _spec(scenario=BrakeScenario(n_frames=41)), 0
+        )
+        faulted = _spec(faults=FaultPlan.camera_faults(seed=1, drop=0.1))
+        assert spec_record_key(base, 0) != spec_record_key(faulted, 0)
+
+    def test_accepts_spec_dict(self):
+        spec = _spec()
+        assert spec_record_key(spec.to_dict(), 0) == spec_record_key(spec, 0)
+
+
+class TestRoundTrip:
+    def test_json_and_pickle_values(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put("a" * 32, 0, {"plain": [1, 2, 3]})
+        store.put("b" * 32, 1, {1: "int-keyed dicts need pickling"})
+        assert store.fetch(store.get("a" * 32)) == {"plain": [1, 2, 3]}
+        assert store.fetch(store.get("b" * 32)) == {
+            1: "int-keyed dicts need pickling"
+        }
+        assert store.get("c" * 32) is None
+
+    def test_later_records_shadow_earlier(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put("a" * 32, 0, "stale")
+        store.put("a" * 32, 0, "fresh")
+        assert store.fetch(store.get("a" * 32)) == "fresh"
+
+    def test_get_many_spans_shards(self, tmp_path):
+        store = ResultStore(tmp_path)
+        keys = [f"{i:02x}" + "0" * 30 for i in range(8)]
+        for index, key in enumerate(keys):
+            store.put(key, index, index * 10)
+        found = store.get_many(keys + ["ff" + "1" * 30])
+        assert sorted(found) == sorted(keys)
+        assert store.fetch(found[keys[3]]) == 30
+
+
+def _hammer(args):
+    directory, writer, count = args
+    store = ResultStore(directory)
+    for index in range(count):
+        # same shard on purpose: all writers contend for one file.
+        store.put(f"aa{writer:02d}{index:04d}" + "0" * 24, index, [writer, index])
+    return writer
+
+
+class TestConcurrentWriters:
+    def test_parallel_process_appends_never_interleave(self, tmp_path):
+        """4 processes × 25 appends into one shard: every record intact."""
+        writers = 4
+        per_writer = 25
+        with multiprocessing.Pool(writers) as pool:
+            pool.map(
+                _hammer,
+                [(str(tmp_path), writer, per_writer) for writer in range(writers)],
+            )
+        store = ResultStore(tmp_path)
+        stats = store.stats()
+        assert stats["records"] == writers * per_writer
+        assert stats["malformed_lines"] == 0
+        for writer in range(writers):
+            for index in range(per_writer):
+                key = f"aa{writer:02d}{index:04d}" + "0" * 24
+                assert store.fetch(store.get(key)) == [writer, index]
+
+
+class TestCrashTolerance:
+    def test_torn_tail_is_skipped_and_reported(self, tmp_path):
+        store = ResultStore(tmp_path)
+        record = store.put("aa" + "0" * 30, 0, "survivor")
+        shard = tmp_path / "aa.jsonl"
+        with shard.open("ab") as handle:  # a writer crashed mid-append
+            handle.write(b'{"key": "aa' + b"1" * 10)
+        assert store.fetch(store.get("aa" + "0" * 30)) == "survivor"
+        assert store.malformed == {"aa.jsonl": 1}
+
+    def test_append_after_crash_repairs_the_tail(self, tmp_path):
+        """Records appended after a torn line must stay parseable."""
+        store = ResultStore(tmp_path)
+        store.put("aa" + "0" * 30, 0, "before")
+        shard = tmp_path / "aa.jsonl"
+        with shard.open("ab") as handle:
+            handle.write(b'{"key": "aa torn...')
+        store.put("aa" + "1" * 30, 1, "after")
+        assert store.fetch(store.get("aa" + "0" * 30)) == "before"
+        assert store.fetch(store.get("aa" + "1" * 30)) == "after"
+        # the torn line is terminated, not merged into the next record
+        lines = shard.read_bytes().splitlines()
+        assert len(lines) == 3
+        assert store.malformed == {"aa.jsonl": 1}
+
+    def test_compact_drops_shadowed_and_torn(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put("aa" + "0" * 30, 0, "stale")
+        store.put("aa" + "0" * 30, 0, "fresh")
+        with (tmp_path / "aa.jsonl").open("ab") as handle:
+            handle.write(b"torn line no newline")
+        summary = store.compact()
+        assert summary == {"records": 1, "dropped": 2}
+        assert store.fetch(store.get("aa" + "0" * 30)) == "fresh"
+        content = (tmp_path / "aa.jsonl").read_text()
+        assert len(content.splitlines()) == 1
+        assert json.loads(content)["payload"] is not None
+        assert store.stats()["malformed_lines"] == 0

@@ -1,5 +1,8 @@
 """Tests for the parallel sweep engine and its on-disk result cache."""
 
+import multiprocessing
+import os
+import warnings
 from collections import Counter
 from functools import partial
 
@@ -13,7 +16,13 @@ from repro.harness import (
     driver_fingerprint,
     run_seeds,
 )
-from repro.harness.sweep import _decode_value, _encode_value
+from repro.harness.sweep import (
+    ResultCache,
+    _cgroup_cpu_quota,
+    _decode_value,
+    _encode_value,
+    default_workers,
+)
 
 
 def _double(seed):
@@ -205,3 +214,122 @@ class TestDriverFingerprint:
         direct = driver_fingerprint(module.drive)
         wrapped = driver_fingerprint(partial(partial(module.drive, scale=2)))
         assert direct == wrapped != ""
+
+
+def _cache_hammer(args):
+    directory, writer, count = args
+    cache = ResultCache(directory)
+    for index in range(count):
+        record = {
+            "key": f"w{writer}-{index}",
+            "encoding": "json",
+            "payload": [writer, index],
+        }
+        cache.append("contended", [record])
+    return writer
+
+
+class TestResultCacheCrashSafety:
+    """Regression tests for concurrent appends and crash-torn lines."""
+
+    def test_torn_tail_is_skipped_and_warned(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.append("exp", [{"key": "k1", "encoding": "json", "payload": 1}])
+        with (tmp_path / "exp.jsonl").open("ab") as handle:
+            handle.write(b'{"key": "k2", "enc')  # writer crashed mid-append
+        fresh = ResultCache(tmp_path)
+        with pytest.warns(RuntimeWarning, match="1 malformed"):
+            records = fresh.load("exp")
+        assert set(records) == {"k1"}
+        assert fresh.malformed == {"exp.jsonl": 1}
+        # ...and only warns once per cache file, not per load.
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            fresh.load("exp")
+
+    def test_append_after_crash_repairs_the_tail(self, tmp_path):
+        """A record appended after a torn line must stay parseable."""
+        cache = ResultCache(tmp_path)
+        cache.append("exp", [{"key": "before", "encoding": "json", "payload": 1}])
+        path = tmp_path / "exp.jsonl"
+        with path.open("ab") as handle:
+            handle.write(b'{"key": "torn...')
+        cache.append("exp", [{"key": "after", "encoding": "json", "payload": 2}])
+        with pytest.warns(RuntimeWarning):
+            records = ResultCache(tmp_path).load("exp")
+        assert set(records) == {"before", "after"}
+        assert len(path.read_bytes().splitlines()) == 3
+
+    def test_sweep_recomputes_past_a_crashed_writer(self, tmp_path):
+        """End to end: a torn cache line costs a recompute, nothing else."""
+        SweepRunner(workers=1, cache_dir=tmp_path).run(
+            _double, range(3), name="exp"
+        )
+        with (tmp_path / "exp.jsonl").open("ab") as handle:
+            handle.write(b'{"key": "half-a-reco')
+        with pytest.warns(RuntimeWarning):
+            result = SweepRunner(workers=1, cache_dir=tmp_path).run(
+                _double, range(3), name="exp"
+            )
+        assert result.cache_hits == 3
+        assert result.values() == [0, 2, 4]
+
+    def test_parallel_process_appends_never_interleave(self, tmp_path):
+        writers, per_writer = 4, 20
+        with multiprocessing.Pool(writers) as pool:
+            pool.map(
+                _cache_hammer,
+                [(str(tmp_path), w, per_writer) for w in range(writers)],
+            )
+        records = ResultCache(tmp_path).load("contended")
+        assert len(records) == writers * per_writer
+        for writer in range(writers):
+            for index in range(per_writer):
+                assert records[f"w{writer}-{index}"]["payload"] == [writer, index]
+
+
+class TestDefaultWorkers:
+    def test_repro_workers_env_wins(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "7")
+        assert default_workers() == 7
+
+    def test_repro_workers_env_is_clamped(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "0")
+        assert default_workers() == 1
+
+    def test_cgroup_v2_quota(self, tmp_path):
+        (tmp_path / "cpu.max").write_text("200000 100000\n")
+        assert _cgroup_cpu_quota(tmp_path) == 2
+
+    def test_cgroup_v2_fractional_quota_rounds_up(self, tmp_path):
+        (tmp_path / "cpu.max").write_text("150000 100000\n")
+        assert _cgroup_cpu_quota(tmp_path) == 2
+
+    def test_cgroup_v2_unlimited(self, tmp_path):
+        (tmp_path / "cpu.max").write_text("max 100000\n")
+        assert _cgroup_cpu_quota(tmp_path) is None
+
+    def test_cgroup_v1_quota(self, tmp_path):
+        (tmp_path / "cpu").mkdir()
+        (tmp_path / "cpu" / "cpu.cfs_quota_us").write_text("250000\n")
+        (tmp_path / "cpu" / "cpu.cfs_period_us").write_text("100000\n")
+        assert _cgroup_cpu_quota(tmp_path) == 3
+
+    def test_cgroup_v1_unlimited(self, tmp_path):
+        (tmp_path / "cpu").mkdir()
+        (tmp_path / "cpu" / "cpu.cfs_quota_us").write_text("-1\n")
+        (tmp_path / "cpu" / "cpu.cfs_period_us").write_text("100000\n")
+        assert _cgroup_cpu_quota(tmp_path) is None
+
+    def test_no_cgroup_files(self, tmp_path):
+        assert _cgroup_cpu_quota(tmp_path) is None
+
+    def test_quota_caps_the_pool(self, monkeypatch):
+        monkeypatch.delenv("REPRO_WORKERS", raising=False)
+        monkeypatch.setattr("repro.harness.sweep._cgroup_cpu_quota", lambda: 1)
+        assert default_workers() == 1
+
+    def test_generous_quota_does_not_inflate(self, monkeypatch):
+        monkeypatch.delenv("REPRO_WORKERS", raising=False)
+        monkeypatch.setattr("repro.harness.sweep._cgroup_cpu_quota", lambda: 4096)
+        assert default_workers() <= (os.cpu_count() or 1)
