@@ -1,0 +1,146 @@
+"""Scenario dataclasses for the multi-ECU scenario library.
+
+Each scenario is a frozen, JSON-round-trippable parameter set (only
+primitives and :class:`StageTiming` values), mirroring
+:class:`~repro.apps.brake.scenario.BrakeScenario`: ``ScenarioSpec``
+serializes them via the registry's generic converter, and the STP
+override path rewrites ``latency_bound_ns``/``clock_error_ns`` with
+:func:`dataclasses.replace` — so every scenario carries those fields.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.apps.brake.scenario import StageTiming
+from repro.time.duration import MS, SEC, US
+
+__all__ = ["FusionScenario", "FailoverScenario", "MixedCriticalityScenario"]
+
+
+@dataclass(frozen=True)
+class FusionScenario:
+    """Multi-sensor fusion with fan-in ordering hazards.
+
+    Three sensor ECUs (camera, radar, lidar) publish one sample per
+    period; a fusion ECU on the far side of a two-switch fabric must
+    combine the three samples *of the same sequence number*.  The stock
+    variant fuses whatever its one-slot buffers hold when the periodic
+    callback fires — misaligned sequences are the fan-in hazard; the
+    DEAR variant aligns by sequence under safe-to-process waits.
+    """
+
+    n_frames: int = 300
+    period_ns: int = 50 * MS
+    #: Per-sensor send jitter: sample k leaves at k*period + U(0, jitter).
+    #: Wide on purpose (40% of the period): the three arrivals of a
+    #: group spread far enough that a fixed-phase periodic reader often
+    #: straddles them — the fan-in hazard under study.
+    sensor_jitter_ns: int = 20 * MS
+    warmup_ns: int = 600 * MS
+    #: Execution-time models.
+    sensor: StageTiming = StageTiming(200 * US, 1 * MS)
+    fuse: StageTiming = StageTiming(1 * MS, 4 * MS)
+    sample_copy_cost: StageTiming = StageTiming(100 * US, 800 * US)
+    #: Occasional late periodic callbacks (stock variant).
+    callback_spike_probability: float = 0.02
+    callback_spike_max_ns: int = 8 * MS
+    #: DEAR deadlines.
+    sensor_deadline_ns: int = 5 * MS
+    fuse_deadline_ns: int = 10 * MS
+    #: Assumed worst-case communication latency L (two-hop fabric).
+    latency_bound_ns: int = 8 * MS
+    #: Assumed clock synchronization error E.
+    clock_error_ns: int = 0
+    late_policy: str = "process"
+    #: How far (in completed sequence numbers) an incomplete fan-in
+    #: group may lag before the DEAR fusion stage evicts it.
+    eviction_horizon: int = 8
+    #: Hold the *inputs* fixed across world seeds (calm platforms,
+    #: constant link latencies, no sensor jitter) — the library analogue
+    #: of the brake scenario's ``deterministic_camera``, required by
+    #: cross-seed DEAR trace-identity checks (``repro faults``).
+    deterministic_inputs: bool = False
+
+    def total_duration_ns(self) -> int:
+        """Simulation horizon comfortably covering the whole run."""
+        return self.warmup_ns + (self.n_frames + 12) * self.period_ns
+
+
+@dataclass(frozen=True)
+class FailoverScenario:
+    """SOME/IP SD service failover under a node crash.
+
+    A primary producer ECU streams readings to a consumer ECU across a
+    two-switch fabric; a standby producer on a third ECU watches the
+    primary's SD offer and takes over when its TTL lapses.  The default
+    fault plan crashes the primary over ``[outage_start_ns,
+    outage_end_ns)`` — discovery TTL expiry, FIND retransmission and
+    re-subscription are exactly the machinery under test.
+    """
+
+    n_frames: int = 360
+    period_ns: int = 50 * MS
+    jitter_ns: int = 1 * MS
+    warmup_ns: int = 600 * MS
+    produce: StageTiming = StageTiming(100 * US, 600 * US)
+    consume: StageTiming = StageTiming(500 * US, 2 * MS)
+    callback_spike_probability: float = 0.02
+    callback_spike_max_ns: int = 8 * MS
+    #: Primary crash window (absolute simulation time).
+    outage_start_ns: int = 5 * SEC
+    outage_end_ns: int = 11 * SEC
+    #: Standby poll period for the primary's cached offer.
+    standby_poll_ns: int = 500 * MS
+    #: Consumer staleness threshold before it re-runs discovery.
+    stale_after_ns: int = 1500 * MS
+    consume_deadline_ns: int = 10 * MS
+    latency_bound_ns: int = 8 * MS
+    clock_error_ns: int = 0
+    late_policy: str = "process"
+    #: See :attr:`FusionScenario.deterministic_inputs`.
+    deterministic_inputs: bool = False
+
+    def total_duration_ns(self) -> int:
+        """Simulation horizon comfortably covering the whole run."""
+        return self.warmup_ns + (self.n_frames + 12) * self.period_ns
+
+
+@dataclass(frozen=True)
+class MixedCriticalityScenario:
+    """A critical control flow sharing a fabric with bulk telemetry.
+
+    The critical path (sensor ECU -> control ECU) crosses the same
+    inter-switch trunk as a bursty bulk flow (telemetry ECU -> logger
+    ECU).  The trunk is deliberately slow (``trunk_ns_per_byte``), so
+    bulk bursts queue critical samples behind them — within the declared
+    latency bound ``L`` by design, which DEAR absorbs while the stock
+    variant's periodic sampling turns the induced jitter into buffer
+    overwrites.
+    """
+
+    n_frames: int = 600
+    period_ns: int = 10 * MS
+    jitter_ns: int = 500_000
+    warmup_ns: int = 600 * MS
+    produce: StageTiming = StageTiming(50 * US, 300 * US)
+    consume: StageTiming = StageTiming(500 * US, 3 * MS)
+    callback_spike_probability: float = 0.02
+    callback_spike_max_ns: int = 4 * MS
+    #: Bulk telemetry: bursts of large raw datagrams.
+    bulk_bytes: int = 16_000
+    bulk_burst: int = 4
+    bulk_period_ns: int = 20 * MS
+    #: Serialization rate of the shared inter-switch trunk
+    #: (64 ns/byte ~ 125 Mbit/s; edge links stay at the default).
+    trunk_ns_per_byte: int = 64
+    consume_deadline_ns: int = 8 * MS
+    latency_bound_ns: int = 6 * MS
+    clock_error_ns: int = 0
+    late_policy: str = "process"
+    #: See :attr:`FusionScenario.deterministic_inputs`.
+    deterministic_inputs: bool = False
+
+    def total_duration_ns(self) -> int:
+        """Simulation horizon comfortably covering the whole run."""
+        return self.warmup_ns + (self.n_frames + 12) * self.period_ns

@@ -1,0 +1,184 @@
+"""Pluggable application/scenario registry.
+
+Historically every driver and CLI subcommand hardcoded
+``variant in ("det", "nondet")`` and imported the brake runners by
+name.  The registry replaces that branching with data: an
+:class:`AppDefinition` names an application, maps each variant to its
+runner (as a lazily-imported ``"module:function"`` string, so listing
+apps never pays for importing their worlds), and carries the
+scenario-type plumbing ``ScenarioSpec`` needs to serialize specs for
+any app.  Registering an app makes it appear in every subcommand —
+``explore``, ``faults``, ``flows``, ``submit`` — for free.
+
+Runner contract: ``runner(seed, scenario, switch_config=None,
+fault_plan=None, fault_replay=None, fault_universe=None,
+fault_checkpointer=None)`` returning a
+:class:`~repro.apps.brake.instrumentation.BrakeRunResult`-shaped value
+(``errors``/``commands``/``trace_fingerprints``/``outcome_digest()``).
+Runners must be picklable module-level callables — the sweep engine
+fans them out to worker processes.
+"""
+
+from __future__ import annotations
+
+import importlib
+from dataclasses import dataclass, field, fields, is_dataclass
+from typing import Any, Callable, Mapping
+
+__all__ = ["AppDefinition", "register", "get", "names", "apps"]
+
+
+def _generic_scenario_to_dict(scenario: Any) -> dict:
+    """Field-by-field dict of a (possibly nested) scenario dataclass.
+
+    Nested dataclass values (e.g. :class:`StageTiming`) flatten to dicts
+    of their fields — the same shape the brake converters produce.
+    """
+    out: dict[str, Any] = {}
+    for f in fields(scenario):
+        value = getattr(scenario, f.name)
+        if is_dataclass(value) and not isinstance(value, type):
+            value = {g.name: getattr(value, g.name) for g in fields(value)}
+        out[f.name] = value
+    return out
+
+
+def _generic_scenario_from_dict(scenario_type: type) -> Callable[[dict], Any]:
+    def loader(data: dict) -> Any:
+        kwargs: dict[str, Any] = {}
+        for f in fields(scenario_type):
+            if f.name not in data:
+                continue
+            value = data[f.name]
+            if isinstance(value, dict):
+                default = getattr(scenario_type(), f.name)
+                value = type(default)(**value)
+            elif isinstance(value, list):
+                value = tuple(value)
+            kwargs[f.name] = value
+        return scenario_type(**kwargs)
+
+    return loader
+
+
+@dataclass(frozen=True)
+class AppDefinition:
+    """One registered application and everything the harness needs."""
+
+    name: str
+    title: str
+    #: variant -> ``"module:function"``, resolved lazily and cached.
+    runners: Mapping[str, str]
+    scenario_type: type
+    description: str = ""
+    #: Library scenarios ship ready-made topology/faults and show up in
+    #: the ``repro library`` listing; the brake app predates the library.
+    library: bool = True
+    scenario_to_dict: Callable[[Any], dict] | None = None
+    scenario_from_dict: Callable[[dict], Any] | None = None
+    #: scenario -> TopologySpec | None (the app's native fabric).
+    default_topology: Callable[[Any], Any] | None = None
+    #: scenario -> FaultPlan | None (faults the scenario is *about*,
+    #: e.g. the failover app's node crash window).
+    default_faults: Callable[[Any], Any] | None = None
+    #: Environment/sensor thread names: explore's determinism verifier
+    #: suppresses preemptions landing on these (delaying an input driver
+    #: changes the input timeline, not the SUT's scheduling).
+    input_threads: tuple[str, ...] = ("camera",)
+    _resolved: dict = field(
+        default_factory=dict, init=False, repr=False, compare=False
+    )
+
+    def __post_init__(self) -> None:
+        if not self.runners:
+            raise ValueError(f"app {self.name!r} needs at least one runner")
+
+    def variants(self) -> tuple[str, ...]:
+        return tuple(sorted(self.runners))
+
+    def runner(self, variant: str) -> Callable:
+        """The (lazily imported) runner for *variant*."""
+        cached = self._resolved.get(variant)
+        if cached is not None:
+            return cached
+        target = self.runners.get(variant)
+        if target is None:
+            raise ValueError(
+                f"app {self.name!r} has no variant {variant!r}; "
+                f"known: {list(self.variants())}"
+            )
+        module_name, _, func_name = target.partition(":")
+        func = getattr(importlib.import_module(module_name), func_name)
+        self._resolved[variant] = func
+        return func
+
+    def default_scenario(self) -> Any:
+        return self.scenario_type()
+
+    def dump_scenario(self, scenario: Any) -> dict:
+        convert = self.scenario_to_dict or _generic_scenario_to_dict
+        return convert(scenario)
+
+    def load_scenario(self, data: dict) -> Any:
+        convert = self.scenario_from_dict or _generic_scenario_from_dict(
+            self.scenario_type
+        )
+        return convert(data)
+
+    def topology_for(self, scenario: Any):
+        return None if self.default_topology is None else self.default_topology(
+            scenario
+        )
+
+    def faults_for(self, scenario: Any):
+        return None if self.default_faults is None else self.default_faults(scenario)
+
+
+_REGISTRY: dict[str, AppDefinition] = {}
+_BUILTINS_LOADED = False
+
+
+def register(app: AppDefinition) -> AppDefinition:
+    """Add *app* to the registry (idempotent per name/definition)."""
+    existing = _REGISTRY.get(app.name)
+    if existing is not None and existing != app:
+        raise ValueError(f"app {app.name!r} already registered differently")
+    _REGISTRY[app.name] = app
+    return app
+
+
+def _ensure_builtins() -> None:
+    """Import the packages that register the built-in apps."""
+    global _BUILTINS_LOADED
+    if _BUILTINS_LOADED:
+        return
+    _BUILTINS_LOADED = True
+    import repro.apps  # noqa: F401  (registers brake)
+    import repro.apps.lib  # noqa: F401  (registers the scenario library)
+
+
+def get(name: str) -> AppDefinition:
+    """Look up a registered app by name."""
+    _ensure_builtins()
+    app = _REGISTRY.get(name)
+    if app is None:
+        raise KeyError(f"unknown app {name!r}; known: {names()}")
+    return app
+
+
+def names(library: bool | None = None) -> tuple[str, ...]:
+    """Registered app names, optionally filtered to library scenarios."""
+    _ensure_builtins()
+    return tuple(
+        sorted(
+            name
+            for name, app in _REGISTRY.items()
+            if library is None or app.library == library
+        )
+    )
+
+
+def apps() -> tuple[AppDefinition, ...]:
+    """All registered apps, sorted by name."""
+    _ensure_builtins()
+    return tuple(_REGISTRY[name] for name in names())

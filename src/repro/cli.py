@@ -37,6 +37,37 @@ def _add_int(parser: argparse.ArgumentParser, name: str, default: int, help_text
     parser.add_argument(name, type=int, default=default, help=help_text)
 
 
+def _add_app(parser: argparse.ArgumentParser) -> None:
+    """``--app`` selector: any registered application, brake by default."""
+    from repro import apps
+
+    parser.add_argument(
+        "--app", choices=apps.names(), default="brake",
+        help="application to run (default: brake; see `repro library` "
+             "for the multi-ECU scenario library)",
+    )
+
+
+def _app_scenario(app: str, frames: int | None, brake_default: int):
+    """The app's default scenario with ``--frames`` applied.
+
+    Brake keeps its historical per-subcommand frame default; library
+    scenarios run at their own size unless ``--frames`` is given.
+    """
+    from dataclasses import replace
+
+    from repro import apps
+
+    scenario = apps.get(app).default_scenario()
+    if app == "brake":
+        return replace(
+            scenario, n_frames=frames if frames is not None else brake_default
+        )
+    if frames is not None:
+        scenario = replace(scenario, n_frames=frames)
+    return scenario
+
+
 def _sweep_options() -> argparse.ArgumentParser:
     """Options shared by every subcommand: parallelism and caching."""
     common = argparse.ArgumentParser(add_help=False)
@@ -152,6 +183,7 @@ def build_parser() -> argparse.ArgumentParser:
              "(record/replay, shrink, verify determinism)",
         parents=[common],
     )
+    _add_app(explore)
     explore.add_argument(
         "--strategy", choices=("random", "pct"), default="pct",
         help="random = uniform seed sweeping; pct = bounded preemption "
@@ -201,14 +233,17 @@ def build_parser() -> argparse.ArgumentParser:
              "faults keep DEAR's logical traces bit-identical",
         parents=[common],
     )
+    _add_app(faults)
     faults.add_argument(
         "--plan", metavar="FILE", default=None,
         help="load a fault-plan/v1 JSON file (otherwise built from the "
-             "quick flags below)",
+             "quick flags below; library apps with no quick flags fall "
+             "back to their scenario's own fault plan)",
     )
     faults.add_argument(
-        "--drop", type=float, default=0.05, metavar="P",
-        help="camera-flow frame drop probability (default: 0.05)",
+        "--drop", type=float, default=None, metavar="P",
+        help="camera-flow frame drop probability "
+             "(default: 0.05 for brake, 0 for library apps)",
     )
     faults.add_argument(
         "--duplicate", type=float, default=0.0, metavar="P",
@@ -238,7 +273,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_int(faults, "--fault-seed", 1, "fault-plan PRF seed")
     _add_int(faults, "--seeds", 5, "world seeds to sweep per variant")
-    _add_int(faults, "--frames", 150, "frames per run")
+    faults.add_argument(
+        "--frames", type=int, default=None, metavar="N",
+        help="frames per run (default: 150 for brake, the scenario's "
+             "own size for library apps)",
+    )
     faults.add_argument(
         "--late-policy",
         choices=("process", "drop", "last-known", "fault-signal"),
@@ -263,20 +302,26 @@ def build_parser() -> argparse.ArgumentParser:
 
     flows = commands.add_parser(
         "flows",
-        help="causal flow tracing: sweep both brake variants with per-frame "
+        help="causal flow tracing: sweep any app's variants with per-frame "
              "hop records, print per-hop latency, drop attribution and the "
              "critical path, and diff stock vs DEAR",
         parents=[common],
     )
+    _add_app(flows)
     _add_int(flows, "--seeds", 10, "world seeds to sweep per variant")
-    _add_int(flows, "--frames", 120, "frames per run")
+    flows.add_argument(
+        "--frames", type=int, default=None, metavar="N",
+        help="frames per run (default: 120 for brake, the scenario's "
+             "own size for library apps)",
+    )
     flows.add_argument(
         "--variant", choices=("det", "nondet", "both"), default="both",
-        help="which brake variant(s) to flow-trace (default: both)",
+        help="which variant(s) to flow-trace (default: both)",
     )
     flows.add_argument(
         "--drop", type=float, default=0.0, metavar="P",
-        help="camera-flow fault-plan drop probability (default: 0, no plan)",
+        help="camera-flow fault-plan drop probability "
+             "(default: 0, no plan; brake only)",
     )
     _add_int(flows, "--fault-seed", 1, "fault-plan PRF seed")
     flows.add_argument(
@@ -424,28 +469,48 @@ def build_parser() -> argparse.ArgumentParser:
 
     trace = commands.add_parser(
         "trace",
-        help="run one observed brake run and export a Perfetto trace",
+        help="run one observed app run and export a Perfetto trace",
         parents=[common],
     )
+    _add_app(trace)
     trace.add_argument(
         "experiment", choices=("det", "nondet"),
-        help="brake-assistant variant to observe",
+        help="variant to observe",
     )
     _add_int(trace, "--seed", 0, "seed of the observed run")
-    _add_int(trace, "--frames", 200, "frames for the observed run")
+    trace.add_argument(
+        "--frames", type=int, default=None, metavar="N",
+        help="frames for the observed run (default: 200 for brake, the "
+             "scenario's own size for library apps)",
+    )
 
     metrics = commands.add_parser(
         "metrics",
-        help="sweep observed brake runs and print cross-seed "
+        help="sweep observed app runs and print cross-seed "
              "metric aggregates (p50/p95/max)",
         parents=[common],
     )
+    _add_app(metrics)
     metrics.add_argument(
         "experiment", choices=("det", "nondet"),
-        help="brake-assistant variant to observe",
+        help="variant to observe",
     )
     _add_int(metrics, "--seeds", 10, "number of observed seeds")
-    _add_int(metrics, "--frames", 200, "frames per run")
+    metrics.add_argument(
+        "--frames", type=int, default=None, metavar="N",
+        help="frames per run (default: 200 for brake, the scenario's "
+             "own size for library apps)",
+    )
+
+    library = commands.add_parser(
+        "library",
+        help="list the registered applications and the multi-ECU "
+             "scenario library (topology size, variants, default faults)",
+    )
+    library.add_argument(
+        "--json", action="store_true",
+        help="emit the listing as JSON instead of a table",
+    )
 
     run_all = commands.add_parser(
         "all", help="run every experiment (default scale)", parents=[common]
@@ -554,19 +619,42 @@ def _render_distributed(frames: int, sweep) -> str:
     )
 
 
+def _explore_scenario(app: str, frames: int, deterministic: bool = False):
+    """The scenario explore/replay runs: hazard-prone and small.
+
+    Brake uses its calibration scenario (tightened to provoke failures);
+    library scenarios are hazard-prone by construction and just get the
+    frame count applied.  *deterministic* selects the DEAR-friendly
+    camera for brake; library det variants need no such knob.
+    """
+    from dataclasses import replace
+
+    from repro import apps
+    from repro.explore import calibration_scenario
+
+    if app == "brake":
+        return calibration_scenario(frames, deterministic_camera=deterministic)
+    return replace(
+        apps.get(app).default_scenario(),
+        n_frames=frames,
+        deterministic_inputs=deterministic,
+    )
+
+
 def _replay_trace(args: argparse.Namespace) -> int:
     """``repro explore --replay FILE``: re-execute a recorded trace."""
-    from repro.apps.brake.nondet import run_nondet_brake_assistant
-    from repro.explore import ScheduleReplayer, calibration_scenario
+    from repro import apps
+    from repro.explore import ScheduleReplayer
     from repro.explore.decisions import DecisionTrace
     from repro.sim.rng import stream_hooks
 
     trace = DecisionTrace.load(args.replay)
+    app = trace.params.get("app", getattr(args, "app", "brake"))
     frames = trace.params.get("frames", args.frames)
-    scenario = calibration_scenario(frames)
+    scenario = _explore_scenario(app, frames)
     replayer = ScheduleReplayer(trace)
     with stream_hooks(replayer):
-        result = run_nondet_brake_assistant(trace.base_seed, scenario)
+        result = apps.get(app).runner("nondet")(trace.base_seed, scenario)
     errors = result.errors.as_dict()
     print(
         f"replay: {replayer.consumed}/{len(trace.records)} recorded "
@@ -622,18 +710,20 @@ def _run_explore_inner(args, sweep, strategy, engine) -> int:
         shrink_report,
         verification_report,
     )
+    from repro import apps
     from repro.explore import (
         IN_BUDGET_PREEMPT_NS,
         Explorer,
         PctStrategy,
-        calibration_scenario,
         shrink_schedule,
         verify_determinism,
     )
-    from repro.apps.brake.det import run_det_brake_assistant
 
+    app = getattr(args, "app", "brake")
+    definition = apps.get(app)
     explorer = Explorer(
-        scenario=calibration_scenario(args.frames),
+        experiment=definition.runner("nondet"),
+        scenario=_explore_scenario(app, args.frames),
         base_seed=args.seed,
         strategy=strategy,
         sweep=sweep,
@@ -655,6 +745,7 @@ def _run_explore_inner(args, sweep, strategy, engine) -> int:
 
     if result.found is not None and args.record:
         run_result, trace = explorer.record(schedule)
+        trace.params["app"] = app
         trace.params["frames"] = args.frames
         trace.params["errors"] = run_result.errors.as_dict()
         trace.save(args.record)
@@ -665,7 +756,10 @@ def _run_explore_inner(args, sweep, strategy, engine) -> int:
 
     if args.schedule_out:
         artifact = {
-            "experiment": "run_nondet_brake_assistant",
+            "app": app,
+            "experiment": getattr(
+                explorer.experiment, "__name__", repr(explorer.experiment)
+            ),
             "strategy": result.strategy,
             "budget": result.budget,
             "executions_used": result.executions_used,
@@ -686,11 +780,9 @@ def _run_explore_inner(args, sweep, strategy, engine) -> int:
 
     code = 0 if result.found is not None else 1
     if args.verify > 0:
-        det_scenario = calibration_scenario(
-            args.frames, deterministic_camera=True
-        )
+        det_scenario = _explore_scenario(app, args.frames, deterministic=True)
         det_horizon = Explorer(
-            experiment=run_det_brake_assistant,
+            experiment=definition.runner("det"),
             scenario=det_scenario,
             base_seed=args.seed,
         ).horizon
@@ -702,7 +794,12 @@ def _run_explore_inner(args, sweep, strategy, engine) -> int:
             for index in range(args.verify)
         ]
         verification = verify_determinism(
-            schedules, det_scenario, base_seed=args.seed, sweep=sweep
+            schedules,
+            det_scenario,
+            base_seed=args.seed,
+            experiment=definition.runner("det"),
+            input_threads=definition.input_threads,
+            sweep=sweep,
         )
         print(verification_report(verification))
         if not verification.ok:
@@ -711,12 +808,18 @@ def _run_explore_inner(args, sweep, strategy, engine) -> int:
 
 
 def _faults_plan(args: argparse.Namespace):
-    """The :class:`FaultPlan` from ``--plan`` or the quick flags."""
+    """The :class:`FaultPlan` from ``--plan`` or the quick flags.
+
+    Returns ``None`` when a library app was selected and no quick fault
+    flag was set — the spec then falls through to the app's own default
+    plan (e.g. the failover scenario's primary-node outage).
+    """
     from repro.faults import FaultPlan, Partition
     from repro.time import MS
 
     if args.plan:
         return FaultPlan.load(args.plan)
+    app = getattr(args, "app", "brake")
     partitions = []
     for window in args.partition or ():
         start_text, _, end_text = window.partition(":")
@@ -729,9 +832,18 @@ def _faults_plan(args: argparse.Namespace):
         partitions.append(
             Partition(start_ns=int(start_ms * MS), end_ns=int(end_ms * MS))
         )
+    drop = args.drop if args.drop is not None else (
+        0.05 if app == "brake" else 0.0
+    )
+    quick = any(
+        p > 0.0
+        for p in (drop, args.duplicate, args.reorder, args.corrupt, args.spike)
+    ) or bool(partitions)
+    if app != "brake" and not quick:
+        return None
     return FaultPlan.camera_faults(
         seed=args.fault_seed,
-        drop=args.drop,
+        drop=drop,
         duplicate=args.duplicate,
         reorder=args.reorder,
         corrupt=args.corrupt,
@@ -819,29 +931,48 @@ def _run_faults(args: argparse.Namespace, sweep) -> int:
     from dataclasses import replace
 
     from repro.analysis.report import render_table
-    from repro.apps.brake import BrakeScenario
+    from repro.faults import FaultPlan
     from repro.harness.config import ScenarioSpec
 
     plan = _faults_plan(args)
     spec = _load_spec(args)
     if spec is not None:
-        spec = replace(spec, faults=plan, variant="det")
+        app = spec.app
+        if plan is not None:
+            spec = replace(spec, faults=plan, variant="det")
+        else:
+            spec = replace(spec, variant="det")
     else:
-        scenario = BrakeScenario(
-            n_frames=args.frames,
-            deterministic_camera=True,
+        app = getattr(args, "app", "brake")
+        scenario = _app_scenario(app, args.frames, 150)
+        # The cross-seed trace-identity check needs seed-fixed inputs:
+        # the deterministic camera for brake, the library analogue
+        # (calm hosts, constant latencies, no input jitter) otherwise.
+        deterministic_knob = (
+            "deterministic_camera" if app == "brake" else "deterministic_inputs"
+        )
+        scenario = replace(
+            scenario,
             late_policy=args.late_policy,
+            **{deterministic_knob: True},
         )
         spec = ScenarioSpec(
             variant="det",
             seeds=tuple(range(args.seeds)),
             scenario=scenario,
             faults=plan,
-            label="faults-det",
+            label="faults-det" if app == "brake" else f"faults-{app}-det",
+            app=app,
         )
+    # Library apps may carry their fault plan in the scenario itself
+    # (e.g. failover's primary outage); report whatever actually runs.
+    plan = spec.effective_faults() or FaultPlan(label="none")
     print(plan.describe())
     det_runs = sweep.run_spec(spec).values()
-    nondet_spec = replace(spec, variant="nondet", label="faults-nondet")
+    nondet_label = (
+        "faults-nondet" if app == "brake" else f"faults-{app}-nondet"
+    )
+    nondet_spec = replace(spec, variant="nondet", label=nondet_label)
     nondet_runs = sweep.run_spec(nondet_spec).values()
 
     rows = []
@@ -940,33 +1071,55 @@ def _run_flows(args: argparse.Namespace, sweep) -> int:
     from dataclasses import replace
     from functools import partial
 
-    from repro import obs
-    from repro.analysis.report import render_table
-    from repro.apps.brake import BrakeScenario
+    from repro import apps, obs
     from repro.obs.drivers import run_brake_flows
+    from repro.analysis.report import render_table
 
     spec = _load_spec(args)
     fault_plan = None
     switch_config = None
     if spec is not None:
+        app = spec.app
         scenario = spec.effective_scenario()
         seeds = list(spec.seeds)
         fault_plan = spec.faults
         switch_config = spec.switch_config()
     else:
-        scenario = BrakeScenario(n_frames=args.frames)
+        app = getattr(args, "app", "brake")
+        scenario = _app_scenario(app, args.frames, 120)
         seeds = list(range(args.seeds))
         if args.drop > 0.0:
+            if app != "brake":
+                raise SystemExit(
+                    "flows: --drop targets the brake camera flow; use "
+                    "--spec with a fault plan for library apps"
+                )
             from repro.faults import FaultPlan
 
             fault_plan = FaultPlan.camera_faults(
                 seed=args.fault_seed, drop=args.drop, label="cli-flows"
             )
+    definition = apps.get(app)
     variants = (
         ("det", "nondet") if args.variant == "both" else (args.variant,)
     )
+    for variant in variants:
+        if variant not in definition.variants():
+            raise SystemExit(
+                f"flows: app {app!r} has no variant {variant!r}; "
+                f"known: {list(definition.variants())}"
+            )
     merged: dict[str, dict] = {}
     for variant in variants:
+        # The brake sweep name and params predate --app; keep them
+        # byte-identical so existing result caches stay warm.
+        params = {
+            "frames": scenario.n_frames,
+            "spec": spec.to_dict() if spec is not None else None,
+            "faults": fault_plan.to_dict() if fault_plan is not None else None,
+        }
+        if app != "brake":
+            params["app"] = app
         runs = sweep.map(
             partial(
                 run_brake_flows,
@@ -974,17 +1127,18 @@ def _run_flows(args: argparse.Namespace, sweep) -> int:
                 variant=variant,
                 fault_plan=fault_plan,
                 switch_config=switch_config,
+                app=app,
             ),
             seeds,
-            name=f"flows-{variant}",
-            params={
-                "frames": scenario.n_frames,
-                "spec": spec.to_dict() if spec is not None else None,
-                "faults": fault_plan.to_dict() if fault_plan is not None else None,
-            },
+            name=(
+                f"flows-{variant}" if app == "brake"
+                else f"flows-{app}-{variant}"
+            ),
+            params=params,
         )
         merged[variant] = obs.merge_flow_reports([run["report"] for run in runs])
         summary = merged[variant]["summary"]
+        tag = variant if app == "brake" else f"{app} {variant}"
         drop_rows = [
             [cause, str(count)]
             for cause, count in summary["drops_by_cause"].items()
@@ -993,7 +1147,7 @@ def _run_flows(args: argparse.Namespace, sweep) -> int:
             ["drop cause", "frames"],
             drop_rows,
             title=(
-                f"FLOWS - {variant}: {summary['delivered']}/{summary['total']} "
+                f"FLOWS - {tag}: {summary['delivered']}/{summary['total']} "
                 f"delivered over {len(seeds)} seed(s), e2e p50 "
                 f"{summary['e2e_p50_ns']} ns, p95 {summary['e2e_p95_ns']} ns"
             ),
@@ -1007,7 +1161,7 @@ def _run_flows(args: argparse.Namespace, sweep) -> int:
         print(render_table(
             ["segment", "hops", "mean ns", "max ns", "dominant for"],
             seg_rows,
-            title=f"FLOWS - {variant} critical path:",
+            title=f"FLOWS - {tag} critical path:",
         ))
 
     diff = None
@@ -1036,6 +1190,7 @@ def _run_flows(args: argparse.Namespace, sweep) -> int:
     if args.out:
         document = {
             "format": "flow-sweep-report/v1",
+            "app": app,
             "frames": scenario.n_frames,
             "seeds": len(seeds),
             **{variant: merged[variant] for variant in variants},
@@ -1053,6 +1208,7 @@ def _run_flows(args: argparse.Namespace, sweep) -> int:
             variants[0],
             fault_plan=fault_plan,
             switch_config=switch_config,
+            app=app,
         )
         if args.trace_out:
             obs.write_trace(observation, args.trace_out)
@@ -1239,11 +1395,11 @@ def _run_bench_diff(args: argparse.Namespace) -> int:
 def _run_trace(args: argparse.Namespace) -> int:
     """``repro trace det|nondet``: one observed run -> Perfetto JSON."""
     from repro import obs
-    from repro.apps.brake import BrakeScenario
 
-    scenario = BrakeScenario(n_frames=args.frames)
+    app = getattr(args, "app", "brake")
+    scenario = _app_scenario(app, args.frames, 200)
     observation, result = obs.observe_brake_run(
-        args.seed, scenario, args.experiment
+        args.seed, scenario, args.experiment, app=app
     )
     path = obs.write_trace(observation, args.trace_out or "trace.json")
     print(
@@ -1255,8 +1411,8 @@ def _run_trace(args: argparse.Namespace) -> int:
         print(f"metrics -> {args.metrics_out}")
     errors = {k: v for k, v in result.errors.as_dict().items() if v}
     print(
-        f"run: {args.experiment}, seed {args.seed}, {args.frames} frames, "
-        f"errors: {errors or 'none'}"
+        f"run: {app} {args.experiment}, seed {args.seed}, "
+        f"{scenario.n_frames} frames, errors: {errors or 'none'}"
     )
     return 0
 
@@ -1268,26 +1424,38 @@ def _run_metrics(args: argparse.Namespace, sweep) -> int:
 
     from repro import obs
     from repro.analysis.report import render_table
-    from repro.apps.brake import BrakeScenario
     from repro.harness.sweep import merge_metric_snapshots
     from repro.obs.drivers import run_brake_with_obs
 
-    scenario = BrakeScenario(n_frames=args.frames)
+    app = getattr(args, "app", "brake")
+    scenario = _app_scenario(app, args.frames, 200)
+    params = {"frames": scenario.n_frames}
+    if app != "brake":
+        params["app"] = app
     runs = sweep.map(
-        partial(run_brake_with_obs, scenario=scenario, variant=args.experiment),
+        partial(
+            run_brake_with_obs,
+            scenario=scenario,
+            variant=args.experiment,
+            app=app,
+        ),
         range(args.seeds),
-        name=f"obs-{args.experiment}",
-        params={"frames": args.frames},
+        name=(
+            f"obs-{args.experiment}" if app == "brake"
+            else f"obs-{app}-{args.experiment}"
+        ),
+        params=params,
     )
     aggregate = merge_metric_snapshots(runs)
 
+    tag = args.experiment if app == "brake" else f"{app} {args.experiment}"
     rows = [
         [name, str(entry["total"]), str(entry["p50"]), str(entry["max"])]
         for name, entry in aggregate["counters"].items()
     ]
     print(render_table(
         ["counter", "total", "p50/seed", "max/seed"], rows,
-        title=f"OBS - {args.experiment} counters over {args.seeds} seeds:",
+        title=f"OBS - {tag} counters over {args.seeds} seeds:",
     ))
     rows = [
         [
@@ -1307,8 +1475,9 @@ def _run_metrics(args: argparse.Namespace, sweep) -> int:
     if args.metrics_out:
         document = {
             "format": "repro-metrics-aggregate/v1",
+            "app": app,
             "experiment": args.experiment,
-            "frames": args.frames,
+            "frames": scenario.n_frames,
             "seeds": args.seeds,
             "aggregate": aggregate,
         }
@@ -1316,9 +1485,57 @@ def _run_metrics(args: argparse.Namespace, sweep) -> int:
             json.dump(document, handle, indent=2, sort_keys=True)
         print(f"metrics aggregate -> {args.metrics_out}")
     if args.trace_out:
-        observation, _ = obs.observe_brake_run(0, scenario, args.experiment)
+        observation, _ = obs.observe_brake_run(
+            0, scenario, args.experiment, app=app
+        )
         obs.write_trace(observation, args.trace_out)
         print(f"representative trace (seed 0) -> {args.trace_out}")
+    return 0
+
+
+def _run_library(args: argparse.Namespace) -> int:
+    """``repro library``: list the registered applications."""
+    import json
+
+    from repro import apps
+    from repro.analysis.report import render_table
+
+    entries = []
+    for definition in apps.apps():
+        scenario = definition.default_scenario()
+        topology = definition.topology_for(scenario)
+        entries.append({
+            "name": definition.name,
+            "title": definition.title,
+            "library": definition.library,
+            "variants": list(definition.variants()),
+            "nodes": list(topology.nodes) if topology is not None else [],
+            "switches": list(topology.switches) if topology is not None else [],
+            "default_faults": definition.default_faults is not None,
+            "description": definition.description,
+        })
+    if args.json:
+        print(json.dumps({"format": "app-library/v1", "apps": entries},
+                         indent=2, sort_keys=True))
+        return 0
+    rows = [
+        [
+            entry["name"],
+            ",".join(entry["variants"]),
+            (f"{len(entry['nodes'])} nodes / {len(entry['switches'])} "
+             "switches") if entry["nodes"] else "(app default)",
+            "yes" if entry["default_faults"] else "-",
+            entry["title"],
+        ]
+        for entry in entries
+    ]
+    print(render_table(
+        ["app", "variants", "topology", "faults", "title"],
+        rows,
+        title="Registered applications (run with --app NAME or a v2 spec):",
+    ))
+    for entry in entries:
+        print(f"  {entry['name']}: {entry['description']}")
     return 0
 
 
@@ -1332,13 +1549,14 @@ def _export_observability(args: argparse.Namespace) -> None:
     if not (getattr(args, "trace_out", None) or getattr(args, "metrics_out", None)):
         return
     from repro import obs
-    from repro.apps.brake import BrakeScenario
 
     variant = "nondet" if args.command in ("fig1", "fig5") else "det"
-    frames = min(getattr(args, "frames", 200) or 200, 500)
+    app = getattr(args, "app", "brake")
+    frames = getattr(args, "frames", None)
+    frames = min(frames, 500) if frames is not None else None
     seed = getattr(args, "seed", 0) or 0
-    scenario = BrakeScenario(n_frames=frames)
-    observation, _ = obs.observe_brake_run(seed, scenario, variant)
+    scenario = _app_scenario(app, frames, 200)
+    observation, _ = obs.observe_brake_run(seed, scenario, variant, app=app)
     if args.trace_out:
         obs.write_trace(observation, args.trace_out)
         print(
@@ -1382,6 +1600,8 @@ def main(argv: list[str] | None = None) -> int:
         return _run_submit(args)
     if args.command == "worker":
         return _run_worker(args)
+    if args.command == "library":
+        return _run_library(args)
     sweep = _make_sweep(args)
     if args.command == "trace":
         return _run_trace(args)

@@ -184,19 +184,26 @@ class FaultInjector:
 
     # -- the Switch seam ----------------------------------------------------
 
-    def on_send(self, frame: "Frame", now: int) -> FaultVerdict | None:
+    def on_send(self, frame: "Frame", now: int, route=None) -> FaultVerdict | None:
         """Consulted by :meth:`Switch.send` once per frame, after the
-        latency draw.  Returns ``None`` when no fault touches the frame."""
+        latency draw.  Returns ``None`` when no fault touches the frame.
+
+        *route* is the frame's resolved :class:`~repro.network.topology.Route`
+        on a fabric (``None`` on the legacy single switch): outages of
+        intermediate switches and link-scoped partitions consult it.
+        """
         name = f"{frame.src_host}->{frame.dst_host}:{frame.dst_port}"
         index = self._flow_index.get(name, 0)
         self._flow_index[name] = index + 1
         plan = self.plan
         verdict: FaultVerdict | None = None
+        route_links = None if route is None else route.link_keys
 
         for i, outage in enumerate(plan.outages):
-            if not (
-                outage.down(frame.src_host, now) or outage.down(frame.dst_host, now)
-            ):
+            hit = outage.down(frame.src_host, now) or outage.down(frame.dst_host, now)
+            if not hit and route is not None:
+                hit = any(outage.down(sw, now) for sw in route.switches)
+            if not hit:
                 continue
             stream = f"faults/outage{i}"
             if self._window_fires(stream, "outage-drop", name, index):
@@ -205,7 +212,9 @@ class FaultInjector:
 
         defer_ns = 0
         for i, partition in enumerate(plan.partitions):
-            if not partition.severs(frame.src_host, frame.dst_host, now):
+            if not partition.severs(
+                frame.src_host, frame.dst_host, now, route_links=route_links
+            ):
                 continue
             stream = f"faults/part{i}"
             if partition.mode == "drop":
@@ -307,6 +316,19 @@ def install_fault_plan(
         raise SimulationError(
             "fault plan needs a network, but the world has none attached"
         )
+    topology = None if switch is None else switch.config.topology
+    if topology is not None and topology.is_trivial:
+        topology = None  # a trivial topology never routes, so never faults
+    fabric_switches = set() if topology is None else set(topology.switches)
+    fabric_links = (
+        set() if topology is None else {link.key for link in topology.links}
+    )
+    for partition in plan.partitions:
+        for key in partition.links:
+            if key not in fabric_links:
+                raise SimulationError(
+                    f"partition cuts unknown fabric link {key!r}"
+                )
 
     def _freeze(host: str, index: int, start_ns: int):
         def apply() -> None:
@@ -329,6 +351,10 @@ def install_fault_plan(
         return apply
 
     for i, outage in enumerate(plan.outages):
+        if outage.host in fabric_switches:
+            # A dead fabric switch has no scheduler to freeze: its whole
+            # effect is that routed frames die in ``on_send``.
+            continue
         if outage.host not in world.platforms:
             raise SimulationError(f"outage targets unknown host {outage.host!r}")
         world.sim.at(outage.start_ns, _freeze(outage.host, i, outage.start_ns))

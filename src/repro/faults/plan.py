@@ -107,7 +107,10 @@ class Partition:
 
     ``hosts`` names one side of the cut: traffic between a named host
     and an unnamed one is affected (an empty tuple cuts every
-    inter-host link).  ``mode`` selects the physical interpretation:
+    inter-host link).  On a multi-switch fabric, ``links`` instead cuts
+    specific cables — frames whose deterministic route traverses any
+    named link are affected, wherever their endpoints sit.  ``mode``
+    selects the physical interpretation:
 
     * ``"defer"`` (default): the fabric holds affected frames and
       releases them when the partition heals — a link flap with
@@ -121,6 +124,8 @@ class Partition:
     end_ns: int
     hosts: tuple[str, ...] = ()
     mode: str = "defer"
+    #: Severed cables as (endpoint, endpoint) pairs; order-insensitive.
+    links: tuple[tuple[str, str], ...] = ()
 
     def __post_init__(self) -> None:
         if self.end_ns < self.start_ns:
@@ -128,13 +133,32 @@ class Partition:
         if self.mode not in ("defer", "drop"):
             raise ValueError(f"mode must be 'defer' or 'drop', got {self.mode!r}")
         object.__setattr__(self, "hosts", tuple(self.hosts))
+        object.__setattr__(
+            self,
+            "links",
+            tuple(tuple(sorted((a, b))) for a, b in self.links),
+        )
 
-    def severs(self, src_host: str, dst_host: str, now: int) -> bool:
-        """Whether a frame sent *now* crosses the cut."""
+    def severs(
+        self,
+        src_host: str,
+        dst_host: str,
+        now: int,
+        route_links: tuple[tuple[str, str], ...] | None = None,
+    ) -> bool:
+        """Whether a frame sent *now* crosses the cut.
+
+        *route_links* is the frame's resolved route (as normalized link
+        keys) on a fabric, ``None`` on the legacy single switch.
+        """
         if not self.start_ns <= now < self.end_ns:
             return False
         if src_host == dst_host:
             return False  # loopback never crosses a link
+        if self.links:
+            if route_links is None:
+                return False  # link cuts need a routed fabric
+            return any(key in self.links for key in route_links)
         if not self.hosts:
             return True
         return (src_host in self.hosts) != (dst_host in self.hosts)
@@ -253,6 +277,9 @@ class FaultPlan:
                     "end_ns": p.end_ns,
                     "hosts": list(p.hosts),
                     "mode": p.mode,
+                    # "links" only when used, keeping legacy plans
+                    # byte-identical on disk.
+                    **({"links": [list(k) for k in p.links]} if p.links else {}),
                 }
                 for p in self.partitions
             ],
@@ -287,6 +314,9 @@ class FaultPlan:
                     end_ns=entry["end_ns"],
                     hosts=tuple(entry.get("hosts", [])),
                     mode=entry.get("mode", "defer"),
+                    links=tuple(
+                        (a, b) for a, b in entry.get("links", [])
+                    ),
                 )
                 for entry in data.get("partitions", [])
             ),

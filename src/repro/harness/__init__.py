@@ -13,8 +13,8 @@ benchmarks all share.
 """
 
 from repro.harness.benchdiff import compare_dirs, render_bench_diff
-from repro.harness.config import ScenarioSpec, run_scenario_spec
-from repro.harness.runner import env_int, run_seeds
+from repro.harness.config import NetworkSpec, ScenarioSpec, run_scenario_spec
+from repro.harness.runner import env_int
 from repro.harness.sweep import (
     SeedOutcome,
     SweepError,
@@ -29,9 +29,9 @@ from repro.harness.sweep import (
 from repro.harness import figures
 
 __all__ = [
+    "NetworkSpec",
     "ScenarioSpec",
     "run_scenario_spec",
-    "run_seeds",
     "env_int",
     "figures",
     "SweepRunner",

@@ -2,12 +2,21 @@
 
 Historically every driver took its own loose kwargs — a seed here, an
 ``n_frames`` there, a hand-built :class:`SwitchConfig` somewhere else.
-``ScenarioSpec`` bundles *everything* that parameterizes a brake-
-assistant experiment — variant, seeds, workload scenario, network
-topology/latency, STP bounds, observability, and a
-:class:`~repro.faults.FaultPlan` — into a single frozen, JSON-round-
-trippable value consumed uniformly by :class:`SweepRunner`, the
-figure/extension drivers and every CLI subcommand.
+``ScenarioSpec`` bundles *everything* that parameterizes an experiment
+— the application (any entry of :mod:`repro.apps.registry`), variant,
+seeds, workload scenario, a nested :class:`NetworkSpec`, an optional
+:class:`~repro.network.topology.TopologySpec` fabric, STP bounds,
+observability, and a :class:`~repro.faults.FaultPlan` — into a single
+frozen, JSON-round-trippable value consumed uniformly by
+:class:`SweepRunner`, the figure/extension drivers and every CLI
+subcommand.
+
+Serialization speaks two formats: ``scenario-spec/v2`` carries the
+``app``/``network``/``topology`` fields; any spec expressible in the
+legacy flattened shape (the brake app on the trivial topology) still
+writes byte-identical ``scenario-spec/v1`` documents, so committed
+specs, sweep-cache keys and service submissions from earlier versions
+keep resolving to the same experiments.  Both formats load.
 
 The module-level :func:`run_scenario_spec` is the picklable worker the
 sweep engine fans out: ``SweepRunner().run_spec(spec)`` is the single
@@ -17,193 +26,77 @@ execution path for seeded experiments.
 from __future__ import annotations
 
 import json
-from dataclasses import dataclass, field, fields, replace
+import warnings
+from dataclasses import dataclass, replace
 from pathlib import Path
 from typing import Any
 
-from repro.apps.brake.scenario import BrakeScenario, StageTiming
 from repro.dear.stp import StpConfig
 from repro.faults.plan import FaultPlan
 from repro.network.latency import (
     ConstantLatency,
-    GammaLatency,
     LatencyModel,
-    SpikyLatency,
-    UniformLatency,
+    latency_model_from_dict,
+    latency_model_to_dict,
 )
 from repro.network.switch import SwitchConfig
+from repro.network.topology import TopologySpec
 from repro.time.duration import US
 
 __all__ = [
+    "NetworkSpec",
     "ScenarioSpec",
     "latency_model_to_dict",
     "latency_model_from_dict",
     "run_scenario_spec",
 ]
 
-_LATENCY_MODELS: dict[str, type] = {
-    cls.__name__: cls
-    for cls in (ConstantLatency, UniformLatency, GammaLatency, SpikyLatency)
-}
+#: Sentinel distinguishing "not passed" from any real value in the
+#: deprecated flattened-knob constructor arguments.
+_UNSET: Any = object()
+
+#: The flattened knobs accepted (with a warning) for compatibility.
+_LEGACY_KNOBS = (
+    "latency",
+    "loopback_latency",
+    "in_order",
+    "drop_probability",
+    "ns_per_byte",
+)
+
+_WARNED_KNOBS: set[str] = set()
 
 
-def latency_model_to_dict(model: LatencyModel) -> dict:
-    """JSON form of any of the built-in latency models."""
-    name = type(model).__name__
-    if name not in _LATENCY_MODELS:
-        raise ValueError(
-            f"cannot serialize latency model {name!r}; "
-            f"known: {sorted(_LATENCY_MODELS)}"
-        )
-    out: dict[str, Any] = {"model": name}
-    for f in fields(model):
-        value = getattr(model, f.name)
-        out[f.name] = (
-            latency_model_to_dict(value) if f.name == "base" else value
-        )
-    return out
-
-
-def latency_model_from_dict(data: dict) -> LatencyModel:
-    """Inverse of :func:`latency_model_to_dict`."""
-    kwargs = dict(data)
-    name = kwargs.pop("model")
-    cls = _LATENCY_MODELS.get(name)
-    if cls is None:
-        raise ValueError(f"unknown latency model {name!r}")
-    if "base" in kwargs:
-        kwargs["base"] = latency_model_from_dict(kwargs["base"])
-    return cls(**kwargs)
-
-
-def _scenario_to_dict(scenario: BrakeScenario) -> dict:
-    out: dict[str, Any] = {}
-    for f in fields(scenario):
-        value = getattr(scenario, f.name)
-        if isinstance(value, StageTiming):
-            value = {"min_ns": value.min_ns, "max_ns": value.max_ns}
-        out[f.name] = value
-    return out
-
-
-def _scenario_from_dict(data: dict) -> BrakeScenario:
-    kwargs: dict[str, Any] = {}
-    for f in fields(BrakeScenario):
-        if f.name not in data:
-            continue
-        value = data[f.name]
-        if isinstance(value, dict):
-            value = StageTiming(**value)
-        kwargs[f.name] = value
-    return BrakeScenario(**kwargs)
+def _warn_legacy_knobs(names: list[str]) -> None:
+    fresh = [name for name in names if name not in _WARNED_KNOBS]
+    if not fresh:
+        return
+    _WARNED_KNOBS.update(fresh)
+    warnings.warn(
+        f"passing {', '.join(fresh)} to ScenarioSpec directly is "
+        f"deprecated; nest the knob(s) in network=NetworkSpec(...)",
+        DeprecationWarning,
+        stacklevel=3,
+    )
 
 
 @dataclass(frozen=True)
-class ScenarioSpec:
-    """Everything one experiment needs, as one frozen value.
+class NetworkSpec:
+    """The network half of a spec, nested (``scenario-spec/v2``).
 
-    Attributes:
-        variant: which stack runs — ``"det"`` (DEAR) or ``"nondet"``.
-        seeds: the seeds to sweep, in order.
-        scenario: the workload/timing configuration.
-        latency: inter-host latency model override (any
-            :class:`LatencyModel`); ``None`` keeps the scenario-derived
-            default (constant under ``deterministic_camera``).
-        loopback_latency: same-host latency model override.
-        in_order / drop_probability / ns_per_byte: remaining
-            :class:`SwitchConfig` knobs.
-        stp: overrides the scenario's ``L``/``E`` bounds when set.
-        observe: run each seed under :func:`repro.obs.capture` and
-            attach the metrics snapshot to the result's
-            ``fault_summary``-style digest.
-        faults: the :class:`FaultPlan` to install (``None`` = fault-free).
-        label: free-form experiment label (cache/report naming).
+    Carries exactly the :class:`SwitchConfig` knobs a spec may
+    override; ``None`` latency models mean "scenario-derived default"
+    (constant under ``deterministic_camera``, stock otherwise).
     """
 
-    variant: str = "det"
-    seeds: tuple[int, ...] = (0,)
-    scenario: BrakeScenario = field(default_factory=BrakeScenario)
     latency: LatencyModel | None = None
     loopback_latency: LatencyModel | None = None
     in_order: bool = True
     drop_probability: float = 0.0
     ns_per_byte: int = 8
-    stp: StpConfig | None = None
-    observe: bool = False
-    faults: FaultPlan | None = None
-    label: str = ""
-
-    def __post_init__(self) -> None:
-        if self.variant not in ("det", "nondet"):
-            raise ValueError(
-                f"variant must be 'det' or 'nondet', got {self.variant!r}"
-            )
-        object.__setattr__(self, "seeds", tuple(self.seeds))
-        if not self.seeds:
-            raise ValueError("a spec needs at least one seed")
-
-    # -- derived configuration ---------------------------------------------
-
-    def effective_scenario(self) -> BrakeScenario:
-        """The scenario with the spec's STP bounds applied."""
-        if self.stp is None:
-            return self.scenario
-        return replace(
-            self.scenario,
-            latency_bound_ns=self.stp.latency_bound_ns,
-            clock_error_ns=self.stp.clock_error_ns,
-        )
-
-    def switch_config(self) -> SwitchConfig | None:
-        """The network configuration, or ``None`` for the stock default.
-
-        Any :class:`LatencyModel` plugs in here — this replaces the old
-        pattern of drivers hand-building :class:`SwitchConfig` objects.
-        """
-        if (
-            self.latency is None
-            and self.loopback_latency is None
-            and self.in_order
-            and self.drop_probability == 0.0
-            and self.ns_per_byte == 8
-        ):
-            return None
-        if self.effective_scenario().deterministic_camera:
-            default_latency: LatencyModel = ConstantLatency(300 * US)
-            default_loopback: LatencyModel = ConstantLatency(50 * US)
-        else:
-            stock = SwitchConfig()
-            default_latency = stock.latency
-            default_loopback = stock.loopback_latency
-        return SwitchConfig(
-            latency=self.latency or default_latency,
-            loopback_latency=self.loopback_latency or default_loopback,
-            in_order=self.in_order,
-            drop_probability=self.drop_probability,
-            ns_per_byte=self.ns_per_byte,
-        )
-
-    def sweep_name(self) -> str:
-        """Cache/report identity of this spec's sweep."""
-        return self.label or f"spec-{self.variant}"
-
-    def with_seeds(self, seeds) -> "ScenarioSpec":
-        return replace(self, seeds=tuple(seeds))
-
-    # -- execution ----------------------------------------------------------
-
-    def run_one(self, seed: int, fault_replay=None):
-        """Run a single seed of this spec (inline, no sweep engine)."""
-        return run_scenario_spec(seed, self, fault_replay=fault_replay)
-
-    # -- serialization ------------------------------------------------------
 
     def to_dict(self) -> dict:
         return {
-            "format": "scenario-spec/v1",
-            "variant": self.variant,
-            "seeds": list(self.seeds),
-            "scenario": _scenario_to_dict(self.scenario),
             "latency": (
                 None if self.latency is None else latency_model_to_dict(self.latency)
             ),
@@ -215,27 +108,11 @@ class ScenarioSpec:
             "in_order": self.in_order,
             "drop_probability": self.drop_probability,
             "ns_per_byte": self.ns_per_byte,
-            "stp": (
-                None
-                if self.stp is None
-                else {
-                    "latency_bound_ns": self.stp.latency_bound_ns,
-                    "clock_error_ns": self.stp.clock_error_ns,
-                }
-            ),
-            "observe": self.observe,
-            "faults": None if self.faults is None else self.faults.to_dict(),
-            "label": self.label,
         }
 
     @classmethod
-    def from_dict(cls, data: dict) -> "ScenarioSpec":
-        if data.get("format") != "scenario-spec/v1":
-            raise ValueError(f"not a scenario spec: {data.get('format')!r}")
+    def from_dict(cls, data: dict) -> "NetworkSpec":
         return cls(
-            variant=data.get("variant", "det"),
-            seeds=tuple(data.get("seeds", (0,))),
-            scenario=_scenario_from_dict(data.get("scenario", {})),
             latency=(
                 None
                 if data.get("latency") is None
@@ -249,6 +126,282 @@ class ScenarioSpec:
             in_order=data.get("in_order", True),
             drop_probability=data.get("drop_probability", 0.0),
             ns_per_byte=data.get("ns_per_byte", 8),
+        )
+
+
+def _app_definition(name: str):
+    from repro.apps import registry
+
+    return registry.get(name)
+
+
+@dataclass(frozen=True, init=False)
+class ScenarioSpec:
+    """Everything one experiment needs, as one frozen value.
+
+    Attributes:
+        app: which registered application runs (``repro.apps.names()``).
+        variant: which of the app's runners — classically ``"det"``
+            (DEAR) or ``"nondet"`` (stock).
+        seeds: the seeds to sweep, in order.
+        scenario: the app's workload/timing configuration.
+        network: the nested :class:`NetworkSpec` (switch knobs).
+        topology: optional :class:`TopologySpec` fabric override;
+            ``None`` keeps the app's native fabric (the brake app's is
+            the trivial single-switch world).
+        stp: overrides the scenario's ``L``/``E`` bounds when set.
+        observe: run each seed under :func:`repro.obs.capture` and
+            attach the metrics snapshot to the result's
+            ``fault_summary``-style digest.
+        faults: the :class:`FaultPlan` to install; ``None`` defers to
+            the app's default plan (fault-free for most apps, the crash
+            window for the failover scenario).
+        label: free-form experiment label (cache/report naming).
+
+    The five flattened network knobs (``latency``, ``loopback_latency``,
+    ``in_order``, ``drop_probability``, ``ns_per_byte``) are still
+    accepted as constructor arguments for compatibility; they warn once
+    per process and fold into :attr:`network`.
+    """
+
+    app: str
+    variant: str
+    seeds: tuple[int, ...]
+    scenario: Any
+    network: NetworkSpec
+    topology: TopologySpec | None
+    stp: StpConfig | None
+    observe: bool
+    faults: FaultPlan | None
+    label: str
+
+    def __init__(
+        self,
+        variant: str = "det",
+        seeds: tuple[int, ...] = (0,),
+        scenario: Any = None,
+        latency: Any = _UNSET,
+        loopback_latency: Any = _UNSET,
+        in_order: Any = _UNSET,
+        drop_probability: Any = _UNSET,
+        ns_per_byte: Any = _UNSET,
+        stp: StpConfig | None = None,
+        observe: bool = False,
+        faults: FaultPlan | None = None,
+        label: str = "",
+        *,
+        app: str = "brake",
+        network: NetworkSpec | None = None,
+        topology: TopologySpec | None = None,
+    ) -> None:
+        legacy = {
+            name: value
+            for name, value in (
+                ("latency", latency),
+                ("loopback_latency", loopback_latency),
+                ("in_order", in_order),
+                ("drop_probability", drop_probability),
+                ("ns_per_byte", ns_per_byte),
+            )
+            if value is not _UNSET
+        }
+        if legacy:
+            _warn_legacy_knobs(sorted(legacy))
+            if network is not None:
+                raise TypeError(
+                    "pass network=NetworkSpec(...) or the flattened "
+                    "knobs, not both"
+                )
+            network = NetworkSpec(**legacy)
+        definition = _app_definition(app)
+        if variant not in definition.variants():
+            raise ValueError(
+                f"variant must be one of {list(definition.variants())} "
+                f"for app {app!r}, got {variant!r}"
+            )
+        if scenario is None:
+            scenario = definition.default_scenario()
+        seeds = tuple(seeds)
+        if not seeds:
+            raise ValueError("a spec needs at least one seed")
+        object.__setattr__(self, "app", app)
+        object.__setattr__(self, "variant", variant)
+        object.__setattr__(self, "seeds", seeds)
+        object.__setattr__(self, "scenario", scenario)
+        object.__setattr__(self, "network", network or NetworkSpec())
+        object.__setattr__(self, "topology", topology)
+        object.__setattr__(self, "stp", stp)
+        object.__setattr__(self, "observe", observe)
+        object.__setattr__(self, "faults", faults)
+        object.__setattr__(self, "label", label)
+
+    # -- flattened-knob read access (kept: cheap, unambiguous) --------------
+
+    @property
+    def latency(self) -> LatencyModel | None:
+        return self.network.latency
+
+    @property
+    def loopback_latency(self) -> LatencyModel | None:
+        return self.network.loopback_latency
+
+    @property
+    def in_order(self) -> bool:
+        return self.network.in_order
+
+    @property
+    def drop_probability(self) -> float:
+        return self.network.drop_probability
+
+    @property
+    def ns_per_byte(self) -> int:
+        return self.network.ns_per_byte
+
+    # -- derived configuration ---------------------------------------------
+
+    def definition(self):
+        """The spec's :class:`~repro.apps.AppDefinition`."""
+        return _app_definition(self.app)
+
+    def effective_scenario(self) -> Any:
+        """The scenario with the spec's STP bounds applied."""
+        if self.stp is None:
+            return self.scenario
+        return replace(
+            self.scenario,
+            latency_bound_ns=self.stp.latency_bound_ns,
+            clock_error_ns=self.stp.clock_error_ns,
+        )
+
+    def effective_faults(self) -> FaultPlan | None:
+        """The fault plan to install: explicit, else the app default."""
+        if self.faults is not None:
+            return self.faults
+        return self.definition().faults_for(self.effective_scenario())
+
+    def switch_config(self) -> SwitchConfig | None:
+        """The network configuration, or ``None`` for the stock default.
+
+        Any :class:`LatencyModel` plugs in here — this replaces the old
+        pattern of drivers hand-building :class:`SwitchConfig` objects.
+        The "is everything default" test compares against
+        :class:`NetworkSpec`'s own defaults instead of repeating them.
+        """
+        if self.network == NetworkSpec() and self.topology is None:
+            return None
+        scenario = self.effective_scenario()
+        if getattr(scenario, "deterministic_camera", False) or getattr(
+            scenario, "deterministic_inputs", False
+        ):
+            default_latency: LatencyModel = ConstantLatency(300 * US)
+            default_loopback: LatencyModel = ConstantLatency(50 * US)
+        else:
+            stock = SwitchConfig()
+            default_latency = stock.latency
+            default_loopback = stock.loopback_latency
+        return SwitchConfig(
+            latency=self.network.latency or default_latency,
+            loopback_latency=self.network.loopback_latency or default_loopback,
+            in_order=self.network.in_order,
+            drop_probability=self.network.drop_probability,
+            ns_per_byte=self.network.ns_per_byte,
+            topology=self.topology,
+        )
+
+    def sweep_name(self) -> str:
+        """Cache/report identity of this spec's sweep.
+
+        The brake app keeps its historical ``spec-<variant>`` names (so
+        pre-topology caches stay warm); other apps include the app name.
+        """
+        if self.label:
+            return self.label
+        if self.app == "brake":
+            return f"spec-{self.variant}"
+        return f"spec-{self.app}-{self.variant}"
+
+    def with_seeds(self, seeds) -> "ScenarioSpec":
+        return replace(self, seeds=tuple(seeds))
+
+    # -- execution ----------------------------------------------------------
+
+    def run_one(self, seed: int, fault_replay=None):
+        """Run a single seed of this spec (inline, no sweep engine)."""
+        return run_scenario_spec(seed, self, fault_replay=fault_replay)
+
+    # -- serialization ------------------------------------------------------
+
+    def _is_v1_expressible(self) -> bool:
+        """Whether the legacy flattened format can carry this spec."""
+        return self.app == "brake" and self.topology is None
+
+    def to_dict(self) -> dict:
+        """JSON form; v1-expressible specs keep the v1 byte layout.
+
+        The v1 emission path must stay byte-identical for existing
+        specs: sweep-cache keys, the result store and the submit
+        protocol all hash this dict.
+        """
+        definition = self.definition()
+        common = {
+            "variant": self.variant,
+            "seeds": list(self.seeds),
+            "scenario": definition.dump_scenario(self.scenario),
+        }
+        tail = {
+            "stp": (
+                None
+                if self.stp is None
+                else {
+                    "latency_bound_ns": self.stp.latency_bound_ns,
+                    "clock_error_ns": self.stp.clock_error_ns,
+                }
+            ),
+            "observe": self.observe,
+            "faults": None if self.faults is None else self.faults.to_dict(),
+            "label": self.label,
+        }
+        if self._is_v1_expressible():
+            return {
+                "format": "scenario-spec/v1",
+                **common,
+                **self.network.to_dict(),
+                **tail,
+            }
+        return {
+            "format": "scenario-spec/v2",
+            "app": self.app,
+            **common,
+            "network": self.network.to_dict(),
+            "topology": None if self.topology is None else self.topology.to_dict(),
+            **tail,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ScenarioSpec":
+        fmt = data.get("format")
+        if fmt == "scenario-spec/v1":
+            app = "brake"
+            network = NetworkSpec.from_dict(data)
+            topology = None
+        elif fmt == "scenario-spec/v2":
+            app = data.get("app", "brake")
+            network = NetworkSpec.from_dict(data.get("network") or {})
+            topology = (
+                None
+                if data.get("topology") is None
+                else TopologySpec.from_dict(data["topology"])
+            )
+        else:
+            raise ValueError(f"not a scenario spec: {fmt!r}")
+        definition = _app_definition(app)
+        return cls(
+            app=app,
+            variant=data.get("variant", "det"),
+            seeds=tuple(data.get("seeds", (0,))),
+            scenario=definition.load_scenario(data.get("scenario", {})),
+            network=network,
+            topology=topology,
             stp=None if data.get("stp") is None else StpConfig(**data["stp"]),
             observe=data.get("observe", False),
             faults=(
@@ -280,9 +433,10 @@ class ScenarioSpec:
         """Build a spec from an ``argparse`` namespace.
 
         ``--spec FILE`` (when present and set) wins outright; otherwise
-        the recognised loose flags — ``seed``/``seeds``, ``frames``,
-        ``drop``, ``plan`` — are folded into a fresh spec.  Unknown
-        attributes are ignored, so every subcommand can share this.
+        the recognised loose flags — ``app``, ``seed``/``seeds``,
+        ``frames``, ``drop``, ``plan`` — are folded into a fresh spec.
+        Unknown attributes are ignored, so every subcommand can share
+        this.
         """
         spec_path = getattr(args, "spec", None)
         if spec_path:
@@ -290,28 +444,27 @@ class ScenarioSpec:
             if variant is not None and spec.variant != variant:
                 spec = replace(spec, variant=variant)
             return spec
+        app = getattr(args, "app", None) or "brake"
+        definition = _app_definition(app)
         seeds: tuple[int, ...]
         n_seeds = getattr(args, "seeds", None)
         if n_seeds is not None:
             seeds = tuple(range(int(n_seeds)))
         else:
             seeds = (int(getattr(args, "seed", 0) or 0),)
-        scenario_kwargs: dict[str, Any] = {}
+        scenario = definition.default_scenario()
         frames = getattr(args, "frames", None)
         if frames is not None:
-            scenario_kwargs["n_frames"] = int(frames)
-        scenario = (
-            replace(BrakeScenario(), **scenario_kwargs)
-            if scenario_kwargs
-            else BrakeScenario()
-        )
+            scenario = replace(scenario, n_frames=int(frames))
         plan_path = getattr(args, "plan", None)
         faults = FaultPlan.load(plan_path) if plan_path else None
+        drop = float(getattr(args, "drop_probability", 0.0) or 0.0)
         return cls(
+            app=app,
             variant=variant or "det",
             seeds=seeds,
             scenario=scenario,
-            drop_probability=float(getattr(args, "drop_probability", 0.0) or 0.0),
+            network=NetworkSpec(drop_probability=drop),
             faults=faults,
         )
 
@@ -325,26 +478,25 @@ def run_scenario_spec(
 ):
     """Picklable sweep worker: one seed of *spec*.
 
-    Returns the variant's :class:`BrakeRunResult`; with ``spec.observe``
-    the run executes under :func:`repro.obs.capture` and the metrics
-    snapshot is merged into ``result.fault_summary`` (the per-run digest
-    channel that survives pickling).  *fault_universe* and
-    *fault_checkpointer* feed the snapshot engine's fault-replay seam
-    (see :mod:`repro.snapshot`).
+    Dispatches through :mod:`repro.apps.registry` — any registered
+    app/variant runs through this single path.  Returns the runner's
+    :class:`BrakeRunResult`-shaped value; with ``spec.observe`` the run
+    executes under :func:`repro.obs.capture` and the metrics snapshot
+    is merged into ``result.fault_summary`` (the per-run digest channel
+    that survives pickling).  *fault_universe* and *fault_checkpointer*
+    feed the snapshot engine's fault-replay seam (see
+    :mod:`repro.snapshot`).
     """
     scenario = spec.effective_scenario()
     switch_config = spec.switch_config()
-    if spec.variant == "det":
-        from repro.apps.brake.det import run_det_brake_assistant as experiment
-    else:
-        from repro.apps.brake.nondet import run_nondet_brake_assistant as experiment
+    experiment = spec.definition().runner(spec.variant)
 
     def execute():
         return experiment(
             seed,
             scenario,
             switch_config=switch_config,
-            fault_plan=spec.faults,
+            fault_plan=spec.effective_faults(),
             fault_replay=fault_replay,
             fault_universe=fault_universe,
             fault_checkpointer=fault_checkpointer,

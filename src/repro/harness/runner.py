@@ -1,37 +1,13 @@
-"""Small helpers for running seeded experiment sweeps."""
+"""Small helpers for running seeded experiment sweeps.
+
+Sequential sweeps go through :class:`repro.harness.SweepRunner`
+(``SweepRunner(workers=1).map(...)``); the old ``run_seeds`` helper is
+gone.
+"""
 
 from __future__ import annotations
 
 import os
-import warnings
-from typing import Callable, Sequence, TypeVar
-
-ResultT = TypeVar("ResultT")
-
-
-def run_seeds(
-    experiment: Callable[[int], ResultT], seeds: Sequence[int]
-) -> list[ResultT]:
-    """Run *experiment* for every seed, in order (deterministic sweep).
-
-    .. deprecated::
-        :class:`repro.harness.SweepRunner` is the single sweep engine —
-        ``SweepRunner(workers=1, use_cache=False).map(...)`` is the
-        equivalent call (and drops the single-worker/no-cache pins to
-        gain parallelism and caching).  This shim delegates there and
-        will be removed once the remaining callers migrate.
-    """
-    warnings.warn(
-        "run_seeds is deprecated; use repro.harness.SweepRunner "
-        "(e.g. SweepRunner().map(experiment, seeds, name=...)) instead",
-        DeprecationWarning,
-        stacklevel=2,
-    )
-    from repro.harness.sweep import SweepRunner
-
-    runner = SweepRunner(workers=1, use_cache=False)
-    name = getattr(experiment, "__name__", None) or "run_seeds"
-    return runner.map(experiment, seeds, name=f"run-seeds-{name}")
 
 
 def env_int(name: str, default: int) -> int:

@@ -4,8 +4,8 @@ Every paper artifact is an embarrassingly parallel sweep over seeds (or
 over another scalar knob such as a deadline or a pipeline depth).  The
 :class:`SweepRunner` fans the per-seed work out over a
 ``concurrent.futures.ProcessPoolExecutor`` and merges the results back
-**in seed order**, so the merged output is bit-identical to the
-sequential :func:`repro.harness.runner.run_seeds` path — each seed
+**in seed order**, so the merged output is bit-identical to a
+sequential single-worker run — each seed
 builds its own :class:`~repro.sim.World`, so per-seed results (including
 trace fingerprints) do not depend on scheduling across seeds.
 

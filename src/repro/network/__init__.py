@@ -8,6 +8,8 @@ in-order — possible reordering.
 Layers:
 
 * :mod:`repro.network.latency` — pluggable delay distributions;
+* :mod:`repro.network.topology` — multi-switch fabrics with per-link
+  latency/bandwidth and deterministic routing;
 * :mod:`repro.network.switch` — a store-and-forward switch routing frames
   between hosts (plus a loopback path for same-host traffic);
 * :mod:`repro.network.stack` — per-platform network interfaces and
@@ -20,9 +22,12 @@ from repro.network.latency import (
     LatencyModel,
     SpikyLatency,
     UniformLatency,
+    latency_model_from_dict,
+    latency_model_to_dict,
 )
 from repro.network.switch import CorruptedPayload, Frame, Switch, SwitchConfig
 from repro.network.stack import NetworkInterface, Socket
+from repro.network.topology import Link, Route, TopologySpec
 
 __all__ = [
     "LatencyModel",
@@ -30,10 +35,15 @@ __all__ = [
     "UniformLatency",
     "GammaLatency",
     "SpikyLatency",
+    "latency_model_to_dict",
+    "latency_model_from_dict",
     "CorruptedPayload",
     "Frame",
     "Switch",
     "SwitchConfig",
+    "Link",
+    "Route",
+    "TopologySpec",
     "NetworkInterface",
     "Socket",
 ]

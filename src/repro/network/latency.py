@@ -12,8 +12,8 @@ from __future__ import annotations
 
 import math
 import random
-from dataclasses import dataclass
-from typing import Protocol
+from dataclasses import dataclass, fields
+from typing import Any, Protocol
 
 
 class LatencyModel(Protocol):
@@ -109,3 +109,38 @@ class SpikyLatency:
 
     def bound(self) -> int:
         return self.base.bound()
+
+
+_LATENCY_MODELS: dict[str, type] = {
+    cls.__name__: cls
+    for cls in (ConstantLatency, UniformLatency, GammaLatency, SpikyLatency)
+}
+
+
+def latency_model_to_dict(model: LatencyModel) -> dict:
+    """JSON form of any of the built-in latency models."""
+    name = type(model).__name__
+    if name not in _LATENCY_MODELS:
+        raise ValueError(
+            f"cannot serialize latency model {name!r}; "
+            f"known: {sorted(_LATENCY_MODELS)}"
+        )
+    out: dict[str, Any] = {"model": name}
+    for f in fields(model):
+        value = getattr(model, f.name)
+        out[f.name] = (
+            latency_model_to_dict(value) if f.name == "base" else value
+        )
+    return out
+
+
+def latency_model_from_dict(data: dict) -> LatencyModel:
+    """Inverse of :func:`latency_model_to_dict`."""
+    kwargs = dict(data)
+    name = kwargs.pop("model")
+    cls = _LATENCY_MODELS.get(name)
+    if cls is None:
+        raise ValueError(f"unknown latency model {name!r}")
+    if "base" in kwargs:
+        kwargs["base"] = latency_model_from_dict(kwargs["base"])
+    return cls(**kwargs)

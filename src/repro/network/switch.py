@@ -15,6 +15,7 @@ from typing import TYPE_CHECKING, Any
 
 from repro.errors import NetworkError
 from repro.network.latency import GammaLatency, LatencyModel, UniformLatency
+from repro.network.topology import Route, TopologySpec
 from repro.obs import context as obs_context
 from repro.obs.bus import TRACK_NETWORK
 from repro.obs.flows import (
@@ -61,6 +62,12 @@ class SwitchConfig:
     ``in_order`` selects per-flow FIFO delivery (a flow is one
     ``(src_host, dst_host)`` pair).  The paper notes AP does not formally
     require in-order delivery; both settings are therefore interesting.
+
+    ``topology`` selects a multi-switch fabric (see
+    :class:`~repro.network.topology.TopologySpec`).  ``None`` — or a
+    trivial topology — keeps the legacy single-switch behaviour, draw
+    for draw; a non-trivial fabric routes each frame hop by hop with
+    per-link latency, serialization and output-queue contention.
     """
 
     latency: LatencyModel = field(
@@ -73,6 +80,7 @@ class SwitchConfig:
     drop_probability: float = 0.0
     #: Serialization delay per byte (8 ns/byte ~ 1 Gbit/s), applied per frame.
     ns_per_byte: int = 8
+    topology: TopologySpec | None = None
 
 
 class Switch:
@@ -82,6 +90,15 @@ class Switch:
         self._sim = sim
         self._rng = rng
         self.config = config or SwitchConfig()
+        topology = self.config.topology
+        #: Non-trivial fabric, or ``None`` for the legacy hot path.
+        self._fabric: TopologySpec | None = (
+            topology if topology is not None and not topology.is_trivial else None
+        )
+        #: Resolved (src, dst) -> Route cache (routing is deterministic).
+        self._routes: dict[tuple[str, str], Route] = {}
+        #: Per-link output-queue horizon: when the link is next free.
+        self._link_busy: dict[tuple[str, str], int] = {}
         self._interfaces: dict[str, "NetworkInterface"] = {}
         #: Last scheduled arrival per (src_host, dst_host) flow, for FIFO.
         self._flow_horizon: dict[tuple[str, str], int] = {}
@@ -104,6 +121,10 @@ class Switch:
         """Attach a platform's network interface to the switch."""
         if interface.host in self._interfaces:
             raise NetworkError(f"host {interface.host!r} already registered")
+        if self._fabric is not None and interface.host not in self._fabric.nodes:
+            raise NetworkError(
+                f"host {interface.host!r} is not a node of the topology"
+            )
         self._interfaces[interface.host] = interface
 
     def hosts(self) -> list[str]:
@@ -114,8 +135,18 @@ class Switch:
         """Upper bound on one-way transport delay, for safe-to-process ``L``.
 
         Includes the serialization term for a generous frame size (1500 B
-        MTU), so a configuration can use this directly as its ``L``.
+        MTU), so a configuration can use this directly as its ``L``.  On
+        a fabric, the bound is the worst route's per-link sum (queueing
+        waits excluded — see :mod:`repro.network.topology`).
         """
+        loop = self.config.loopback_latency.bound() + 1500 * self.config.ns_per_byte
+        if self._fabric is not None:
+            return max(
+                self._fabric.latency_bound(
+                    self.config.latency, self.config.ns_per_byte
+                ),
+                loop,
+            )
         wire = max(self.config.latency.bound(), self.config.loopback_latency.bound())
         return wire + 1500 * self.config.ns_per_byte
 
@@ -146,16 +177,19 @@ class Switch:
                 )
                 attribute_drop(o, LAYER_SWITCH, CAUSE_RANDOM_DROP, self._sim.now)
             return
+        route: Route | None = None
         if frame.src_host == frame.dst_host:
-            model = self.config.loopback_latency
+            delay = self.config.loopback_latency.sample(self._rng)
+            delay += frame.size_bytes * self.config.ns_per_byte
+        elif self._fabric is not None:
+            delay, route = self._fabric_delay(frame)
         else:
-            model = self.config.latency
-        delay = model.sample(self._rng)
-        delay += frame.size_bytes * self.config.ns_per_byte
-        # Faults are consulted after the latency draw so the ``net``
+            delay = self.config.latency.sample(self._rng)
+            delay += frame.size_bytes * self.config.ns_per_byte
+        # Faults are consulted after the latency draw(s) so the ``net``
         # stream's sequence is identical with and without a plan.
         verdict = None if self._faults is None else self._faults.on_send(
-            frame, self._sim.now
+            frame, self._sim.now, route=route
         )
         if verdict is not None:
             if verdict.drop is not None:
@@ -221,6 +255,34 @@ class Switch:
                 arrival + verdict.duplicate_delay_ns,
                 lambda: destination.deliver(frame),
             )
+
+    def _fabric_delay(self, frame: Frame) -> tuple[int, Route]:
+        """Store-and-forward delay over the frame's deterministic route.
+
+        Each hop pays serialization at the link's rate (queueing behind
+        frames already committed to the link's output port) plus one
+        draw from the link's latency model, in route order — so the
+        ``net`` stream's draw sequence is a pure function of the frame
+        sequence, independent of wall effects.
+        """
+        pair = (frame.src_host, frame.dst_host)
+        route = self._routes.get(pair)
+        if route is None:
+            route = self._fabric.route(frame.src_host, frame.dst_host)
+            self._routes[pair] = route
+        cursor = self._sim.now
+        for link in route.links:
+            rate = (
+                link.ns_per_byte
+                if link.ns_per_byte is not None
+                else self.config.ns_per_byte
+            )
+            start = max(cursor, self._link_busy.get(link.key, 0))
+            serialization = frame.size_bytes * rate
+            self._link_busy[link.key] = start + serialization
+            model = link.latency or self.config.latency
+            cursor = start + serialization + model.sample(self._rng)
+        return cursor - self._sim.now, route
 
     def __repr__(self) -> str:
         return (

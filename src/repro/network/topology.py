@@ -1,0 +1,337 @@
+"""First-class network topologies: :class:`TopologySpec`.
+
+A topology names the ECUs (*nodes*), the switches, and the links that
+join them.  Every link may carry its own :class:`LatencyModel` and
+serialization rate, so a fabric can mix fast local legs with a slow
+shared trunk.  Routing is deterministic: breadth-first shortest path
+over the switch graph with lexicographic tie-breaking, so the same
+topology always yields the same route for a given (src, dst) pair — a
+precondition for the repo's bit-reproducibility guarantees.
+
+The historical single-:class:`~repro.network.switch.Switch` world is the
+*trivial* instance — one switch, every node one hop away, no per-link
+overrides — and :class:`~repro.network.switch.Switch` treats it exactly
+like the legacy configuration, draw for draw.
+
+``latency_bound`` sums per-link bounds plus the MTU serialization time
+along the worst route.  It deliberately excludes output-queue waits:
+contention beyond the declared ``L`` must surface as flagged STP
+violations (the same policy as :class:`SpikyLatency.bound`), not be
+hidden inside an inflated bound.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.errors import NetworkError
+from repro.network.latency import (
+    LatencyModel,
+    latency_model_from_dict,
+    latency_model_to_dict,
+)
+
+__all__ = ["Link", "Route", "TopologySpec"]
+
+_MTU_BYTES = 1500
+
+
+@dataclass(frozen=True)
+class Link:
+    """One full-duplex cable between two named endpoints.
+
+    ``latency`` and ``ns_per_byte`` override the fabric-wide defaults
+    (the enclosing :class:`~repro.network.switch.SwitchConfig` values)
+    for this link only; ``None`` inherits.
+    """
+
+    a: str
+    b: str
+    latency: LatencyModel | None = None
+    ns_per_byte: int | None = None
+
+    def __post_init__(self) -> None:
+        if not self.a or not self.b:
+            raise NetworkError("link endpoints need names")
+        if self.a == self.b:
+            raise NetworkError(f"link cannot loop {self.a!r} onto itself")
+
+    @property
+    def key(self) -> tuple[str, str]:
+        """Direction-independent identity of this link."""
+        return (self.a, self.b) if self.a <= self.b else (self.b, self.a)
+
+    def other(self, endpoint: str) -> str:
+        """The endpoint opposite *endpoint*."""
+        return self.b if endpoint == self.a else self.a
+
+    def to_dict(self) -> dict:
+        out: dict = {"a": self.a, "b": self.b}
+        if self.latency is not None:
+            out["latency"] = latency_model_to_dict(self.latency)
+        if self.ns_per_byte is not None:
+            out["ns_per_byte"] = self.ns_per_byte
+        return out
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Link":
+        latency = data.get("latency")
+        return cls(
+            a=data["a"],
+            b=data["b"],
+            latency=None if latency is None else latency_model_from_dict(latency),
+            ns_per_byte=data.get("ns_per_byte"),
+        )
+
+
+@dataclass(frozen=True)
+class Route:
+    """The deterministic path one frame takes through a fabric."""
+
+    links: tuple[Link, ...]
+    switches: tuple[str, ...]
+
+    @property
+    def link_keys(self) -> tuple[tuple[str, str], ...]:
+        return tuple(link.key for link in self.links)
+
+
+@dataclass(frozen=True)
+class TopologySpec:
+    """Nodes, switches and links of one experiment's network fabric.
+
+    Invariants enforced at construction: names are unique across nodes
+    and switches, every link endpoint is known, every link touches at
+    least one switch (node-to-node cables would bypass the fabric), each
+    node hangs off exactly one switch port, and the whole fabric is
+    connected.
+    """
+
+    nodes: tuple[str, ...]
+    switches: tuple[str, ...] = ("sw0",)
+    links: tuple[Link, ...] = ()
+    _adjacency: dict = field(
+        default_factory=dict, init=False, repr=False, compare=False, hash=False
+    )
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "nodes", tuple(self.nodes))
+        object.__setattr__(self, "switches", tuple(self.switches))
+        object.__setattr__(self, "links", tuple(self.links))
+        if not self.nodes:
+            raise NetworkError("a topology needs at least one node")
+        if not self.switches:
+            raise NetworkError("a topology needs at least one switch")
+        names = list(self.nodes) + list(self.switches)
+        if len(set(names)) != len(names):
+            raise NetworkError("node/switch names must be unique")
+        node_set, switch_set = set(self.nodes), set(self.switches)
+        seen_keys: set[tuple[str, str]] = set()
+        node_degree: dict[str, int] = {n: 0 for n in self.nodes}
+        adjacency: dict[str, list[tuple[str, Link]]] = {n: [] for n in names}
+        for link in self.links:
+            for end in (link.a, link.b):
+                if end not in node_set and end not in switch_set:
+                    raise NetworkError(f"link endpoint {end!r} is not declared")
+            if link.a in node_set and link.b in node_set:
+                raise NetworkError(
+                    f"link {link.a!r}--{link.b!r} bypasses the fabric: "
+                    "every link must touch a switch"
+                )
+            if link.key in seen_keys:
+                raise NetworkError(f"duplicate link {link.key}")
+            seen_keys.add(link.key)
+            for end in (link.a, link.b):
+                if end in node_degree:
+                    node_degree[end] += 1
+            adjacency[link.a].append((link.b, link))
+            adjacency[link.b].append((link.a, link))
+        for node, degree in node_degree.items():
+            if degree != 1:
+                raise NetworkError(
+                    f"node {node!r} must attach to exactly one switch "
+                    f"(has {degree} links)"
+                )
+        for name in adjacency:
+            adjacency[name].sort(key=lambda pair: pair[0])
+        object.__setattr__(self, "_adjacency", adjacency)
+        reached = self._reachable(names[0])
+        if len(reached) != len(names):
+            missing = sorted(set(names) - reached)
+            raise NetworkError(f"fabric is not connected: unreachable {missing}")
+
+    def _reachable(self, start: str) -> set[str]:
+        seen = {start}
+        queue = deque([start])
+        while queue:
+            here = queue.popleft()
+            for neighbour, _ in self._adjacency[here]:
+                if neighbour not in seen:
+                    seen.add(neighbour)
+                    queue.append(neighbour)
+        return seen
+
+    # -- shape --------------------------------------------------------------
+
+    @property
+    def is_trivial(self) -> bool:
+        """True when this fabric behaves exactly like the legacy switch.
+
+        One switch, no per-link latency or bandwidth overrides: every
+        node is one hop away and the enclosing ``SwitchConfig`` knobs
+        describe the whole network, so the legacy single-draw hot path
+        applies unchanged.
+        """
+        return len(self.switches) == 1 and all(
+            link.latency is None and link.ns_per_byte is None
+            for link in self.links
+        )
+
+    # -- routing ------------------------------------------------------------
+
+    def route(self, src: str, dst: str) -> Route:
+        """The deterministic shortest path from *src* to *dst*.
+
+        BFS over the fabric with neighbours visited in sorted name
+        order, so ties always break the same way on every host and
+        every run.
+        """
+        for end in (src, dst):
+            if end not in self._adjacency:
+                raise NetworkError(f"unknown endpoint {end!r}")
+        if src == dst:
+            return Route(links=(), switches=())
+        parents: dict[str, tuple[str, Link]] = {}
+        seen = {src}
+        queue = deque([src])
+        while queue:
+            here = queue.popleft()
+            if here == dst:
+                break
+            for neighbour, link in self._adjacency[here]:
+                if neighbour not in seen:
+                    seen.add(neighbour)
+                    parents[neighbour] = (here, link)
+                    queue.append(neighbour)
+        if dst not in seen:
+            raise NetworkError(f"no route from {src!r} to {dst!r}")
+        links: list[Link] = []
+        here = dst
+        while here != src:
+            prev, link = parents[here]
+            links.append(link)
+            here = prev
+        links.reverse()
+        switch_set = set(self.switches)
+        ordered: list[str] = [src]
+        for link in links:
+            ordered.append(link.other(ordered[-1]))
+        switches = tuple(name for name in ordered if name in switch_set)
+        return Route(links=tuple(links), switches=switches)
+
+    # -- bounds -------------------------------------------------------------
+
+    def latency_bound(
+        self,
+        default_latency: LatencyModel,
+        default_ns_per_byte: int,
+        mtu_bytes: int = _MTU_BYTES,
+    ) -> int:
+        """Worst-case end-to-end transport bound over any node pair.
+
+        Sums each route link's latency bound plus MTU serialization at
+        the link's rate.  Queueing waits at shared links are excluded on
+        purpose — see the module docstring.
+        """
+        worst = 0
+        for i, src in enumerate(self.nodes):
+            for dst in self.nodes[i + 1 :]:
+                total = 0
+                for link in self.route(src, dst).links:
+                    model = link.latency or default_latency
+                    rate = (
+                        link.ns_per_byte
+                        if link.ns_per_byte is not None
+                        else default_ns_per_byte
+                    )
+                    total += model.bound() + mtu_bytes * rate
+                worst = max(worst, total)
+        return worst
+
+    # -- serialization ------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "format": "topology/v1",
+            "nodes": list(self.nodes),
+            "switches": list(self.switches),
+            "links": [link.to_dict() for link in self.links],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "TopologySpec":
+        if data.get("format") != "topology/v1":
+            raise ValueError(f"not a topology: {data.get('format')!r}")
+        return cls(
+            nodes=tuple(data.get("nodes", ())),
+            switches=tuple(data.get("switches", ("sw0",))),
+            links=tuple(Link.from_dict(entry) for entry in data.get("links", ())),
+        )
+
+    # -- constructors -------------------------------------------------------
+
+    @classmethod
+    def trivial(cls, nodes: tuple[str, ...], switch: str = "sw0") -> "TopologySpec":
+        """The legacy shape: every node on one switch, no overrides."""
+        return cls.star(nodes, switch=switch)
+
+    @classmethod
+    def star(
+        cls,
+        nodes: tuple[str, ...],
+        switch: str = "sw0",
+        latency: LatencyModel | None = None,
+        ns_per_byte: int | None = None,
+    ) -> "TopologySpec":
+        """All *nodes* on a single *switch*, sharing one link profile."""
+        return cls(
+            nodes=tuple(nodes),
+            switches=(switch,),
+            links=tuple(
+                Link(node, switch, latency=latency, ns_per_byte=ns_per_byte)
+                for node in nodes
+            ),
+        )
+
+    @classmethod
+    def chain(
+        cls,
+        groups: tuple[tuple[str, ...], ...],
+        switch_prefix: str = "sw",
+        trunk_latency: LatencyModel | None = None,
+        trunk_ns_per_byte: int | None = None,
+    ) -> "TopologySpec":
+        """A linear fabric: one switch per group, trunks in between.
+
+        ``groups[i]``'s nodes hang off switch ``f"{switch_prefix}{i}"``;
+        consecutive switches are joined by trunk links carrying the
+        given overrides (the classic shared-uplink shape).
+        """
+        switches = tuple(f"{switch_prefix}{i}" for i in range(len(groups)))
+        links: list[Link] = []
+        nodes: list[str] = []
+        for i, group in enumerate(groups):
+            for node in group:
+                nodes.append(node)
+                links.append(Link(node, switches[i]))
+        for left, right in zip(switches, switches[1:]):
+            links.append(
+                Link(
+                    left,
+                    right,
+                    latency=trunk_latency,
+                    ns_per_byte=trunk_ns_per_byte,
+                )
+            )
+        return cls(nodes=tuple(nodes), switches=switches, links=tuple(links))

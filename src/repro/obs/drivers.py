@@ -3,15 +3,18 @@
 The sweep engine fans experiments out over worker *processes*, and the
 active observation is process-global — so the obs context must be
 entered inside the worker, not around the sweep.  These module-level
-functions do exactly that: run one brake-assistant seed under
+functions do exactly that: run one seed of any registered app under
 :func:`repro.obs.capture` and return a JSON-able summary containing the
 metrics snapshot (cacheable by the sweep's result cache like any other
 per-seed value).
 
-``repro metrics`` maps :func:`run_brake_with_obs` over a seed range and
-merges the snapshots with
-:func:`repro.harness.sweep.merge_metric_snapshots`; ``repro trace``
-uses :func:`observe_brake_run` inline for a single fully-traced run.
+Dispatch goes through :mod:`repro.apps.registry` — the *app* argument
+names any registered application (``brake`` by default, or a scenario
+library entry), the *variant* one of its runners.  ``repro metrics``
+maps :func:`run_brake_with_obs` over a seed range and merges the
+snapshots with :func:`repro.harness.sweep.merge_metric_snapshots`;
+``repro trace`` uses :func:`observe_brake_run` inline for a single
+fully-traced run.
 """
 
 from __future__ import annotations
@@ -29,46 +32,43 @@ __all__ = [
     "run_brake_flows",
 ]
 
-#: Experiment variants exposed to the ``repro trace``/``metrics`` CLI.
+#: The classic variant pair; kept as a fallback legend (the registry is
+#: the authoritative source: ``repro.apps.get(app).variants()``).
 BRAKE_VARIANTS = ("det", "nondet")
 
 
-def _experiment(variant: str):
-    # Imported lazily: drivers must stay importable in worker processes
-    # without paying for the full application stack at module import.
-    if variant == "det":
-        from repro.apps.brake.det import run_det_brake_assistant
+def _experiment(variant: str, app: str = "brake"):
+    # Resolved lazily through the registry: drivers must stay importable
+    # in worker processes without paying for the full application stack
+    # at module import.
+    from repro.apps import registry
 
-        return run_det_brake_assistant
-    if variant == "nondet":
-        from repro.apps.brake.nondet import run_nondet_brake_assistant
-
-        return run_nondet_brake_assistant
-    raise ValueError(f"unknown brake variant {variant!r}; use one of {BRAKE_VARIANTS}")
+    return registry.get(app).runner(variant)
 
 
 def observe_brake_run(
-    seed: int, scenario: Any = None, variant: str = "det"
+    seed: int, scenario: Any = None, variant: str = "det", app: str = "brake"
 ) -> tuple[Observation, Any]:
-    """Run one brake-assistant seed with full observability.
+    """Run one seed of *app* with full observability.
 
     Returns ``(observation, run_result)`` — the observation holds the
     event bus (for the trace export) and the metrics registry.
     """
-    experiment = _experiment(variant)
+    experiment = _experiment(variant, app)
     with capture() as observation:
         result = experiment(seed, scenario)
     return observation, result
 
 
 def run_brake_with_obs(
-    seed: int, scenario: Any = None, variant: str = "det"
+    seed: int, scenario: Any = None, variant: str = "det", app: str = "brake"
 ) -> dict[str, Any]:
     """Sweep-worker body: one observed seed, summarized as plain data."""
-    observation, result = observe_brake_run(seed, scenario, variant)
+    observation, result = observe_brake_run(seed, scenario, variant, app)
     return {
         "seed": seed,
         "variant": variant,
+        "app": app,
         "errors": result.errors.as_dict(),
         "deadline_misses": result.deadline_misses,
         "stp_violations": result.stp_violations,
@@ -86,14 +86,17 @@ def observe_brake_flows(
     variant: str = "det",
     fault_plan: Any = None,
     switch_config: Any = None,
+    app: str = "brake",
 ) -> tuple[Observation, Any]:
-    """Run one brake-assistant seed with causal flow tracing active.
+    """Run one seed of *app* with causal flow tracing active.
 
     Like :func:`observe_brake_run` but with ``capture(flows=True)``, so
     ``observation.flows`` holds the per-frame hop records and the trace
-    export grows Perfetto flow arrows.
+    export grows Perfetto flow arrows.  Apps that ship default faults
+    (e.g. the failover library scenario) apply them when *fault_plan*
+    is ``None``.
     """
-    experiment = _experiment(variant)
+    experiment = _experiment(variant, app)
     with capture(flows=True) as observation:
         result = experiment(
             seed, scenario, switch_config=switch_config, fault_plan=fault_plan
@@ -107,6 +110,7 @@ def run_brake_flows(
     variant: str = "det",
     fault_plan: Any = None,
     switch_config: Any = None,
+    app: str = "brake",
 ) -> dict[str, Any]:
     """Sweep-worker body: one flow-traced seed, summarized as plain data.
 
@@ -116,11 +120,17 @@ def run_brake_flows(
     snapshots with :func:`repro.harness.sweep.merge_metric_snapshots`.
     """
     observation, result = observe_brake_flows(
-        seed, scenario, variant, fault_plan=fault_plan, switch_config=switch_config
+        seed,
+        scenario,
+        variant,
+        fault_plan=fault_plan,
+        switch_config=switch_config,
+        app=app,
     )
     return {
         "seed": seed,
         "variant": variant,
+        "app": app,
         "errors": result.errors.as_dict(),
         "deadline_misses": result.deadline_misses,
         "stp_violations": result.stp_violations,

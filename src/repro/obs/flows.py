@@ -84,6 +84,8 @@ __all__ = [
     "CAUSE_LATE",
     "CAUSE_DEADLINE",
     "CAUSE_BUFFER_OVERWRITE",
+    "CAUSE_FANIN_MISMATCH",
+    "CAUSE_NO_SUBSCRIBER",
     "CAUSE_IN_FLIGHT",
 ]
 
@@ -113,6 +115,8 @@ CAUSE_MALFORMED = "malformed"  # SOME/IP header unpack failure
 CAUSE_LATE = "late-drop"  # LatePolicy DROP / LAST_KNOWN without history
 CAUSE_DEADLINE = "deadline-drop"  # drop_on_deadline_miss output drop
 CAUSE_BUFFER_OVERWRITE = "buffer-overwrite"  # one-slot buffer overwrote unread
+CAUSE_FANIN_MISMATCH = "fanin-mismatch"  # fan-in stage discarded a misaligned group
+CAUSE_NO_SUBSCRIBER = "no-subscriber"  # published with no live subscriber
 CAUSE_IN_FLIGHT = "in-flight-at-end"  # report-time fallback, never recorded live
 
 #: Map :class:`repro.faults.injector.FaultVerdict` drop kinds to causes.

@@ -34,6 +34,12 @@ class PlatformConfig:
     dispatch_jitter_ns: int = 20 * US
     #: Maximum lateness of OS timers (timers never fire early).
     timer_jitter_ns: int = 100 * US
+    #: Dispatch simultaneously-ready threads in wake order (FIFO) instead
+    #: of drawing the order from the scheduler's RNG stream.  Models a
+    #: time-triggered / fixed-priority dispatcher: with zero jitter the
+    #: wake order — and hence every send interleaving — is a pure
+    #: function of the workload, independent of the world seed.
+    deterministic_dispatch: bool = False
 
 
 class PeriodicTask:
@@ -80,6 +86,7 @@ class Platform:
             num_cores=self.config.num_cores,
             dispatch_jitter_ns=self.config.dispatch_jitter_ns,
             timer_jitter_ns=self.config.timer_jitter_ns,
+            deterministic_dispatch=self.config.deterministic_dispatch,
         )
         #: Arbitrary per-platform attachments (NICs, daemons...).
         self.attachments: dict[str, Any] = {}

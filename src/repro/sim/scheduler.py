@@ -69,6 +69,7 @@ class CpuScheduler:
         num_cores: int = 1,
         dispatch_jitter_ns: int = 0,
         timer_jitter_ns: int = 0,
+        deterministic_dispatch: bool = False,
     ) -> None:
         if num_cores < 1:
             raise ValueError("a platform needs at least one core")
@@ -83,6 +84,7 @@ class CpuScheduler:
         self._cores: list[SimThread | None] = [None] * num_cores
         self._dispatch_jitter_ns = dispatch_jitter_ns
         self._timer_jitter_ns = timer_jitter_ns
+        self._deterministic_dispatch = deterministic_dispatch
         self._ready: list[SimThread] = []
         self._threads: list[SimThread] = []
         self._dispatch_pending = False
@@ -207,7 +209,13 @@ class CpuScheduler:
                     break
             if core is None:
                 return
-            index = pick_index("dispatch", [t.name for t in ready])
+            if self._deterministic_dispatch:
+                # FIFO by wake order: no draw, so the scheduler stream's
+                # sequence (and every platform without the flag) is
+                # untouched — goldens for existing worlds stay stable.
+                index = 0
+            else:
+                index = pick_index("dispatch", [t.name for t in ready])
             thread = ready.pop(index)
             thread.state = ThreadState.RUNNING
             thread.core = core

@@ -172,6 +172,27 @@ class SdDaemon:
             return None
         return entry
 
+    def cached(self, service_id: int, instance_id: int) -> ServiceEntry | None:
+        """Remote-cache-only lookup, ignoring this daemon's own offers.
+
+        A standby publisher uses this to watch whether *somebody else*
+        still offers the service: its own (prospective) offer must not
+        mask the primary's disappearance, so :meth:`find` — which checks
+        local offers first — is the wrong probe for failover logic.
+        """
+        cached = self._cache.get((service_id, instance_id))
+        if cached is None:
+            return None
+        entry, expiry = cached
+        if expiry <= self.platform.sim.now:
+            del self._cache[(service_id, instance_id)]
+            return None
+        return entry
+
+    def offering(self, service_id: int, instance_id: int) -> bool:
+        """Whether this daemon currently offers the service itself."""
+        return (service_id, instance_id) in self._offered
+
     def find_blocking(self, service_id: int, instance_id: int, timeout_ns: int):
         """Generator (thread context): resolve a service, querying peers.
 

@@ -4,7 +4,7 @@ import os
 
 import pytest
 
-from repro.harness import env_int, run_seeds
+from repro.harness import SweepRunner, env_int
 from repro.harness.figures import (
     ablation_sources,
     det_case_study,
@@ -18,9 +18,14 @@ from repro.harness.figures import (
 from repro.time import MS
 
 
+def _double(seed):
+    return seed * 2
+
+
 class TestRunner:
-    def test_run_seeds_order(self):
-        assert run_seeds(lambda seed: seed * 2, [3, 1, 2]) == [6, 2, 4]
+    def test_sequential_map_preserves_seed_order(self):
+        runner = SweepRunner(workers=1, use_cache=False)
+        assert runner.map(_double, [3, 1, 2], name="order") == [6, 2, 4]
 
     def test_env_int_default(self):
         os.environ.pop("REPRO_TEST_KNOB", None)

@@ -103,3 +103,21 @@ class TestKernelFingerprints:
             goldens[name]["outcome"] for name in CASES if name.startswith("nondet-")
         ]
         assert len(nondet) == len(set(nondet))
+
+    def test_trivial_topology_matches_goldens(self, goldens):
+        """An explicit single-switch TopologySpec is the legacy network,
+        draw for draw: the det golden reproduces byte-identically."""
+        from repro.network import ConstantLatency, SwitchConfig
+        from repro.network.topology import TopologySpec
+        from repro.time import US
+
+        scenario = calibration_scenario(20, deterministic_camera=True)
+        config = SwitchConfig(
+            latency=ConstantLatency(300 * US),
+            loopback_latency=ConstantLatency(50 * US),
+            topology=TopologySpec.trivial(("vision-ecu", "fusion-ecu")),
+        )
+        result = run_det_brake_assistant(0, scenario, switch_config=config)
+        expected = goldens["det-seed0"]
+        assert dict(result.trace_fingerprints) == expected["traces"]
+        assert result.outcome_digest() == expected["outcome"]

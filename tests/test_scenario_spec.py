@@ -1,15 +1,18 @@
 """The unified experiment API: ScenarioSpec round-trips and execution."""
 
 import argparse
+import json
 from dataclasses import replace
+from pathlib import Path
 
 import pytest
+from hypothesis import given, settings, strategies as st
 
 from repro.apps.brake import BrakeScenario
 from repro.apps.brake.det import run_det_brake_assistant
 from repro.dear import StpConfig
 from repro.faults import FaultPlan
-from repro.harness import ScenarioSpec, SweepRunner, run_seeds
+from repro.harness import ScenarioSpec, SweepRunner
 from repro.harness.config import latency_model_from_dict, latency_model_to_dict
 from repro.network import (
     ConstantLatency,
@@ -17,6 +20,7 @@ from repro.network import (
     SpikyLatency,
     UniformLatency,
 )
+from repro.network.topology import TopologySpec
 from repro.time import MS
 
 SMALL = BrakeScenario(n_frames=12, deterministic_camera=True)
@@ -171,15 +175,9 @@ class TestExecution:
         result = spec.run_one(0)
         assert result.fault_summary["fault_seed"] == 7
 
-    def test_run_seeds_shim_warns_and_delegates(self):
-        spec = ScenarioSpec(scenario=SMALL)
-
-        def experiment(seed):
-            return run_det_brake_assistant(seed, SMALL)
-
-        with pytest.warns(DeprecationWarning):
-            legacy = run_seeds(experiment, [0])
-        assert legacy[0].commands == spec.run_one(0).commands
+    def test_run_seeds_shim_is_gone(self):
+        with pytest.raises(ImportError):
+            from repro.harness import run_seeds  # noqa: F401
 
 
 class TestDriverIntegration:
@@ -201,3 +199,196 @@ class TestDriverIntegration:
         )
         assert result.commands_identical
         assert result.traces_identical
+
+
+class TestNetworkSpec:
+    def test_default_round_trips(self):
+        from repro.harness import NetworkSpec
+
+        assert NetworkSpec.from_dict(NetworkSpec().to_dict()) == NetworkSpec()
+
+    def test_loaded_round_trips(self):
+        from repro.harness import NetworkSpec
+
+        network = NetworkSpec(
+            latency=UniformLatency(1 * MS, 3 * MS),
+            loopback_latency=ConstantLatency(20_000),
+            in_order=False,
+            drop_probability=0.05,
+            ns_per_byte=2,
+        )
+        assert NetworkSpec.from_dict(network.to_dict()) == network
+
+    def test_flattened_knobs_fold_into_network(self):
+        with pytest.warns(DeprecationWarning):
+            spec = _fresh_knob_spec(drop_probability=0.25, ns_per_byte=2)
+        assert spec.network.drop_probability == 0.25
+        assert spec.network.ns_per_byte == 2
+        # Read-compat properties mirror the nested values.
+        assert spec.drop_probability == 0.25
+        assert spec.ns_per_byte == 2
+
+    def test_flattened_knobs_warn_once_per_process(self):
+        import warnings
+
+        _fresh_knob_spec(in_order=False)  # first use warns (asserted above)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            ScenarioSpec(in_order=False)  # second use must stay silent
+
+    def test_flattened_knobs_conflict_with_explicit_network(self):
+        from repro.harness import NetworkSpec
+
+        with pytest.raises(TypeError):
+            _fresh_knob_spec(in_order=False, network=NetworkSpec())
+
+    def test_shimmed_spec_round_trips(self):
+        with pytest.warns(DeprecationWarning):
+            spec = _fresh_knob_spec(latency=ConstantLatency(2 * MS))
+        assert ScenarioSpec.from_dict(spec.to_dict()) == spec
+
+
+def _fresh_knob_spec(**kwargs):
+    """Build a spec via deprecated flattened knobs with warn-state reset."""
+    from repro.harness import config
+
+    config._WARNED_KNOBS.clear()
+    return ScenarioSpec(**kwargs)
+
+
+class TestV1Compatibility:
+    FIXTURE = Path(__file__).parent / "data" / "scenario_spec_v1.json"
+
+    def test_fixture_loads(self):
+        spec = ScenarioSpec.load(self.FIXTURE)
+        assert spec.app == "brake"
+        assert spec.topology is None
+        assert spec.variant == "nondet"
+        assert spec.scenario.n_frames == 40
+
+    def test_fixture_re_emits_byte_identical_v1(self):
+        """A v1 file must survive load -> to_dict unchanged: the sweep
+        cache, result store and submit protocol all hash this dict."""
+        stored = json.loads(self.FIXTURE.read_text())
+        spec = ScenarioSpec.from_dict(stored)
+        assert spec.to_dict() == stored
+
+    def test_fixture_sweep_cache_key_is_stable(self):
+        """Same name + params material => same cache key as pre-v2."""
+        spec = ScenarioSpec.load(self.FIXTURE)
+        assert spec.sweep_name() == "v1-fixture"  # explicit label wins
+        assert replace(spec, label="").sweep_name() == "spec-nondet"
+        material = json.dumps(
+            {"spec": spec.to_dict()}, sort_keys=True, default=repr
+        )
+        assert material == json.dumps(
+            {"spec": json.loads(self.FIXTURE.read_text())},
+            sort_keys=True,
+            default=repr,
+        )
+
+    def test_brake_defaults_still_emit_v1(self):
+        assert ScenarioSpec().to_dict()["format"] == "scenario-spec/v1"
+
+    def test_topology_forces_v2(self):
+        spec = ScenarioSpec(topology=TopologySpec.trivial(("camera", "fusion")))
+        assert spec.to_dict()["format"] == "scenario-spec/v2"
+        assert ScenarioSpec.from_dict(spec.to_dict()) == spec
+
+
+def _topologies():
+    constant = st.integers(min_value=0, max_value=10 * MS).map(ConstantLatency)
+    node_names = st.lists(
+        st.sampled_from(["ecu-a", "ecu-b", "ecu-c", "ecu-d", "ecu-e"]),
+        min_size=1,
+        max_size=5,
+        unique=True,
+    )
+    stars = st.builds(
+        TopologySpec.star,
+        nodes=node_names.map(tuple),
+        latency=st.none() | constant,
+        ns_per_byte=st.none() | st.integers(min_value=0, max_value=64),
+    )
+    chains = st.builds(
+        TopologySpec.chain,
+        groups=st.just((("ecu-a", "ecu-b"), ("ecu-c",), ("ecu-d",))),
+        trunk_latency=st.none() | constant,
+        trunk_ns_per_byte=st.none() | st.integers(min_value=0, max_value=64),
+    )
+    return stars | chains
+
+
+def _networks():
+    from repro.harness import NetworkSpec
+
+    models = st.one_of(
+        st.none(),
+        st.integers(min_value=0, max_value=10 * MS).map(ConstantLatency),
+        st.tuples(
+            st.integers(min_value=0, max_value=1 * MS),
+            st.integers(min_value=1 * MS, max_value=10 * MS),
+        ).map(lambda pair: UniformLatency(*pair)),
+    )
+    return st.builds(
+        NetworkSpec,
+        latency=models,
+        loopback_latency=models,
+        in_order=st.booleans(),
+        drop_probability=st.floats(min_value=0.0, max_value=1.0),
+        ns_per_byte=st.integers(min_value=0, max_value=64),
+    )
+
+
+def _stps():
+    return st.none() | st.builds(
+        StpConfig,
+        latency_bound_ns=st.integers(min_value=0, max_value=100 * MS),
+        clock_error_ns=st.integers(min_value=0, max_value=10 * MS),
+    )
+
+
+def _fault_plans():
+    return st.none() | st.builds(
+        lambda seed, drop: FaultPlan.camera_faults(seed=seed, drop=drop),
+        st.integers(min_value=0, max_value=2**31 - 1),
+        st.floats(min_value=0.0, max_value=1.0),
+    )
+
+
+class TestV2PropertyRoundTrip:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        topology=_topologies(),
+        network=_networks(),
+        stp=_stps(),
+        faults=_fault_plans(),
+        variant=st.sampled_from(["det", "nondet"]),
+        seeds=st.lists(
+            st.integers(min_value=0, max_value=2**31 - 1),
+            min_size=1,
+            max_size=4,
+        ).map(tuple),
+        observe=st.booleans(),
+        label=st.sampled_from(["", "prop", "x y z"]),
+    )
+    def test_v2_json_round_trip(
+        self, topology, network, stp, faults, variant, seeds, observe, label
+    ):
+        """scenario-spec/v2: to_json -> from_json is the identity over
+        topology x network x stp x faults x bookkeeping fields."""
+        spec = ScenarioSpec(
+            variant=variant,
+            seeds=seeds,
+            network=network,
+            topology=topology,
+            stp=stp,
+            faults=faults,
+            observe=observe,
+            label=label,
+        )
+        data = spec.to_dict()
+        assert data["format"] == "scenario-spec/v2"
+        again = ScenarioSpec.from_json(spec.to_json())
+        assert again == spec
+        assert again.to_dict() == data

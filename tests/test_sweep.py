@@ -14,7 +14,6 @@ from repro.harness import (
     SweepRunner,
     code_fingerprint,
     driver_fingerprint,
-    run_seeds,
 )
 from repro.harness.sweep import (
     ResultCache,
@@ -40,12 +39,14 @@ class TestSweepRunner:
         runner = SweepRunner(workers=4, use_cache=False, cache_dir=tmp_path)
         assert runner.map(_double, [5, 1, 3], name="t") == [10, 2, 6]
 
-    def test_matches_sequential_run_seeds(self, tmp_path):
+    def test_matches_sequential_map(self, tmp_path):
         """workers=4 must be bit-identical to the sequential path —
         per-seed results *and* trace fingerprints."""
         scenario = BrakeScenario(n_frames=80, deterministic_camera=True)
         experiment = partial(run_det_brake_assistant, scenario=scenario)
-        sequential = run_seeds(experiment, range(3))
+        sequential = SweepRunner(
+            workers=1, use_cache=False, cache_dir=tmp_path
+        ).map(experiment, range(3), name="det-seq")
         parallel = SweepRunner(
             workers=4, use_cache=False, cache_dir=tmp_path
         ).map(experiment, range(3), name="det")

@@ -1,0 +1,270 @@
+"""Tests for first-class network topologies (TopologySpec + fabric routing)."""
+
+import pytest
+
+from repro.errors import NetworkError
+from repro.network import (
+    ConstantLatency,
+    NetworkInterface,
+    Switch,
+    SwitchConfig,
+    UniformLatency,
+)
+from repro.network.topology import Link, Route, TopologySpec
+from repro.sim import World
+from repro.sim.platform import CALM
+from repro.time import MS, US
+
+
+def star3():
+    return TopologySpec.star(("a", "b", "c"))
+
+
+def two_switch():
+    """a,b on sw0; c on sw1; one trunk."""
+    return TopologySpec.chain((("a", "b"), ("c",)))
+
+
+class TestValidation:
+    def test_needs_nodes(self):
+        with pytest.raises(NetworkError):
+            TopologySpec(nodes=())
+
+    def test_needs_switches(self):
+        with pytest.raises(NetworkError):
+            TopologySpec(nodes=("a",), switches=())
+
+    def test_names_unique_across_nodes_and_switches(self):
+        with pytest.raises(NetworkError):
+            TopologySpec(nodes=("a", "sw0"), links=(Link("a", "sw0"),))
+
+    def test_link_endpoints_must_be_declared(self):
+        with pytest.raises(NetworkError):
+            TopologySpec(
+                nodes=("a",), links=(Link("a", "sw0"), Link("ghost", "sw0"))
+            )
+
+    def test_node_to_node_links_rejected(self):
+        with pytest.raises(NetworkError):
+            TopologySpec(
+                nodes=("a", "b"),
+                links=(Link("a", "sw0"), Link("b", "sw0"), Link("a", "b")),
+            )
+
+    def test_duplicate_links_rejected(self):
+        with pytest.raises(NetworkError):
+            TopologySpec(
+                nodes=("a",), links=(Link("a", "sw0"), Link("sw0", "a"))
+            )
+
+    def test_node_needs_exactly_one_uplink(self):
+        with pytest.raises(NetworkError):
+            TopologySpec(nodes=("a", "b"), links=(Link("a", "sw0"),))
+        with pytest.raises(NetworkError):
+            TopologySpec(
+                nodes=("a",),
+                switches=("sw0", "sw1"),
+                links=(Link("a", "sw0"), Link("a", "sw1"), Link("sw0", "sw1")),
+            )
+
+    def test_fabric_must_be_connected(self):
+        with pytest.raises(NetworkError):
+            TopologySpec(
+                nodes=("a", "b"),
+                switches=("sw0", "sw1"),
+                links=(Link("a", "sw0"), Link("b", "sw1")),
+            )
+
+    def test_link_rejects_self_loop_and_empty_names(self):
+        with pytest.raises(NetworkError):
+            Link("x", "x")
+        with pytest.raises(NetworkError):
+            Link("", "sw0")
+
+    def test_link_key_is_direction_independent(self):
+        assert Link("b", "a").key == Link("a", "b").key == ("a", "b")
+
+
+class TestShape:
+    def test_star_is_trivial(self):
+        assert star3().is_trivial
+
+    def test_per_link_override_breaks_triviality(self):
+        topo = TopologySpec.star(("a", "b"), latency=ConstantLatency(1 * US))
+        assert not topo.is_trivial
+
+    def test_multi_switch_is_not_trivial(self):
+        assert not two_switch().is_trivial
+
+    def test_trivial_constructor_matches_star(self):
+        assert TopologySpec.trivial(("a", "b")) == TopologySpec.star(("a", "b"))
+
+    def test_chain_shape(self):
+        topo = two_switch()
+        assert topo.nodes == ("a", "b", "c")
+        assert topo.switches == ("sw0", "sw1")
+        assert Link("sw0", "sw1").key in {link.key for link in topo.links}
+
+
+class TestRouting:
+    def test_same_switch_single_hop(self):
+        route = star3().route("a", "b")
+        assert route.switches == ("sw0",)
+        assert [link.key for link in route.links] == [("a", "sw0"), ("b", "sw0")]
+
+    def test_cross_switch_route_traverses_trunk(self):
+        route = two_switch().route("a", "c")
+        assert route.switches == ("sw0", "sw1")
+        assert [link.key for link in route.links] == [
+            ("a", "sw0"),
+            ("sw0", "sw1"),
+            ("c", "sw1"),
+        ]
+
+    def test_route_to_self_is_empty(self):
+        assert two_switch().route("a", "a") == Route(links=(), switches=())
+
+    def test_unknown_endpoint_raises(self):
+        with pytest.raises(NetworkError):
+            star3().route("a", "ghost")
+
+    def test_equal_cost_ties_break_lexicographically(self):
+        """A diamond: two 2-switch paths from src's switch to dst's —
+        BFS visits neighbours in sorted order, so the route through the
+        lexicographically smaller middle switch always wins."""
+        topo = TopologySpec(
+            nodes=("src", "dst"),
+            switches=("sw-in", "sw-mid-a", "sw-mid-b", "sw-out"),
+            links=(
+                Link("src", "sw-in"),
+                Link("dst", "sw-out"),
+                Link("sw-in", "sw-mid-a"),
+                Link("sw-in", "sw-mid-b"),
+                Link("sw-mid-a", "sw-out"),
+                Link("sw-mid-b", "sw-out"),
+            ),
+        )
+        for _ in range(3):
+            assert topo.route("src", "dst").switches == (
+                "sw-in",
+                "sw-mid-a",
+                "sw-out",
+            )
+
+    def test_route_is_stable_across_instances(self):
+        first = two_switch().route("a", "c").link_keys
+        second = two_switch().route("a", "c").link_keys
+        assert first == second
+
+
+class TestLatencyBound:
+    def test_single_switch_bound(self):
+        topo = star3()
+        bound = topo.latency_bound(ConstantLatency(100), 2)
+        # Worst pair: two links, each 100ns + 1500B * 2ns/B.
+        assert bound == 2 * (100 + 1500 * 2)
+
+    def test_per_link_overrides_respected(self):
+        topo = TopologySpec(
+            nodes=("a", "b"),
+            links=(
+                Link("a", "sw0", latency=ConstantLatency(1 * MS), ns_per_byte=0),
+                Link("b", "sw0"),
+            ),
+        )
+        bound = topo.latency_bound(ConstantLatency(100), 1)
+        assert bound == (1 * MS + 0) + (100 + 1500 * 1)
+
+    def test_uniform_link_uses_model_bound(self):
+        topo = TopologySpec.star(("a", "b"), latency=UniformLatency(10, 50))
+        assert topo.latency_bound(ConstantLatency(0), 0) == 2 * 50
+
+
+class TestSerialization:
+    def test_round_trip(self):
+        topo = TopologySpec.chain(
+            (("a", "b"), ("c",)),
+            trunk_latency=ConstantLatency(5 * US),
+            trunk_ns_per_byte=16,
+        )
+        assert TopologySpec.from_dict(topo.to_dict()) == topo
+
+    def test_dict_format_tag(self):
+        assert star3().to_dict()["format"] == "topology/v1"
+
+    def test_from_dict_rejects_wrong_format(self):
+        with pytest.raises(ValueError):
+            TopologySpec.from_dict({"format": "nonsense/v1"})
+
+
+def fabric_net(topology, seed=0, config=None):
+    world = World(seed)
+    platforms = {n: world.add_platform(n, CALM) for n in topology.nodes}
+    if config is None:
+        config = SwitchConfig(
+            latency=ConstantLatency(100 * US), ns_per_byte=8, topology=topology
+        )
+    switch = Switch(world.sim, world.rng.stream("net"), config)
+    world.attach_network(switch)
+    nics = {n: NetworkInterface(platforms[n], switch) for n in topology.nodes}
+    return world, nics, switch
+
+
+class TestFabricSwitch:
+    def test_cross_switch_delivery_pays_per_hop(self):
+        world, nics, _ = fabric_net(two_switch())
+        src = nics["a"].bind(1)
+        dst = nics["c"].bind(2)
+        arrivals = []
+        dst.on_receive = lambda frame: arrivals.append(world.now)
+        src.send("c", 2, payload=None, size_bytes=100)
+        world.run_for(10 * MS)
+        # Three hops, each: 100B * 8ns/B serialization + 100us latency.
+        assert arrivals == [3 * (100 * 8 + 100 * US)]
+
+    def test_shared_trunk_serializes_contending_frames(self):
+        world, nics, _ = fabric_net(two_switch())
+        a = nics["a"].bind(1)
+        b = nics["b"].bind(1)
+        dst = nics["c"].bind(2)
+        arrivals = []
+        dst.on_receive = lambda frame: arrivals.append((frame.src_host, world.now))
+        a.send("c", 2, payload=None, size_bytes=100)
+        b.send("c", 2, payload=None, size_bytes=100)
+        world.run_for(10 * MS)
+        assert len(arrivals) == 2
+        first, second = sorted(time for _, time in arrivals)
+        # The second frame queues behind the first's serialization on
+        # both the trunk and the destination leg.
+        assert second > first
+
+    def test_trivial_topology_matches_legacy_switch_draw_for_draw(self):
+        topo = TopologySpec.trivial(("a", "b"))
+        config_kwargs = dict(latency=UniformLatency(50 * US, 200 * US), ns_per_byte=8)
+
+        def arrivals_with(config):
+            world = World(7)
+            pa = world.add_platform("a", CALM)
+            pb = world.add_platform("b", CALM)
+            switch = Switch(world.sim, world.rng.stream("net"), config)
+            world.attach_network(switch)
+            nic_a = NetworkInterface(pa, switch)
+            nic_b = NetworkInterface(pb, switch)
+            src = nic_a.bind(1)
+            dst = nic_b.bind(2)
+            out = []
+            dst.on_receive = lambda frame: out.append(world.now)
+            for _ in range(20):
+                src.send("b", 2, payload=None, size_bytes=64)
+            world.run_for(100 * MS)
+            return out
+
+        legacy = arrivals_with(SwitchConfig(**config_kwargs))
+        fabric = arrivals_with(SwitchConfig(topology=topo, **config_kwargs))
+        assert legacy == fabric
+
+    def test_latency_bound_reported_by_switch(self):
+        topo = two_switch()
+        world, _, switch = fabric_net(topo)
+        expected = topo.latency_bound(ConstantLatency(100 * US), 8)
+        assert switch.latency_bound() >= expected
