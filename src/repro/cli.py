@@ -467,6 +467,50 @@ def build_parser() -> argparse.ArgumentParser:
         help="seconds to wait for the coordinator to come up (default: 30)",
     )
 
+    status = commands.add_parser(
+        "status",
+        help="live campaign status from a running coordinator "
+             "(per-job state, queue depth, seeds/s, ETA)",
+    )
+    status.add_argument(
+        "campaign", nargs="?", default=None,
+        help="campaign id (default: the most recently submitted)",
+    )
+    status.add_argument(
+        "--coordinator", default="http://127.0.0.1:8765", metavar="URL",
+        help="coordinator base URL (default: http://127.0.0.1:8765)",
+    )
+    status.add_argument(
+        "--watch", action="store_true",
+        help="refresh the table until the campaign completes",
+    )
+    status.add_argument(
+        "--interval", type=float, default=1.0, metavar="S",
+        help="--watch refresh interval in seconds (default: 1)",
+    )
+
+    report = commands.add_parser(
+        "report",
+        help="fetch a campaign's post-mortem report; --trace-out renders "
+             "the job timelines as a Perfetto fleet trace",
+    )
+    report.add_argument(
+        "campaign", nargs="?", default=None,
+        help="campaign id (default: the most recently submitted)",
+    )
+    report.add_argument(
+        "--coordinator", default="http://127.0.0.1:8765", metavar="URL",
+        help="coordinator base URL (default: http://127.0.0.1:8765)",
+    )
+    report.add_argument(
+        "--out", metavar="FILE", default=None,
+        help="write the sweep-service/v1 report JSON to FILE",
+    )
+    report.add_argument(
+        "--trace-out", metavar="FILE", default=None,
+        help="write the fleet Perfetto trace (trace_event JSON) to FILE",
+    )
+
     trace = commands.add_parser(
         "trace",
         help="run one observed app run and export a Perfetto trace",
@@ -1228,6 +1272,7 @@ def _run_serve(args: argparse.Namespace) -> int:
     import os
     import threading
 
+    from repro.obs import fleet
     from repro.service import (
         Coordinator,
         CoordinatorConfig,
@@ -1237,6 +1282,7 @@ def _run_serve(args: argparse.Namespace) -> int:
         serve,
     )
 
+    fleet.enable_from_env()
     store_dir = args.store_dir or os.path.join(
         os.environ.get("REPRO_CACHE_DIR", ".repro_cache"), "service"
     )
@@ -1349,8 +1395,10 @@ def _run_submit(args: argparse.Namespace) -> int:
 
 def _run_worker(args: argparse.Namespace) -> int:
     """``repro worker``: join a coordinator's fleet from this host."""
+    from repro.obs import fleet
     from repro.service import HttpClient, Worker
 
+    fleet.enable_from_env()
     client = HttpClient(args.coordinator)
     client.connect(timeout_s=args.connect_timeout)
     worker = Worker(client, poll_interval_s=args.poll)
@@ -1359,8 +1407,104 @@ def _run_worker(args: argparse.Namespace) -> int:
     )
     print(
         f"worker {worker.worker_id}: {completed} job(s) completed, "
-        f"{worker.jobs_failed} failed"
+        f"{worker.jobs_failed} failed "
+        f"({worker.heartbeat_failures} heartbeat failure(s))"
     )
+    return 0
+
+
+def _latest_campaign(client, campaign_id: str | None) -> str:
+    """Resolve the campaign argument (default: most recently submitted)."""
+    if campaign_id:
+        return campaign_id
+    campaigns = client.campaigns()
+    if not campaigns:
+        raise SystemExit("no campaigns submitted to this coordinator yet")
+    return campaigns[-1]["campaign"]
+
+
+def _status_table(status: dict, report: dict) -> str:
+    """Render one campaign's live status as a fixed-width table."""
+    eta = status.get("eta_s")
+    lines = [
+        f"campaign {status['campaign']} [{status['status']}]  "
+        f"label: {status.get('label', '?')}",
+        f"  seeds: {status['seeds']}  pending: {status['pending']}  "
+        f"cached: {status['cached']}  failed: {status['failed']}",
+        f"  jobs: {status['jobs']}  done: {status['jobs_done']}  "
+        f"queue: {status.get('queue_depth', '?')}  "
+        f"leased: {status.get('leased', '?')}",
+        f"  elapsed: {status.get('elapsed_s', 0):.1f}s  "
+        f"rate: {status.get('seeds_per_s', 0):.2f} seeds/s  "
+        f"eta: {f'{eta:.1f}s' if isinstance(eta, (int, float)) else '?'}",
+        "",
+        f"  {'job':<24} {'state':<8} {'attempt':>7} {'requeues':>8} "
+        f"{'worker':<8} {'seeds'}",
+    ]
+    for job in report.get("jobs", []):
+        seeds = ",".join(str(seed) for seed in job.get("seeds", []))
+        if len(seeds) > 24:
+            seeds = seeds[:21] + "..."
+        lines.append(
+            f"  {job['job']:<24} {job['state']:<8} {job['attempt']:>7} "
+            f"{job['requeues']:>8} {str(job.get('worker') or '-'):<8} {seeds}"
+        )
+    return "\n".join(lines)
+
+
+def _run_status(args: argparse.Namespace) -> int:
+    """``repro status [campaign] [--watch]``: live campaign status."""
+    import time as _time
+
+    from repro.service import HttpClient
+
+    client = HttpClient(args.coordinator)
+    campaign = _latest_campaign(client, args.campaign)
+    while True:
+        status = client.status(campaign)
+        report = client.report(campaign)
+        table = _status_table(status, report)
+        if args.watch:
+            # Clear + home, like `watch(1)`, so the table refreshes in
+            # place on any ANSI terminal.
+            print(f"\x1b[2J\x1b[H{table}", flush=True)
+        else:
+            print(table)
+        if not args.watch or status["status"] == "done":
+            return 0
+        _time.sleep(max(0.05, args.interval))
+
+
+def _run_report(args: argparse.Namespace) -> int:
+    """``repro report [campaign]``: post-mortem + optional fleet trace."""
+    import json
+
+    from repro.obs import fleet
+    from repro.service import HttpClient
+
+    client = HttpClient(args.coordinator)
+    campaign = _latest_campaign(client, args.campaign)
+    report = client.report(campaign)
+    merged = report.get("fleet", {}).get("merged", {})
+    print(
+        f"campaign {campaign} [{report['status']}]: "
+        f"{report['seeds']} seed(s), {report['cached']} cached, "
+        f"{report['failed']} failed, {report['requeues']} requeue(s), "
+        f"{report['retries']} retry(ies)"
+    )
+    print(
+        f"  fleet: {report.get('fleet', {}).get('sources', 0)} telemetry "
+        f"source(s), {len(merged.get('counters', {}))} counter(s), "
+        f"{len(merged.get('histograms', {}))} histogram(s)"
+    )
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=2, sort_keys=True)
+        print(f"report -> {args.out}")
+    if args.trace_out:
+        path = fleet.write_fleet_trace(report, args.trace_out)
+        events = len(fleet.fleet_trace_events(report))
+        print(f"fleet trace: {events} event(s) -> {path}")
     return 0
 
 
@@ -1600,6 +1744,10 @@ def main(argv: list[str] | None = None) -> int:
         return _run_submit(args)
     if args.command == "worker":
         return _run_worker(args)
+    if args.command == "status":
+        return _run_status(args)
+    if args.command == "report":
+        return _run_report(args)
     if args.command == "library":
         return _run_library(args)
     sweep = _make_sweep(args)

@@ -45,6 +45,7 @@ from pathlib import Path
 from typing import Any, Callable, Iterable, Sequence
 
 from repro.harness.runner import env_int
+from repro.obs import fleet
 
 try:
     import fcntl
@@ -400,6 +401,12 @@ class ResultCache:
                 )
         else:
             self.malformed.pop(path.name, None)
+        f = fleet.ACTIVE
+        if f.enabled:
+            f.inc("fleet.result_cache.loads")
+            f.inc("fleet.result_cache.records_loaded", len(records))
+            if malformed:
+                f.inc("fleet.result_cache.malformed_lines", malformed)
         return records
 
     def append(self, experiment: str, records: Iterable[dict]) -> None:
@@ -411,13 +418,18 @@ class ResultCache:
         blob = "".join(
             json.dumps(record) + "\n" for record in records
         ).encode()
+        f = fleet.ACTIVE
         with _FileLock(path):
             with path.open("ab") as handle:
                 if _tail_is_torn(path):
                     handle.write(b"\n")  # repair a crashed writer's tail
+                    if f.enabled:
+                        f.inc("fleet.result_cache.torn_repairs")
                 handle.write(blob)
                 handle.flush()
                 os.fsync(handle.fileno())
+        if f.enabled:
+            f.inc("fleet.result_cache.appends", len(records))
 
     def fetch(self, record: dict) -> Any:
         """Decode a record's payload (raises on a corrupt payload)."""
@@ -585,6 +597,19 @@ class SweepRunner:
             workers=workers,
         )
         self.stats.record(result)
+        f = fleet.ACTIVE
+        if f.enabled:
+            f.inc("fleet.sweep.sweeps")
+            f.inc("fleet.sweep.seeds", len(seeds))
+            f.inc("fleet.sweep.cache_hits", result.cache_hits)
+            for outcome in result.outcomes:
+                if not outcome.cached:
+                    f.observe(
+                        "fleet.sweep.task_duration_ns",
+                        outcome.elapsed_s * 1e9,
+                    )
+                if outcome.error is not None:
+                    f.inc("fleet.sweep.errors")
         return result
 
     def map(

@@ -42,6 +42,7 @@ from repro.obs.bus import (
     TRACK_REACTORS,
     TRACK_SCHEDULER,
 )
+from repro.obs import fleet
 from repro.obs.context import Observation, NullObservation, active, capture
 from repro.obs.drivers import (
     BRAKE_VARIANTS,
@@ -80,9 +81,25 @@ from repro.obs.metrics import (
     percentile,
 )
 
+from repro.obs.fleet import (
+    FleetTelemetry,
+    fleet_capture,
+    fleet_trace_events,
+    prometheus_text,
+    validate_prometheus_text,
+    write_fleet_trace,
+)
+
 __all__ = [
     "Event",
     "EventBus",
+    "fleet",
+    "FleetTelemetry",
+    "fleet_capture",
+    "fleet_trace_events",
+    "prometheus_text",
+    "validate_prometheus_text",
+    "write_fleet_trace",
     "TRACK_SCHEDULER",
     "TRACK_REACTORS",
     "TRACK_DEAR",

@@ -170,9 +170,13 @@ class Histogram:
 
         Returns the upper edge of the bucket holding the quantile rank
         (the exact maximum for the overflow bucket), which is the usual
-        conservative fixed-bucket estimate.
+        conservative fixed-bucket estimate.  The extremes are exact:
+        ``quantile(0.0)`` is the observed minimum and ``quantile(1.0)``
+        the observed maximum, not bucket-edge estimates.
         """
-        return _bucket_quantile(self.bounds, self.counts, self.count, self.max, q)
+        return _bucket_quantile(
+            self.bounds, self.counts, self.count, self.min, self.max, q
+        )
 
     def __repr__(self) -> str:
         return f"Histogram({self.name!r}, count={self.count}, mean={self.mean:.0f})"
@@ -186,6 +190,7 @@ def _bucket_quantile(
     bounds: Sequence[int],
     counts: Sequence[int],
     count: int,
+    minimum: int | float | None,
     maximum: int | float | None,
     q: float,
 ) -> int | float:
@@ -193,6 +198,12 @@ def _bucket_quantile(
         return 0
     if not 0.0 <= q <= 1.0:
         raise ValueError("quantile must be in [0, 1]")
+    # The extremes were observed exactly; only interior quantiles need
+    # the bucket-edge estimate.
+    if q == 0.0 and minimum is not None:
+        return minimum
+    if q == 1.0 and maximum is not None:
+        return maximum
     rank = q * count
     seen = 0
     for index, bucket_count in enumerate(counts):
@@ -362,6 +373,7 @@ def _merge_histograms(
     total = sum(entry["sum"] for entry in present)
     minima = [entry["min"] for entry in present if entry["min"] is not None]
     maxima = [entry["max"] for entry in present if entry["max"] is not None]
+    minimum = min(minima) if minima else None
     maximum = max(maxima) if maxima else None
     return {
         "bounds": list(bounds),
@@ -369,9 +381,9 @@ def _merge_histograms(
         "count": count,
         "sum": total,
         "mean": total / count if count else 0.0,
-        "min": min(minima) if minima else None,
+        "min": minimum,
         "max": maximum,
-        "p50": _bucket_quantile(bounds, counts, count, maximum, 0.50),
-        "p95": _bucket_quantile(bounds, counts, count, maximum, 0.95),
+        "p50": _bucket_quantile(bounds, counts, count, minimum, maximum, 0.50),
+        "p95": _bucket_quantile(bounds, counts, count, minimum, maximum, 0.95),
         "seeds_observed": len(present),
     }

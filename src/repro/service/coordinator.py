@@ -36,6 +36,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable
 
 from repro.harness.config import ScenarioSpec
+from repro.obs import fleet
 from repro.service.store import ResultStore, spec_record_key
 
 __all__ = ["Coordinator", "CoordinatorConfig", "Campaign", "Job"]
@@ -87,6 +88,19 @@ class Job:
     requeues: int = 0
     error: str | None = None
     elapsed_s: float = 0.0
+    #: when the job (re)entered the pending state, for lease latency.
+    pending_since: float = 0.0
+    #: coordinator-stamped lifecycle events (queued/leased/requeued/
+    #: done/failed), rendered by :func:`repro.obs.fleet.fleet_trace_events`.
+    timeline: list = field(default_factory=list)
+    #: worker-side execution stats shipped back with the completion.
+    exec_info: dict | None = None
+
+    def stamp(self, event: str, t: float, **extra: Any) -> None:
+        """Append one lifecycle event to the job's timeline."""
+        record: dict[str, Any] = {"event": event, "t": t}
+        record.update({k: v for k, v in extra.items() if v is not None})
+        self.timeline.append(record)
 
     def to_wire(self, spec_dict: dict, config: CoordinatorConfig) -> dict:
         """The lease response handed to a worker."""
@@ -112,6 +126,8 @@ class Job:
             "worker": self.worker,
             "error": self.error,
             "elapsed_s": round(self.elapsed_s, 6),
+            "timeline": list(self.timeline),
+            "exec": self.exec_info,
         }
 
 
@@ -184,6 +200,15 @@ class Coordinator:
         self._counter = 0
         self.requeues_total = 0
         self.retries_total = 0
+        self._pending_jobs = 0
+        #: latest fleet-metrics/v1 document shipped by each worker.
+        self._worker_telemetry: dict[str, dict] = {}
+
+    def _note_queue_depth(self, delta: int) -> None:
+        self._pending_jobs += delta
+        f = fleet.ACTIVE
+        if f.enabled:
+            f.set_gauge("fleet.coordinator.queue_depth", self._pending_jobs)
 
     # -- workers -------------------------------------------------------------
 
@@ -255,13 +280,23 @@ class Coordinator:
                     chunk=chunk,
                     seeds=tuple(spec.seeds[p] for p in positions),
                     positions=positions,
+                    pending_since=campaign.submitted_at,
                 )
+                job.stamp("queued", campaign.submitted_at)
                 self._jobs[job.job_id] = job
                 campaign.jobs.append(job.job_id)
             self._campaigns[campaign_id] = campaign
             self._campaign_order.append(campaign_id)
             if campaign.done:  # pure cache hit: no jobs at all
                 campaign.completed_at = self.clock()
+            f = fleet.ACTIVE
+            if f.enabled:
+                f.inc("fleet.coordinator.campaigns_submitted")
+                f.inc("fleet.coordinator.jobs_created", len(campaign.jobs))
+                cached = len(spec.seeds) - len(pending)
+                if cached:
+                    f.inc("fleet.coordinator.seeds_cached", cached)
+            self._note_queue_depth(len(campaign.jobs))
             return self.status(campaign_id)
 
     # -- the queue -----------------------------------------------------------
@@ -273,6 +308,10 @@ class Coordinator:
             if job.state == "leased" and job.lease_expires <= now:
                 job.requeues += 1
                 self.requeues_total += 1
+                f = fleet.ACTIVE
+                if f.enabled:
+                    f.inc("fleet.coordinator.worker_deaths")
+                    f.inc("fleet.coordinator.requeues")
                 self._retry_or_fail(
                     job,
                     f"lease expired on worker {job.worker!r} "
@@ -283,7 +322,11 @@ class Coordinator:
         if job.attempt >= self.config.max_attempts:
             job.state = "failed"
             job.error = error
+            job.stamp("failed", self.clock(), attempt=job.attempt, reason=error)
             job.worker = None
+            f = fleet.ACTIVE
+            if f.enabled:
+                f.inc("fleet.coordinator.jobs_failed")
             campaign = self._campaigns[job.campaign_id]
             for position, seed in zip(job.positions, job.seeds):
                 campaign.outcomes[position] = _campaign_outcome(
@@ -295,9 +338,13 @@ class Coordinator:
                 )
             self._maybe_complete(campaign)
         else:
+            now = self.clock()
             job.state = "pending"
+            job.stamp("requeued", now, attempt=job.attempt, reason=error)
             job.worker = None
-            job.not_before = self.clock() + self.config.backoff_for(job.attempt)
+            job.pending_since = now
+            job.not_before = now + self.config.backoff_for(job.attempt)
+            self._note_queue_depth(1)
 
     def lease(self, worker_id: str) -> dict | None:
         """Hand the next runnable job to *worker_id* (or ``None``)."""
@@ -319,6 +366,20 @@ class Coordinator:
                     job.lease_expires = min(
                         now + self.config.lease_ttl_s, job.deadline
                     )
+                    job.stamp(
+                        "leased", now, worker=worker_id, attempt=job.attempt
+                    )
+                    self._note_queue_depth(-1)
+                    f = fleet.ACTIVE
+                    if f.enabled:
+                        # Latency from when the job became *runnable*
+                        # (requeue backoff is policy, not queue delay).
+                        runnable = max(job.pending_since, job.not_before)
+                        f.observe(
+                            "fleet.coordinator.lease_latency_ns",
+                            max(0.0, now - runnable) * 1e9,
+                        )
+                        f.inc("fleet.coordinator.leases")
                     return job.to_wire(campaign.spec.to_dict(), self.config)
             return None
 
@@ -335,23 +396,50 @@ class Coordinator:
             )
             return {"ok": True}
 
-    def complete(self, worker_id: str, job_id: str, outcomes: list[dict]) -> dict:
-        """Accept a job's results; first completion wins."""
+    def complete(
+        self,
+        worker_id: str,
+        job_id: str,
+        outcomes: list[dict],
+        exec_info: dict | None = None,
+        telemetry: dict | None = None,
+    ) -> dict:
+        """Accept a job's results; first completion wins.
+
+        *exec_info* is the worker-side execution span (wall/cpu/RSS,
+        heartbeat failures) attached to the job for the fleet trace;
+        *telemetry* is the worker's ``fleet-metrics/v1`` document,
+        merged into the campaign report's fleet block.
+        """
         with self._lock:
             self._touch(worker_id)
             job = self._jobs.get(job_id)
             if job is None:
                 return {"ok": False, "reason": "unknown job"}
+            if telemetry is not None:
+                self._worker_telemetry[worker_id] = telemetry
             if job.state != "leased" or job.worker != worker_id:
                 # Stale: the lease was reaped and the job re-leased (or
                 # already finished elsewhere).  Drop this copy.
+                f = fleet.ACTIVE
+                if f.enabled:
+                    f.inc("fleet.coordinator.stale_reports")
                 return {"ok": False, "reason": f"job is {job.state}"}
             by_seed = {outcome["seed"]: outcome for outcome in outcomes}
             missing = [seed for seed in job.seeds if seed not in by_seed]
             if missing:
                 return {"ok": False, "reason": f"missing seeds {missing}"}
+            now = self.clock()
             job.state = "done"
-            job.elapsed_s = self.clock() - job.leased_at
+            job.elapsed_s = now - job.leased_at
+            job.exec_info = exec_info
+            job.stamp("done", now, worker=worker_id, attempt=job.attempt)
+            f = fleet.ACTIVE
+            if f.enabled:
+                f.inc("fleet.coordinator.jobs_completed")
+                f.observe(
+                    "fleet.coordinator.job_duration_ns", job.elapsed_s * 1e9
+                )
             campaign = self._campaigns[job.campaign_id]
             fresh: list[dict] = []
             for position, seed in zip(job.positions, job.seeds):
@@ -388,8 +476,14 @@ class Coordinator:
             if job is None:
                 return {"ok": False, "reason": "unknown job"}
             if job.state != "leased" or job.worker != worker_id:
+                f = fleet.ACTIVE
+                if f.enabled:
+                    f.inc("fleet.coordinator.stale_reports")
                 return {"ok": False, "reason": f"job is {job.state}"}
             self.retries_total += 1
+            f = fleet.ACTIVE
+            if f.enabled:
+                f.inc("fleet.coordinator.retries")
             entry = self._workers.get(worker_id)
             if entry is not None:
                 entry["jobs_failed"] += 1
@@ -413,13 +507,36 @@ class Coordinator:
             self._reap()
             campaign = self._campaign(campaign_id)
             jobs = [self._jobs[job_id] for job_id in campaign.jobs]
+            counts = campaign.counts()
+            now = (
+                campaign.completed_at
+                if campaign.completed_at is not None
+                else self.clock()
+            )
+            elapsed_s = max(0.0, now - campaign.submitted_at)
+            computed = (
+                len(campaign.outcomes)
+                - counts["pending"]
+                - counts["cached"]
+            )
+            seeds_per_s = computed / elapsed_s if elapsed_s > 0 else 0.0
+            eta_s = (
+                counts["pending"] / seeds_per_s
+                if counts["pending"] and seeds_per_s > 0
+                else (None if counts["pending"] else 0.0)
+            )
             return {
                 "campaign": campaign.campaign_id,
                 "status": "done" if campaign.done else "running",
-                **campaign.counts(),
+                **counts,
                 "jobs": len(jobs),
                 "jobs_done": sum(1 for job in jobs if job.state == "done"),
                 "jobs_failed": sum(1 for job in jobs if job.state == "failed"),
+                "queue_depth": sum(1 for job in jobs if job.state == "pending"),
+                "leased": sum(1 for job in jobs if job.state == "leased"),
+                "elapsed_s": round(elapsed_s, 6),
+                "seeds_per_s": round(seeds_per_s, 3),
+                "eta_s": round(eta_s, 3) if eta_s is not None else None,
                 "label": campaign.spec.sweep_name(),
             }
 
@@ -457,6 +574,7 @@ class Coordinator:
                 "status": "done" if campaign.done else "running",
                 **campaign.counts(),
                 "spec": campaign.spec.to_dict(),
+                "submitted_at": campaign.submitted_at,
                 "jobs": [job.describe() for job in jobs],
                 "requeues": sum(job.requeues for job in jobs),
                 "retries": sum(max(0, job.attempt - 1) for job in jobs),
@@ -467,6 +585,7 @@ class Coordinator:
                 ),
                 "workers": self.workers(),
                 "store": self.store.stats(),
+                "fleet": self._fleet_block(),
                 "config": {
                     "chunk_size": self.config.chunk_size,
                     "max_attempts": self.config.max_attempts,
@@ -475,6 +594,22 @@ class Coordinator:
                     "retry_backoff_s": self.config.retry_backoff_s,
                 },
             }
+
+    def _fleet_block(self) -> dict:
+        """The campaign report's fleet telemetry: this process plus the
+        latest snapshot each worker shipped, merged across the fleet."""
+        coordinator_doc = fleet.snapshot_document()
+        worker_docs = dict(self._worker_telemetry)
+        merged = fleet.merge_fleet_documents(
+            [coordinator_doc, *worker_docs.values()]
+        )
+        return {
+            "format": fleet.FLEET_FORMAT,
+            "coordinator": coordinator_doc,
+            "workers": worker_docs,
+            "merged": merged["merged"],
+            "sources": merged["sources"],
+        }
 
     def campaigns(self) -> list[dict]:
         with self._lock:

@@ -42,6 +42,7 @@ from typing import Any
 
 from repro.harness.config import ScenarioSpec
 from repro.harness.sweep import SeedOutcome, SweepError, _decode_value
+from repro.obs import fleet
 from repro.service.coordinator import Coordinator, CoordinatorConfig
 from repro.service.store import ResultStore
 
@@ -152,9 +153,19 @@ class _Handler(BaseHTTPRequestHandler):
             raise ValueError("request body must be a JSON object")
         return data
 
+    def _send_text(self, body: str, content_type: str, status: int = 200) -> None:
+        raw = body.encode()
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(raw)))
+        self.end_headers()
+        self.wfile.write(raw)
+
     def _dispatch(self, handler) -> None:
         tail = self.path.split("?")[0].rstrip("/").rsplit("/", 1)[-1]
-        if tail not in ("lease", "heartbeat"):
+        # Worker chatter and scrapers don't count as client activity —
+        # a Prometheus poller must not keep a draining server alive.
+        if tail not in ("lease", "heartbeat", "metrics"):
             self.server.last_request = time.monotonic()
         try:
             handler()
@@ -176,7 +187,14 @@ class _Handler(BaseHTTPRequestHandler):
     def _get(self) -> None:
         coordinator = self.server.coordinator
         parts = [part for part in self.path.split("?")[0].split("/") if part]
-        if parts == ["v1", "ping"]:
+        if parts == ["metrics"]:
+            # Prometheus text exposition of the coordinator-process
+            # fleet registry (empty but valid when telemetry is off).
+            self._send_text(
+                fleet.prometheus_text(),
+                "text/plain; version=0.0.4; charset=utf-8",
+            )
+        elif parts == ["v1", "ping"]:
             self._send({"ok": True})
         elif parts == ["v1", "workers"]:
             self._send({"workers": coordinator.workers()})
@@ -223,6 +241,8 @@ class _Handler(BaseHTTPRequestHandler):
                     _required(body, "worker"),
                     _required(body, "job"),
                     body.get("outcomes") or [],
+                    exec_info=body.get("exec"),
+                    telemetry=body.get("telemetry"),
                 )
             )
         elif action == "fail":
@@ -338,6 +358,12 @@ class HttpClient:
     def workers(self) -> list[dict]:
         return self._request("/v1/workers")["workers"]
 
+    def metrics_text(self) -> str:
+        """The coordinator's ``GET /metrics`` Prometheus exposition."""
+        url = f"{self.base_url}/metrics"
+        with urllib.request.urlopen(url, timeout=self.timeout_s) as reply:
+            return reply.read().decode("utf-8")
+
     def wait(
         self,
         campaign_id: str,
@@ -370,11 +396,24 @@ class HttpClient:
             "/v1/heartbeat", {"worker": worker_id, "job": job_id}
         )
 
-    def complete(self, worker_id: str, job_id: str, outcomes: list[dict]) -> dict:
-        return self._request(
-            "/v1/complete",
-            {"worker": worker_id, "job": job_id, "outcomes": outcomes},
-        )
+    def complete(
+        self,
+        worker_id: str,
+        job_id: str,
+        outcomes: list[dict],
+        exec_info: dict | None = None,
+        telemetry: dict | None = None,
+    ) -> dict:
+        body: dict[str, Any] = {
+            "worker": worker_id,
+            "job": job_id,
+            "outcomes": outcomes,
+        }
+        if exec_info is not None:
+            body["exec"] = exec_info
+        if telemetry is not None:
+            body["telemetry"] = telemetry
+        return self._request("/v1/complete", body)
 
     def fail(self, worker_id: str, job_id: str, error: str) -> dict:
         return self._request(
@@ -421,6 +460,9 @@ class LocalClient:
     def workers(self) -> list[dict]:
         return self.coordinator.workers()
 
+    def metrics_text(self) -> str:
+        return fleet.prometheus_text()
+
     def wait(
         self, campaign_id: str, timeout_s: float = 600.0, poll_s: float = 0.05
     ) -> dict:
@@ -442,8 +484,18 @@ class LocalClient:
     def heartbeat(self, worker_id: str, job_id: str) -> dict:
         return self.coordinator.heartbeat(worker_id, job_id)
 
-    def complete(self, worker_id: str, job_id: str, outcomes: list[dict]) -> dict:
-        return self.coordinator.complete(worker_id, job_id, outcomes)
+    def complete(
+        self,
+        worker_id: str,
+        job_id: str,
+        outcomes: list[dict],
+        exec_info: dict | None = None,
+        telemetry: dict | None = None,
+    ) -> dict:
+        return self.coordinator.complete(
+            worker_id, job_id, outcomes,
+            exec_info=exec_info, telemetry=telemetry,
+        )
 
     def fail(self, worker_id: str, job_id: str, error: str) -> dict:
         return self.coordinator.fail(worker_id, job_id, error)
@@ -477,6 +529,9 @@ class LocalService:
     ):
         from repro.service.worker import Worker
 
+        # Operating a fleet implies observing it (REPRO_FLEET_TELEMETRY=0
+        # opts out); plain library use never reaches this path.
+        fleet.enable_from_env()
         self.store = ResultStore(store_dir)
         self.coordinator = Coordinator(self.store, config)
         self.server = serve(self.coordinator, host, port)

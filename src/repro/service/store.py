@@ -44,6 +44,7 @@ from repro.harness.sweep import (
     _tail_is_torn,
     code_fingerprint,
 )
+from repro.obs import fleet
 
 __all__ = ["ResultStore", "spec_record_key"]
 
@@ -121,17 +122,17 @@ class ResultStore:
                 malformed += 1  # torn/corrupt line: skip, but report
         if malformed:
             self.malformed[shard.name] = malformed
+            f = fleet.ACTIVE
+            if f.enabled:
+                f.inc("fleet.result_store.malformed_lines", malformed)
         else:
             self.malformed.pop(shard.name, None)
         return records
 
     def get(self, key: str) -> dict | None:
         """The surviving record for *key*, or ``None``."""
-        shard = self._shard(key)
-        if not shard.exists():
-            return None
-        with self._lock(shard, shared=True):
-            return self._read_shard(shard).get(key)
+        record = self.get_many([key]).get(key)
+        return record
 
     def get_many(self, keys: Iterable[str]) -> dict[str, dict]:
         """Surviving records for *keys* (absent keys are omitted)."""
@@ -145,6 +146,11 @@ class ResultStore:
             for key in keys:
                 if key in records:
                     found[key] = records[key]
+        f = fleet.ACTIVE
+        if f.enabled:
+            f.inc("fleet.result_store.gets", len(keys))
+            f.inc("fleet.result_store.hits", len(found))
+            f.inc("fleet.result_store.misses", len(keys) - len(found))
         return found
 
     def fetch(self, record: dict) -> Any:
@@ -181,6 +187,7 @@ class ResultStore:
         by_shard: dict[Path, list[dict]] = {}
         for record in records:
             by_shard.setdefault(self._shard(record["key"]), []).append(record)
+        f = fleet.ACTIVE
         for shard, batch in by_shard.items():
             self.directory.mkdir(parents=True, exist_ok=True)
             blob = "".join(json.dumps(record) + "\n" for record in batch)
@@ -188,9 +195,13 @@ class ResultStore:
                 with shard.open("ab") as handle:
                     if _tail_is_torn(shard):
                         handle.write(b"\n")  # repair a crashed append
+                        if f.enabled:
+                            f.inc("fleet.result_store.torn_repairs")
                     handle.write(blob.encode())
                     handle.flush()
                     os.fsync(handle.fileno())
+            if f.enabled:
+                f.inc("fleet.result_store.puts", len(batch))
 
     # (locking + torn-tail repair shared with the sweep cache:
     #  repro.harness.sweep._FileLock / _tail_is_torn)

@@ -15,6 +15,7 @@ retry of the whole chunk.
 
 from __future__ import annotations
 
+import logging
 import os
 import socket
 import threading
@@ -22,10 +23,27 @@ import time
 import traceback
 from typing import Any, Callable
 
+try:
+    import resource
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    resource = None  # type: ignore[assignment]
+
 from repro.harness.config import ScenarioSpec
 from repro.harness.sweep import SweepRunner, _encode_value
+from repro.obs import fleet
 
 __all__ = ["Worker", "execute_job"]
+
+log = logging.getLogger("repro.service.worker")
+
+
+def _rusage() -> tuple[float, int]:
+    """(cpu seconds, max RSS in KiB) of this process; zeros without
+    the ``resource`` module."""
+    if resource is None:
+        return 0.0, 0
+    usage = resource.getrusage(resource.RUSAGE_SELF)
+    return usage.ru_utime + usage.ru_stime, int(usage.ru_maxrss)
 
 
 def execute_job(job: dict, runner: SweepRunner | None = None) -> list[dict]:
@@ -81,6 +99,9 @@ class Worker:
         self.worker_id: str | None = None
         self.jobs_completed = 0
         self.jobs_failed = 0
+        #: heartbeat attempts that raised (coordinator down, network
+        #: blip); surfaced in the next completion's ``exec`` info.
+        self.heartbeat_failures = 0
 
     def register(self) -> str:
         self.worker_id = self.client.register(self.info)
@@ -92,10 +113,28 @@ class Worker:
         while not done.wait(interval_s):
             try:
                 reply = self.client.heartbeat(self.worker_id, job_id)
-            except OSError:
-                continue  # transient network error: the TTL absorbs it
+            except OSError as error:
+                # Transient network error (or a dead coordinator): the
+                # lease TTL absorbs it, but never die silently — count
+                # it, log it, and surface it in the next report.
+                self.heartbeat_failures += 1
+                f = fleet.ACTIVE
+                if f.enabled:
+                    f.inc("fleet.worker.heartbeat_failures")
+                log.warning(
+                    "heartbeat for job %s failed (%d so far): %s",
+                    job_id,
+                    self.heartbeat_failures,
+                    error,
+                )
+                continue
             if not reply.get("ok"):
-                return  # lease lost (reaped/re-leased): stop renewing
+                log.info(
+                    "lease on job %s lost (%s): stop renewing",
+                    job_id,
+                    reply.get("reason", "reaped or re-leased"),
+                )
+                return
 
     def run_one(self, job: dict) -> bool:
         """Execute one leased job; returns True when results landed."""
@@ -107,17 +146,50 @@ class Worker:
             daemon=True,
         )
         beater.start()
+        cpu_before, _ = _rusage()
+        wall_before = time.perf_counter()
         try:
             outcomes = self.execute(job)
         except Exception:
             done.set()
             beater.join()
             self.jobs_failed += 1
+            f = fleet.ACTIVE
+            if f.enabled:
+                f.inc("fleet.worker.jobs_failed")
             self.client.fail(self.worker_id, job["job"], traceback.format_exc())
             return False
         done.set()
         beater.join()
-        reply = self.client.complete(self.worker_id, job["job"], outcomes)
+        wall_s = time.perf_counter() - wall_before
+        cpu_after, max_rss_kb = _rusage()
+        exec_info = {
+            "wall_s": round(wall_s, 6),
+            "cpu_s": round(max(0.0, cpu_after - cpu_before), 6),
+            "max_rss_kb": max_rss_kb,
+            "heartbeat_failures": self.heartbeat_failures,
+            "host": self.info.get("host") or socket.gethostname(),
+            "pid": os.getpid(),
+        }
+        f = fleet.ACTIVE
+        telemetry = None
+        if f.enabled:
+            f.inc("fleet.worker.jobs_executed")
+            f.inc("fleet.worker.seeds_executed", len(job.get("seeds", [])))
+            f.observe("fleet.worker.job_wall_ns", wall_s * 1e9)
+            f.observe(
+                "fleet.worker.job_cpu_ns",
+                max(0.0, cpu_after - cpu_before) * 1e9,
+            )
+            f.set_gauge("fleet.worker.max_rss_kb", max_rss_kb)
+            telemetry = fleet.snapshot_document(f)
+        reply = self.client.complete(
+            self.worker_id,
+            job["job"],
+            outcomes,
+            exec_info=exec_info,
+            telemetry=telemetry,
+        )
         if reply.get("ok"):
             self.jobs_completed += 1
             return True

@@ -33,6 +33,8 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Callable
 
+from repro.obs import fleet
+
 __all__ = ["SnapshotStats", "SnapshotStore", "default_capacity"]
 
 DEFAULT_CAPACITY = 16
@@ -141,6 +143,9 @@ class SnapshotStore:
         self._holders[key] = holder
         self.stats.captures += 1
         self.stats.capture_ns_total += holder.capture_ns
+        f = fleet.ACTIVE
+        if f.enabled:
+            f.inc("fleet.snapshot_store.captures")
         while len(self._holders) > self.capacity:
             _key, evicted = self._holders.popitem(last=False)
             self._evict(evicted)
@@ -165,6 +170,13 @@ class SnapshotStore:
         if best is not None:
             self._holders.move_to_end((best.context, best.index, best.digest))
             best.forks += 1
+        f = fleet.ACTIVE
+        if f.enabled:
+            f.inc(
+                "fleet.snapshot_store.fork_hits"
+                if best is not None
+                else "fleet.snapshot_store.fork_misses"
+            )
         return best
 
     def discard(self, holder: _Holder) -> None:
@@ -179,6 +191,9 @@ class SnapshotStore:
             pass
         if count:
             self.stats.evictions += 1
+            f = fleet.ACTIVE
+            if f.enabled:
+                f.inc("fleet.snapshot_store.evictions")
 
     def inherited_fds(self) -> list[int]:
         """Control-socket fds a forked child must close immediately.
